@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction binaries: scale factor,
+ * banner printing, and the standard scheme set.
+ */
+
+#ifndef PRORAM_BENCH_COMMON_HH
+#define PRORAM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+namespace proram::bench
+{
+
+/** Print the figure banner with the paper-expected shape. */
+inline void
+banner(const std::string &title, const std::string &expectation)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Paper expectation: %s\n", expectation.c_str());
+    const double scale = benchScaleFromEnv();
+    if (scale != 1.0)
+        std::printf("(PRORAM_BENCH_SCALE=%.3g - shortened traces)\n",
+                    scale);
+    std::printf("==============================================================\n");
+}
+
+/** Build the default experiment at the env-controlled scale. */
+inline Experiment
+defaultExperiment()
+{
+    return Experiment(defaultSystemConfig(), benchScaleFromEnv());
+}
+
+} // namespace proram::bench
+
+#endif // PRORAM_BENCH_COMMON_HH

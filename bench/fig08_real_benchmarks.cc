@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 8a/b/c: speedup and normalized ORAM access count (energy
+ * proxy) of the static and dynamic super block schemes over the
+ * baseline ORAM, for Splash2, SPEC06 and the DBMS workloads.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+
+using namespace proram;
+
+namespace
+{
+
+void
+runSuite(const Experiment &exp, const char *title,
+         const std::vector<BenchmarkProfile> &suite)
+{
+    std::printf("--- %s ---\n", title);
+    stats::Table t({"bench", "oram/dram", "stat", "dyn",
+                    "stat.norm.acc", "dyn.norm.acc"});
+
+    std::vector<double> stat_all, dyn_all, stat_mem, dyn_mem;
+    std::vector<double> stat_acc, dyn_acc;
+
+    for (const auto &prof : suite) {
+        const auto dram = exp.runBenchmark(MemScheme::Dram, prof);
+        const auto oram =
+            exp.runBenchmark(MemScheme::OramBaseline, prof);
+        const auto stat = exp.runBenchmark(MemScheme::OramStatic, prof);
+        const auto dyn = exp.runBenchmark(MemScheme::OramDynamic, prof);
+
+        const double overhead =
+            static_cast<double>(oram.cycles) / dram.cycles;
+        const double ss = metrics::speedup(oram, stat);
+        const double ds = metrics::speedup(oram, dyn);
+        stat_all.push_back(ss);
+        dyn_all.push_back(ds);
+        stat_acc.push_back(metrics::normMemAccesses(oram, stat));
+        dyn_acc.push_back(metrics::normMemAccesses(oram, dyn));
+        if (prof.memoryIntensive) {
+            stat_mem.push_back(ss);
+            dyn_mem.push_back(ds);
+        }
+
+        t.row()
+            .add(prof.name + (prof.memoryIntensive ? " [M]" : ""))
+            .add(overhead, 2)
+            .addPct(ss)
+            .addPct(ds)
+            .add(stat_acc.back(), 3)
+            .add(dyn_acc.back(), 3);
+    }
+    t.row()
+        .add("avg")
+        .add("")
+        .addPct(mean(stat_all))
+        .addPct(mean(dyn_all))
+        .add(mean(stat_acc), 3)
+        .add(mean(dyn_acc), 3);
+    if (!stat_mem.empty()) {
+        t.row()
+            .add("mem_avg")
+            .add("")
+            .addPct(mean(stat_mem))
+            .addPct(mean(dyn_mem))
+            .add("")
+            .add("");
+    }
+    std::printf("%s\n", t.str().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 8: Static vs dynamic super blocks on real benchmarks",
+        "dyn >= oram on every benchmark; stat negative on low-locality "
+        "ones (volrend, radix, sjeng, astar, omnet, mcf, TPCC); "
+        "dyn mem_avg ~ +20% Splash2, avg ~ +5% SPEC06; YCSB >> TPCC; "
+        "dyn roughly 2x stat's average gain. [M] = memory intensive");
+
+    const Experiment exp = bench::defaultExperiment();
+    runSuite(exp, "Fig. 8a: Splash2", splash2Suite());
+    runSuite(exp, "Fig. 8b: SPEC06", spec06Suite());
+    runSuite(exp, "Fig. 8c: DBMS", dbmsSuite());
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's primitive
+ * operations: path read/write, pos-map walk, background eviction,
+ * full controller accesses per scheme, and policy bookkeeping.
+ * These measure *simulator* throughput (host time), useful for
+ * estimating experiment wall-clock budgets.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/oram_controller.hh"
+#include "sim/system_config.hh"
+#include "util/random.hh"
+
+namespace proram
+{
+namespace
+{
+
+OramConfig
+microCfg()
+{
+    OramConfig c;
+    c.numDataBlocks = 1ULL << 14;
+    c.seed = 77;
+    return c;
+}
+
+HierarchyConfig
+microHier()
+{
+    HierarchyConfig h;
+    h.l1 = CacheConfig{32 * 128, 4, 128};
+    h.l2 = CacheConfig{512 * 128, 8, 128};
+    return h;
+}
+
+void
+BM_PathReadWrite(benchmark::State &state)
+{
+    UnifiedOram oram(microCfg());
+    oram.initialize();
+    PathOram &engine = oram.engine();
+    Rng rng(1);
+    for (auto _ : state) {
+        const Leaf leaf = engine.randomLeaf();
+        engine.readPath(leaf);
+        engine.writePath(leaf);
+        benchmark::DoNotOptimize(engine.stash().size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathReadWrite);
+
+void
+BM_BackgroundEviction(benchmark::State &state)
+{
+    UnifiedOram oram(microCfg());
+    oram.initialize();
+    for (auto _ : state)
+        oram.engine().dummyAccess();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackgroundEviction);
+
+void
+BM_PosMapWalk(benchmark::State &state)
+{
+    UnifiedOram oram(microCfg());
+    oram.initialize();
+    Rng rng(2);
+    for (auto _ : state) {
+        const BlockId b = rng.below(oram.space().numDataBlocks());
+        benchmark::DoNotOptimize(oram.posMapWalk(b).pathAccesses());
+        while (oram.engine().stash().overCapacity())
+            oram.engine().dummyAccess();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PosMapWalk);
+
+void
+BM_ControllerAccess(benchmark::State &state)
+{
+    const auto scheme = static_cast<MemScheme>(state.range(0));
+    CacheHierarchy hier(microHier());
+    OramController ctl(microCfg(), ControllerConfig{}, hier);
+    if (scheme == MemScheme::OramStatic)
+        ctl.configureStatic(2);
+    else if (scheme == MemScheme::OramDynamic)
+        ctl.configureDynamic(DynamicPolicyConfig{});
+    else
+        ctl.configureBaseline();
+
+    Rng rng(3);
+    Cycles now = 0;
+    for (auto _ : state) {
+        const BlockId b = rng.below(1ULL << 14);
+        now = ctl.demandAccess(now, b, OpType::Read);
+        ctl.onDemandTouch(now, b);
+        for (const auto &v : hier.fillFromMemory(b, false))
+            ctl.writebackAccess(now, v.block);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(schemeName(scheme));
+}
+BENCHMARK(BM_ControllerAccess)
+    ->Arg(static_cast<int>(MemScheme::OramBaseline))
+    ->Arg(static_cast<int>(MemScheme::OramStatic))
+    ->Arg(static_cast<int>(MemScheme::OramDynamic));
+
+void
+BM_MergeBreakBookkeeping(benchmark::State &state)
+{
+    // Isolated policy-math cost: counter reconstruction + threshold.
+    UnifiedOram oram(microCfg());
+    oram.initialize();
+    class NoLlc : public LlcProbe
+    {
+      public:
+        bool probe(BlockId) const override { return true; }
+    } llc;
+    DynamicSuperBlockPolicy policy(oram, llc, DynamicPolicyConfig{});
+    Rng rng(4);
+    std::uint32_t v = 0;
+    for (auto _ : state) {
+        const BlockId pair = rng.below((1ULL << 14) / 2) * 2;
+        policy.writeMergeCounter(pair, 1, v & 3);
+        benchmark::DoNotOptimize(policy.readMergeCounter(pair, 1));
+        benchmark::DoNotOptimize(policy.mergeThreshold(1));
+        ++v;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MergeBreakBookkeeping);
+
+} // namespace
+} // namespace proram
+
+BENCHMARK_MAIN();

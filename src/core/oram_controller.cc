@@ -1,0 +1,316 @@
+#include "core/oram_controller.hh"
+
+#include <algorithm>
+
+#include "core/dynamic_policy.hh"
+#include "core/static_policy.hh"
+#include "util/logging.hh"
+
+namespace proram
+{
+
+OramController::OramController(const OramConfig &oram_cfg,
+                               const ControllerConfig &ctl_cfg,
+                               CacheHierarchy &hierarchy)
+    : oramCfg_(oram_cfg), ctlCfg_(ctl_cfg), hierarchy_(hierarchy),
+      oram_(oram_cfg),
+      scheduler_(ctl_cfg.periodic, oram_cfg.pathAccessCycles())
+{
+    if (ctl_cfg.traditionalPrefetcher) {
+        prefetcher_ =
+            std::make_unique<StreamPrefetcher>(ctl_cfg.prefetcher);
+    }
+}
+
+void
+OramController::configureBaseline()
+{
+    policy_ = std::make_unique<BaselinePolicy>(oram_, *this);
+    oram_.initialize(1);
+}
+
+void
+OramController::configureStatic(std::uint32_t sb_size)
+{
+    policy_ =
+        std::make_unique<StaticSuperBlockPolicy>(oram_, *this, sb_size);
+    oram_.initialize(sb_size);
+}
+
+void
+OramController::configureDynamic(const DynamicPolicyConfig &cfg)
+{
+    policy_ = std::make_unique<DynamicSuperBlockPolicy>(oram_, *this, cfg);
+    oram_.initialize(1);
+}
+
+bool
+OramController::probe(BlockId block) const
+{
+    return hierarchy_.probeLlc(block);
+}
+
+std::uint64_t
+OramController::performAccess(BlockId block, bool is_writeback,
+                              OpType op,
+                              const std::uint64_t *write_data,
+                              std::uint64_t *read_out)
+{
+    panic_if(!policy_, "controller used before configure*()");
+    panic_if(!oram_.space().isData(block),
+             "CPU-visible access to non-data block ", block);
+
+    // 1. Recursion: bring the pos-map chain on-chip (Sec. 2.3).
+    const PosMapWalk walk = oram_.posMapWalk(block);
+    std::uint64_t paths = walk.pathAccesses();
+    stats_.posMapAccesses += walk.pathAccesses();
+
+    // 2. Read the super block's path into the stash (Sec. 2.2 step 2).
+    const Leaf leaf = oram_.posMap().leafOf(block);
+    PathOram &engine = oram_.engine();
+    engine.readPath(leaf);
+    ++paths;
+    StashEntry *entry = engine.stash().find(block);
+    panic_if(!entry, "block ", block, " absent from path ", leaf,
+             " and stash (invariant broken)");
+
+    // 3. Payload (null write_data = remap-only, payload preserved).
+    if (op == OpType::Write && write_data)
+        entry->data = *write_data;
+    if (read_out)
+        *read_out = entry->data;
+
+    // 4. Policy: remap / merge / break / choose prefetches
+    //    (steps 4 of the paper, plus Algorithms 1-2).
+    const AccessDecision decision =
+        policy_->onDataAccess(block, is_writeback);
+
+    // 5. Write-back phase (step 5).
+    engine.writePath(leaf);
+
+    // 6. Hand prefetched siblings to the LLC. Insertions that would
+    //    displace dirty lines are dropped by the hierarchy (a
+    //    prefetch must not force write-backs); undo their marking.
+    for (BlockId p : decision.prefetches) {
+        BlockId clean_victim = kInvalidBlock;
+        if (!hierarchy_.insertPrefetch(p, &clean_victim))
+            policy_->onPrefetchDropped(p);
+    }
+
+    // 7. Background eviction keeps the stash bounded (Sec. 2.4),
+    //    within the per-request budget (see ControllerConfig).
+    std::uint64_t spent = 0;
+    while (engine.stash().overCapacity() &&
+           spent < ctlCfg_.maxBgEvictionsPerRequest) {
+        engine.dummyAccess();
+        ++paths;
+        ++spent;
+        ++stats_.bgEvictions;
+    }
+    return paths;
+}
+
+void
+OramController::maybeRollEpoch(Cycles now)
+{
+    const std::uint64_t requests =
+        stats_.realRequests + stats_.writebacks;
+    if (requests - epochRequestBase_ < ctlCfg_.epochRequests)
+        return;
+
+    const std::uint64_t epoch_requests = requests - epochRequestBase_;
+    const std::uint64_t epoch_bg = stats_.bgEvictions - epochBgBase_;
+    const double eviction_rate =
+        static_cast<double>(epoch_bg) / epoch_requests;
+    const Cycles wall = now > epochStart_ ? now - epochStart_ : 1;
+    const double access_rate = std::min(
+        1.0, static_cast<double>(epochBusy_) / wall);
+
+    policy_->onEpoch(eviction_rate, access_rate);
+
+    epochRequestBase_ = requests;
+    epochBgBase_ = stats_.bgEvictions;
+    epochStart_ = now;
+    epochBusy_ = 0;
+}
+
+Cycles
+OramController::dataAccess(Cycles now, BlockId block, OpType op,
+                           std::uint64_t write_data,
+                           std::uint64_t *read_out)
+{
+    // Idle periodic slots that elapsed ran dummy accesses.
+    const std::uint64_t elapsed = scheduler_.drainDummies(now);
+    for (std::uint64_t i = 0; i < elapsed; ++i)
+        oram_.engine().dummyAccess();
+    stats_.periodicDummies += elapsed;
+    stats_.pathAccesses += elapsed;
+
+    std::uint64_t paths =
+        performAccess(block, false, op,
+                      op == OpType::Write ? &write_data : nullptr,
+                      read_out);
+    ++stats_.realRequests;
+    stats_.pathAccesses += paths;
+
+    const PeriodicGrant grant = scheduler_.schedule(now, paths);
+    epochBusy_ += grant.completion - grant.start;
+    busyUntil_ = grant.completion;
+    maybeRollEpoch(grant.completion);
+
+    // The traditional prefetcher (Fig. 5) trains in onDemandTouch,
+    // which the core calls exactly once per demand access (cache hit
+    // or miss-return); training here too would double-observe misses.
+    return grant.completion;
+}
+
+Cycles
+OramController::demandAccess(Cycles now, BlockId block, OpType op)
+{
+    return dataAccess(now, block, op, 0, nullptr);
+}
+
+void
+OramController::writebackAccess(Cycles now, BlockId block)
+{
+    // Timing-only write-back: remap the super block, preserve payload
+    // (the trace CPU carries no data).
+    const std::uint64_t elapsed = scheduler_.drainDummies(now);
+    for (std::uint64_t i = 0; i < elapsed; ++i)
+        oram_.engine().dummyAccess();
+    stats_.periodicDummies += elapsed;
+    stats_.pathAccesses += elapsed;
+
+    std::uint64_t paths =
+        performAccess(block, true, OpType::Write, nullptr, nullptr);
+    ++stats_.writebacks;
+    stats_.pathAccesses += paths;
+
+    const PeriodicGrant grant = scheduler_.schedule(now, paths);
+    epochBusy_ += grant.completion - grant.start;
+    busyUntil_ = grant.completion;
+    maybeRollEpoch(grant.completion);
+}
+
+Cycles
+OramController::writebackWithData(Cycles now, BlockId block,
+                                  std::uint64_t data)
+{
+    const std::uint64_t elapsed = scheduler_.drainDummies(now);
+    for (std::uint64_t i = 0; i < elapsed; ++i)
+        oram_.engine().dummyAccess();
+    stats_.periodicDummies += elapsed;
+    stats_.pathAccesses += elapsed;
+
+    std::uint64_t paths =
+        performAccess(block, true, OpType::Write, &data, nullptr);
+    ++stats_.writebacks;
+    stats_.pathAccesses += paths;
+
+    const PeriodicGrant grant = scheduler_.schedule(now, paths);
+    epochBusy_ += grant.completion - grant.start;
+    busyUntil_ = grant.completion;
+    maybeRollEpoch(grant.completion);
+    return grant.completion;
+}
+
+void
+OramController::onDemandTouch(Cycles now, BlockId block)
+{
+    policy_->onDemandTouch(block);
+
+    // A demand hit on a traditionally-prefetched line keeps its
+    // stream alive (Fig. 5 experiment).
+    if (prefetcher_) {
+        Cycles t = std::max(now, busyUntil_);
+        for (BlockId cand : prefetcher_->observe(block)) {
+            if (cand >= oram_.space().numDataBlocks() ||
+                hierarchy_.probeLlc(cand)) {
+                continue;
+            }
+            std::uint64_t p =
+                performAccess(cand, false, OpType::Read, nullptr,
+                              nullptr);
+            stats_.pathAccesses += p;
+            ++stats_.traditionalPrefetches;
+            BlockId clean_victim = kInvalidBlock;
+            hierarchy_.insertPrefetch(cand, &clean_victim);
+            const PeriodicGrant g = scheduler_.schedule(t, p);
+            epochBusy_ += g.completion - g.start;
+            busyUntil_ = g.completion;
+            t = g.completion;
+        }
+    }
+}
+
+void
+OramController::finalize(Cycles end)
+{
+    const std::uint64_t elapsed = scheduler_.drainDummies(end);
+    for (std::uint64_t i = 0; i < elapsed; ++i)
+        oram_.engine().dummyAccess();
+    stats_.periodicDummies += elapsed;
+    stats_.pathAccesses += elapsed;
+}
+
+std::uint64_t
+OramController::memAccessCount() const
+{
+    return stats_.pathAccesses;
+}
+
+stats::StatGroup
+OramController::buildStatGroup() const
+{
+    stats::StatGroup g("oram_controller");
+    auto scalar = [&](const char *name, const char *desc,
+                      const std::uint64_t &field) {
+        const std::uint64_t *p = &field;
+        g.addValue(name, desc,
+                   [p] { return static_cast<double>(*p); });
+    };
+    scalar("realRequests", "demand misses served", stats_.realRequests);
+    scalar("writebacks", "dirty-victim ORAM accesses",
+           stats_.writebacks);
+    scalar("pathAccesses", "total tree paths read+written",
+           stats_.pathAccesses);
+    scalar("posMapAccesses", "paths spent on PLB misses",
+           stats_.posMapAccesses);
+    scalar("bgEvictions", "background-eviction paths",
+           stats_.bgEvictions);
+    scalar("periodicDummies", "timing-protection dummy accesses",
+           stats_.periodicDummies);
+    scalar("traditionalPrefetches", "stream-prefetcher ORAM accesses",
+           stats_.traditionalPrefetches);
+
+    const SuperBlockPolicy *pol = policy_.get();
+    g.addValue("merges", "super blocks merged (Alg. 1)", [pol] {
+        return pol ? static_cast<double>(pol->policyStats().merges)
+                   : 0.0;
+    });
+    g.addValue("breaks", "super blocks broken (Alg. 2)", [pol] {
+        return pol ? static_cast<double>(pol->policyStats().breaks)
+                   : 0.0;
+    });
+    g.addValue("prefetchHits", "super-block prefetches used", [pol] {
+        return pol
+                   ? static_cast<double>(pol->policyStats().prefetchHits)
+                   : 0.0;
+    });
+    g.addValue("prefetchMissRate", "unused / issued prefetches",
+               [pol] { return pol ? pol->policyStats().missRate()
+                                  : 0.0; });
+
+    const UnifiedOram *o = &oram_;
+    g.addValue("stashOccupancyAvg", "mean stash blocks per access",
+               [o] { return o->engine().stash().occupancy().mean(); });
+    g.addValue("stashOccupancyMax", "peak sampled stash occupancy",
+               [o] { return o->engine().stash().occupancy().max(); });
+    g.addValue("plbHits", "position-map block cache hits",
+               [o] { return static_cast<double>(o->plb().hits()); });
+    g.addValue("plbMisses", "position-map block cache misses",
+               [o] { return static_cast<double>(o->plb().misses()); });
+    return g;
+}
+
+} // namespace proram

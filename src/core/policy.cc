@@ -1,0 +1,80 @@
+#include "core/policy.hh"
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+void
+SuperBlockPolicy::onDemandTouch(BlockId block)
+{
+    if (!oram_.space().isData(block))
+        return;
+    PosEntry &e = oram_.posMap().entry(block);
+    // "when block b is accessed: b.hit = true" (Algorithm 2). Only
+    // meaningful while the prefetch bit is set, but set unconditionally
+    // as the paper does; it is overwritten at the next prefetch.
+    e.hitBit = true;
+}
+
+void
+SuperBlockPolicy::onPrefetchDropped(BlockId block)
+{
+    PosEntry &e = oram_.posMap().entry(block);
+    e.prefetchBit = false;
+    if (stats_.blocksPrefetched > 0)
+        --stats_.blocksPrefetched;
+}
+
+void
+SuperBlockPolicy::remapGroup(const std::vector<BlockId> &members)
+{
+    const Leaf fresh = oram_.engine().randomLeaf();
+    for (BlockId m : members)
+        oram_.posMap().setLeaf(m, fresh);
+}
+
+int
+SuperBlockPolicy::consumePrefetchBits(const std::vector<BlockId> &members,
+                                      const std::vector<bool> &in_llc)
+{
+    panic_if(members.size() != in_llc.size(),
+             "member/in_llc size mismatch");
+    int delta = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        if (in_llc[i]) {
+            // LLC-resident copies are not "coming from ORAM"; their
+            // bits are judged when they next arrive from the tree.
+            continue;
+        }
+        PosEntry &e = oram_.posMap().entry(members[i]);
+        if (e.prefetchBit && e.hitBit) {
+            ++stats_.prefetchHits;
+            ++delta;
+        } else if (e.prefetchBit && !e.hitBit) {
+            ++stats_.prefetchMisses;
+            --delta;
+        }
+        e.prefetchBit = false;
+    }
+    return delta;
+}
+
+void
+SuperBlockPolicy::markPrefetched(BlockId block)
+{
+    PosEntry &e = oram_.posMap().entry(block);
+    e.prefetchBit = true;
+    e.hitBit = false;
+    ++stats_.blocksPrefetched;
+}
+
+AccessDecision
+BaselinePolicy::onDataAccess(BlockId requested, bool is_writeback)
+{
+    (void)is_writeback;
+    oram_.posMap().setLeaf(requested, oram_.engine().randomLeaf());
+    return {};
+}
+
+} // namespace proram

@@ -1,0 +1,102 @@
+#include "core/super_block.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace proram
+{
+
+BlockId
+sbBase(BlockId id, std::uint32_t size)
+{
+    panic_if(!isPowerOf2(size), "super block size must be 2^k");
+    return alignDown(id, size);
+}
+
+BlockId
+sbNeighborBase(BlockId base, std::uint32_t size)
+{
+    panic_if(!isPowerOf2(size), "super block size must be 2^k");
+    panic_if(base % size != 0, "misaligned super block base");
+    return base ^ size;
+}
+
+bool
+areNeighbors(BlockId a, BlockId b, std::uint32_t size)
+{
+    if (a % size != 0 || b % size != 0)
+        return false;
+    return (a ^ b) == size;
+}
+
+std::vector<BlockId>
+sbMembers(BlockId base, std::uint32_t size)
+{
+    std::vector<BlockId> out;
+    out.reserve(size);
+    for (std::uint32_t i = 0; i < size; ++i)
+        out.push_back(base + i);
+    return out;
+}
+
+bool
+mergeWithinBounds(BlockId base, std::uint32_t size,
+                  std::uint64_t num_data_blocks,
+                  std::uint32_t pos_map_fanout)
+{
+    const BlockId pair_base = alignDown(base, 2ULL * size);
+    if (pair_base + 2ULL * size > num_data_blocks)
+        return false;
+    // All 2*size mappings must live in one Pos-Map block; since the
+    // pair is 2*size-aligned, it spans one block iff it fits.
+    return 2ULL * size <= pos_map_fanout;
+}
+
+BlockId
+sbBaseStrided(BlockId id, std::uint32_t size, std::uint32_t stride_log)
+{
+    panic_if(!isPowerOf2(size), "super block size must be 2^k");
+    // Clear bits [stride_log, stride_log + log2(size)).
+    const std::uint64_t field =
+        (static_cast<std::uint64_t>(size) - 1) << stride_log;
+    return id & ~field;
+}
+
+BlockId
+sbNeighborBaseStrided(BlockId base, std::uint32_t size,
+                      std::uint32_t stride_log)
+{
+    panic_if(!isPowerOf2(size), "super block size must be 2^k");
+    panic_if(base != sbBaseStrided(base, size, stride_log),
+             "misaligned strided super block base");
+    return base ^ (static_cast<BlockId>(size) << stride_log);
+}
+
+std::vector<BlockId>
+sbMembersStrided(BlockId base, std::uint32_t size,
+                 std::uint32_t stride_log)
+{
+    std::vector<BlockId> out;
+    out.reserve(size);
+    for (std::uint32_t i = 0; i < size; ++i)
+        out.push_back(base + (static_cast<BlockId>(i) << stride_log));
+    return out;
+}
+
+bool
+mergeWithinBoundsStrided(BlockId base, std::uint32_t size,
+                         std::uint32_t stride_log,
+                         std::uint64_t num_data_blocks,
+                         std::uint32_t pos_map_fanout)
+{
+    const std::uint64_t merged_span =
+        2ULL * size << stride_log; // window of the merged group
+    const BlockId pair_base = sbBaseStrided(base, 2 * size, stride_log);
+    const BlockId last =
+        pair_base + ((2ULL * size - 1) << stride_log);
+    if (last >= num_data_blocks)
+        return false;
+    return merged_span <= pos_map_fanout;
+}
+
+} // namespace proram

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Super-block geometry helpers (paper Sec. 3.2): super blocks are
+ * 2^k-sized, address-aligned groups of data blocks; two same-sized
+ * groups are *neighbours* iff they merge into the next aligned
+ * power-of-two group.
+ */
+
+#ifndef PRORAM_CORE_SUPER_BLOCK_HH
+#define PRORAM_CORE_SUPER_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace proram
+{
+
+/** Base (lowest id) of the size-@p size super block containing @p id. */
+BlockId sbBase(BlockId id, std::uint32_t size);
+
+/**
+ * Base of the neighbour of the super block at @p base with @p size
+ * (Sec. 4.1: the unique same-sized group forming a 2x group with it).
+ */
+BlockId sbNeighborBase(BlockId base, std::uint32_t size);
+
+/** @return true if @p a is the neighbour block of @p b at @p size. */
+bool areNeighbors(BlockId a, BlockId b, std::uint32_t size);
+
+/** Member ids of the super block at @p base. */
+std::vector<BlockId> sbMembers(BlockId base, std::uint32_t size);
+
+/**
+ * Whether the 2x-sized merged group starting at the pair base would
+ * stay inside the data space and inside one position-map block
+ * (Sec. 4.1: all members' mappings must share a Pos-Map block).
+ */
+bool mergeWithinBounds(BlockId base, std::uint32_t size,
+                       std::uint64_t num_data_blocks,
+                       std::uint32_t pos_map_fanout);
+
+/**
+ * @name Strided super blocks (the paper's Sec. 6.2 future work).
+ *
+ * A strided super block of size n = 2^k with stride 2^s groups the
+ * blocks agreeing on every address bit except bits [s, s+k): its
+ * members are base + i*2^s. The classic scheme is the s = 0 special
+ * case. Because the group lies inside one (n*2^s)-aligned window,
+ * co-residency in a single position-map block is guaranteed whenever
+ * n*2^s <= fanout.
+ * @{
+ */
+
+/** Base (member with zeroed [s, s+k) bits) of @p id's group. */
+BlockId sbBaseStrided(BlockId id, std::uint32_t size,
+                      std::uint32_t stride_log);
+
+/** Base of the neighbour group (differs in bit s + log2(size)). */
+BlockId sbNeighborBaseStrided(BlockId base, std::uint32_t size,
+                              std::uint32_t stride_log);
+
+/** Member ids of the strided group at @p base. */
+std::vector<BlockId> sbMembersStrided(BlockId base, std::uint32_t size,
+                                      std::uint32_t stride_log);
+
+/** Bounds/fanout check for merging two size-@p size strided groups. */
+bool mergeWithinBoundsStrided(BlockId base, std::uint32_t size,
+                              std::uint32_t stride_log,
+                              std::uint64_t num_data_blocks,
+                              std::uint32_t pos_map_fanout);
+
+/** @} */
+
+} // namespace proram
+
+#endif // PRORAM_CORE_SUPER_BLOCK_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Trace-driven in-order core (Table 1: 1 GHz, in-order, blocking
+ * loads). Consumes TraceRecords, walks the cache hierarchy, and
+ * stalls on the memory backend for LLC misses; dirty LLC victims
+ * become backend write-backs that do not stall the core but occupy
+ * the memory controller.
+ */
+
+#ifndef PRORAM_CPU_TRACE_CPU_HH
+#define PRORAM_CPU_TRACE_CPU_HH
+
+#include <cstdint>
+
+#include "mem/backend.hh"
+#include "mem/cache_hierarchy.hh"
+#include "trace/generator.hh"
+
+namespace proram
+{
+
+/** Per-run results (inputs to every figure's metric). */
+struct CpuRunResult
+{
+    Cycles cycles = 0;
+    std::uint64_t references = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t writebacks = 0;
+};
+
+/** The core. */
+class TraceCpu
+{
+  public:
+    TraceCpu(CacheHierarchy &hierarchy, MemBackend &backend,
+             std::uint32_t line_bytes);
+
+    /**
+     * Run the whole trace; at the end, drain dirty LLC lines through
+     * the backend (so schemes pay for the write traffic they incur)
+     * and let the backend settle periodic dummies.
+     */
+    CpuRunResult run(TraceGenerator &gen);
+
+  private:
+    CacheHierarchy &hierarchy_;
+    MemBackend &backend_;
+    std::uint32_t lineShift_;
+};
+
+} // namespace proram
+
+#endif // PRORAM_CPU_TRACE_CPU_HH

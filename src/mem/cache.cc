@@ -1,0 +1,166 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace proram
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    fatal_if(cfg.lineBytes == 0 || !isPowerOf2(cfg.lineBytes),
+             "cache line size must be a power of two");
+    fatal_if(cfg.ways == 0, "cache must have at least one way");
+    fatal_if(cfg.sizeBytes % (static_cast<std::uint64_t>(cfg.ways) *
+                              cfg.lineBytes) != 0,
+             "cache size must be a multiple of ways * lineBytes");
+    numSets_ = cfg.numSets();
+    fatal_if(numSets_ == 0, "cache has zero sets");
+    fatal_if(!isPowerOf2(numSets_), "number of sets must be a power of 2");
+    lines_.resize(numSets_ * cfg.ways);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(BlockId block) const
+{
+    return block & (numSets_ - 1);
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(BlockId block)
+{
+    const std::uint64_t base = setIndex(block) * cfg_.ways;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &l = lines_[base + w];
+        if (l.valid && l.block == block)
+            return &l;
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(BlockId block) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(block);
+}
+
+bool
+SetAssocCache::access(BlockId block, OpType op)
+{
+    Line *l = findLine(block);
+    if (!l) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    l->lruStamp = ++lruClock_;
+    if (op == OpType::Write)
+        l->dirty = true;
+    return true;
+}
+
+bool
+SetAssocCache::probe(BlockId block) const
+{
+    return findLine(block) != nullptr;
+}
+
+void
+SetAssocCache::markDirty(BlockId block)
+{
+    if (Line *l = findLine(block))
+        l->dirty = true;
+}
+
+std::optional<EvictedLine>
+SetAssocCache::insert(BlockId block, bool dirty, bool low_priority)
+{
+    if (Line *l = findLine(block)) {
+        // Re-insertion of a resident line just refreshes state.
+        l->dirty = l->dirty || dirty;
+        if (!low_priority)
+            l->lruStamp = ++lruClock_;
+        return std::nullopt;
+    }
+
+    const std::uint64_t base = setIndex(block) * cfg_.ways;
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &l = lines_[base + w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.lruStamp < victim->lruStamp)
+            victim = &l;
+    }
+
+    std::optional<EvictedLine> evicted;
+    if (victim->valid) {
+        evicted = EvictedLine{victim->block, victim->dirty};
+        if (victim->dirty)
+            ++dirtyEvictions_;
+    }
+
+    victim->block = block;
+    victim->valid = true;
+    victim->dirty = dirty;
+    // Low-priority (prefetch) insertions take the LRU position: they
+    // are the set's next victim unless a demand hit promotes them.
+    victim->lruStamp = low_priority ? 0 : ++lruClock_;
+    return evicted;
+}
+
+std::optional<EvictedLine>
+SetAssocCache::peekVictim(BlockId block) const
+{
+    if (probe(block))
+        return std::nullopt;
+    const std::uint64_t base = setIndex(block) * cfg_.ways;
+    const Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        const Line &l = lines_[base + w];
+        if (!l.valid)
+            return std::nullopt;
+        if (!victim || l.lruStamp < victim->lruStamp)
+            victim = &l;
+    }
+    return EvictedLine{victim->block, victim->dirty};
+}
+
+std::optional<bool>
+SetAssocCache::peekDirty(BlockId block) const
+{
+    const Line *l = findLine(block);
+    if (!l)
+        return std::nullopt;
+    return l->dirty;
+}
+
+std::optional<bool>
+SetAssocCache::invalidate(BlockId block)
+{
+    Line *l = findLine(block);
+    if (!l)
+        return std::nullopt;
+    l->valid = false;
+    const bool was_dirty = l->dirty;
+    l->dirty = false;
+    l->block = kInvalidBlock;
+    return was_dirty;
+}
+
+std::vector<BlockId>
+SetAssocCache::residentBlocks() const
+{
+    std::vector<BlockId> out;
+    for (const Line &l : lines_) {
+        if (l.valid)
+            out.push_back(l.block);
+    }
+    return out;
+}
+
+} // namespace proram

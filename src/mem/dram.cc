@@ -1,0 +1,30 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+DramModel::DramModel(const DramConfig &cfg) : cfg_(cfg)
+{
+    fatal_if(cfg.bytesPerCycle <= 0.0, "DRAM bandwidth must be positive");
+    fatal_if(cfg.lineBytes == 0, "DRAM line size must be positive");
+    transferCycles_ = static_cast<Cycles>(
+        std::ceil(cfg.lineBytes / cfg.bytesPerCycle));
+    if (transferCycles_ == 0)
+        transferCycles_ = 1;
+}
+
+Cycles
+DramModel::schedule(Cycles now)
+{
+    const Cycles start = std::max(now, busFreeAt_);
+    busFreeAt_ = start + transferCycles_;
+    ++transfers_;
+    return start + cfg_.latency + transferCycles_;
+}
+
+} // namespace proram

@@ -1,0 +1,104 @@
+#include "mem/stream_prefetcher.hh"
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &cfg)
+    : cfg_(cfg), streams_(cfg.numStreams)
+{
+    fatal_if(cfg.numStreams == 0, "prefetcher needs at least one stream");
+    fatal_if(cfg.degree == 0, "prefetch degree must be at least 1");
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::findStream(BlockId block, int *direction_out)
+{
+    for (Stream &s : streams_) {
+        if (!s.valid)
+            continue;
+        if (block == s.lastBlock + 1) {
+            *direction_out = +1;
+            return &s;
+        }
+        if (s.lastBlock != 0 && block == s.lastBlock - 1) {
+            *direction_out = -1;
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+StreamPrefetcher::Stream &
+StreamPrefetcher::allocateStream(BlockId block)
+{
+    Stream *victim = nullptr;
+    for (Stream &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (!victim || s.lruStamp < victim->lruStamp)
+            victim = &s;
+    }
+    *victim = Stream{};
+    victim->valid = true;
+    victim->lastBlock = block;
+    victim->frontier = block;
+    victim->lruStamp = ++lruClock_;
+    return *victim;
+}
+
+std::vector<BlockId>
+StreamPrefetcher::observe(BlockId block)
+{
+    std::vector<BlockId> out;
+
+    int direction = 0;
+    Stream *s = findStream(block, &direction);
+    if (!s) {
+        allocateStream(block);
+        return out;
+    }
+
+    s->lruStamp = ++lruClock_;
+    if (s->direction == direction) {
+        ++s->confidence;
+    } else {
+        s->direction = direction;
+        s->confidence = 1;
+        s->trained = false;
+        s->frontier = block;
+    }
+    s->lastBlock = block;
+
+    if (!s->trained && s->confidence >= cfg_.trainThreshold) {
+        s->trained = true;
+        s->frontier = block;
+        ++trained_;
+    }
+    if (!s->trained)
+        return out;
+
+    // Run the frontier up to `distance` blocks ahead of the demand
+    // stream, issuing at most `degree` prefetches per trigger.
+    const std::int64_t dir = s->direction;
+    for (std::uint32_t i = 0; i < cfg_.degree; ++i) {
+        const std::int64_t ahead =
+            dir * (static_cast<std::int64_t>(s->frontier) -
+                   static_cast<std::int64_t>(block));
+        if (ahead >= static_cast<std::int64_t>(cfg_.distance))
+            break;
+        const std::int64_t next =
+            static_cast<std::int64_t>(s->frontier) + dir;
+        if (next < 0)
+            break;
+        s->frontier = static_cast<BlockId>(next);
+        out.push_back(s->frontier);
+        ++issued_;
+    }
+    return out;
+}
+
+} // namespace proram

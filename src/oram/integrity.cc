@@ -1,0 +1,123 @@
+#include "oram/integrity.hh"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "util/bits.hh"
+
+namespace proram
+{
+
+namespace
+{
+
+std::string
+str(const char *what, BlockId id)
+{
+    std::ostringstream os;
+    os << what << " (block " << id << ")";
+    return os.str();
+}
+
+} // namespace
+
+IntegrityReport
+checkIntegrity(const UnifiedOram &oram)
+{
+    IntegrityReport report;
+    const BinaryTree &tree = oram.engine().tree();
+    const PositionMap &pos = oram.posMap();
+    const BlockSpace &space = oram.space();
+    const std::uint64_t total = space.numTotalBlocks();
+
+    // Pass 1: locate every tree copy; detect duplicates and misplaced
+    // blocks. A block at bucket `node`, level `l` must satisfy
+    // node == nodeOnPath(leaf(id), l).
+    std::unordered_map<BlockId, int> copies;
+    for (std::uint64_t node = 0; node < tree.numBuckets(); ++node) {
+        // Recover the level of this heap node.
+        std::uint32_t level = log2Floor(node + 1);
+        const Bucket &b = tree.bucket(node);
+        for (std::uint32_t i = 0; i < b.z(); ++i) {
+            const Slot &s = b.slot(i);
+            if (s.isDummy())
+                continue;
+            if (s.id >= total) {
+                report.fail(str("tree slot holds out-of-range id", s.id));
+                continue;
+            }
+            ++copies[s.id];
+            const Leaf leaf = pos.leafOf(s.id);
+            if (leaf == kInvalidLeaf || leaf >= tree.numLeaves()) {
+                report.fail(str("tree block has invalid leaf", s.id));
+                continue;
+            }
+            if (tree.nodeOnPath(leaf, level) != node)
+                report.fail(str("block off its mapped path", s.id));
+        }
+    }
+
+    // Pass 2: stash copies.
+    for (BlockId id : oram.engine().stash().residentIds()) {
+        if (id >= total) {
+            report.fail(str("stash holds out-of-range id", id));
+            continue;
+        }
+        ++copies[id];
+    }
+
+    // Pass 3: exactly-once existence.
+    for (BlockId id = 0; id < total; ++id) {
+        auto it = copies.find(id);
+        const int n = it == copies.end() ? 0 : it->second;
+        if (n == 0)
+            report.fail(str("block lost (no copy anywhere)", id));
+        else if (n > 1)
+            report.fail(str("block duplicated", id));
+    }
+
+    // Pass 4: super-block geometry and co-location.
+    for (BlockId id = 0; id < total; ++id) {
+        const PosEntry &e = pos.entry(id);
+        const std::uint32_t size = e.sbSize();
+        if (!space.isData(id)) {
+            if (size != 1)
+                report.fail(str("pos-map block inside a super block", id));
+            continue;
+        }
+        if (size == 1)
+            continue;
+        const std::uint32_t stride_log = e.sbStrideLog;
+        if ((static_cast<std::uint64_t>(size) << stride_log) >
+            space.fanout()) {
+            report.fail(str("super block exceeds pos-map fanout", id));
+            continue;
+        }
+        // Member set: blocks agreeing with id outside the bit field
+        // [stride_log, stride_log + log2(size)) - contiguous when
+        // stride_log is 0, strided otherwise (Sec. 6.2 extension).
+        const std::uint64_t field =
+            (static_cast<std::uint64_t>(size) - 1) << stride_log;
+        const BlockId base = id & ~field;
+        for (std::uint32_t i = 0; i < size; ++i) {
+            const BlockId m =
+                base + (static_cast<BlockId>(i) << stride_log);
+            if (m >= space.numDataBlocks()) {
+                report.fail(str("super block spills past data space", id));
+                break;
+            }
+            const PosEntry &me = pos.entry(m);
+            if (me.sbSizeLog != e.sbSizeLog ||
+                me.sbStrideLog != e.sbStrideLog) {
+                report.fail(str("super block geometry mismatch", m));
+            } else if (me.leaf != e.leaf) {
+                report.fail(str("super block members on different leaves",
+                                m));
+            }
+        }
+    }
+
+    return report;
+}
+
+} // namespace proram

@@ -1,0 +1,99 @@
+#include "oram/path_oram.hh"
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+PathOram::PathOram(const OramConfig &cfg, PositionMap &pos_map)
+    : cfg_(cfg), posMap_(pos_map), tree_(cfg.levels(), cfg.z),
+      stash_(cfg.stashCapacity), rng_(cfg.seed ^ 0x0aa77aa55aa33aa1ULL)
+{
+}
+
+Leaf
+PathOram::randomLeaf()
+{
+    return static_cast<Leaf>(rng_.below(tree_.numLeaves()));
+}
+
+void
+PathOram::readPath(Leaf leaf)
+{
+    ++pathReads_;
+    for (std::uint32_t level = 0; level <= tree_.levels(); ++level) {
+        Bucket &b = tree_.bucket(tree_.nodeOnPath(leaf, level));
+        for (std::uint32_t i = 0; i < b.z(); ++i) {
+            Slot &s = b.slot(i);
+            if (s.isDummy())
+                continue;
+            const bool fresh = stash_.insert(s.id, s.data);
+            panic_if(!fresh, "block ", s.id,
+                     " duplicated between tree and stash");
+            s.id = kInvalidBlock;
+            s.data = 0;
+        }
+    }
+}
+
+void
+PathOram::writePath(Leaf leaf)
+{
+    // Bucket the stash by the deepest level each block may occupy on
+    // this path, then fill buckets greedily from the leaf upward.
+    const std::uint32_t levels = tree_.levels();
+    std::vector<std::vector<BlockId>> eligible(levels + 1);
+    for (BlockId id : stash_.residentIds()) {
+        const Leaf block_leaf = posMap_.leafOf(id);
+        panic_if(block_leaf == kInvalidLeaf,
+                 "stash block ", id, " has no leaf");
+        eligible[tree_.commonLevel(block_leaf, leaf)].push_back(id);
+    }
+
+    std::vector<BlockId> pool;
+    for (std::uint32_t l = levels + 1; l-- > 0;) {
+        for (BlockId id : eligible[l])
+            pool.push_back(id);
+        Bucket &b = tree_.bucket(tree_.nodeOnPath(leaf, l));
+        while (!pool.empty()) {
+            Slot *slot = b.freeSlot();
+            if (!slot)
+                break;
+            const BlockId id = pool.back();
+            pool.pop_back();
+            StashEntry *e = stash_.find(id);
+            panic_if(!e, "eligible block ", id, " vanished from stash");
+            slot->id = id;
+            slot->data = e->data;
+            stash_.erase(id);
+        }
+    }
+    stash_.sampleOccupancy();
+}
+
+Leaf
+PathOram::dummyAccess()
+{
+    const Leaf leaf = randomLeaf();
+    readPath(leaf);
+    writePath(leaf);
+    return leaf;
+}
+
+void
+PathOram::placeInitial(BlockId id, std::uint64_t data)
+{
+    const Leaf leaf = posMap_.leafOf(id);
+    panic_if(leaf == kInvalidLeaf, "placeInitial before leaf assignment");
+    for (std::uint32_t l = tree_.levels() + 1; l-- > 0;) {
+        Bucket &b = tree_.bucket(tree_.nodeOnPath(leaf, l));
+        if (Slot *slot = b.freeSlot()) {
+            slot->id = id;
+            slot->data = data;
+            return;
+        }
+    }
+    stash_.insert(id, data);
+}
+
+} // namespace proram

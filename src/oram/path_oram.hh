@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The functional Path ORAM engine (Stefanov et al., CCS'13), split
+ * into the read-path and write-path halves of one access so the
+ * super-block policies can remap blocks in between (merging/breaking
+ * must pick final leaves *before* the write-back phase, exactly as the
+ * hardware does - paper Sec. 2.2 steps 4-5).
+ */
+
+#ifndef PRORAM_ORAM_PATH_ORAM_HH
+#define PRORAM_ORAM_PATH_ORAM_HH
+
+#include <vector>
+
+#include "oram/config.hh"
+#include "oram/position_map.hh"
+#include "oram/stash.hh"
+#include "oram/tree.hh"
+#include "util/random.hh"
+
+namespace proram
+{
+
+/**
+ * Binary tree + stash + remap machinery. The position map is owned by
+ * the caller (the unified front end) because recursion and the
+ * super-block metadata live there.
+ */
+class PathOram
+{
+  public:
+    PathOram(const OramConfig &cfg, PositionMap &pos_map);
+
+    /** Read every bucket on path @p leaf into the stash (step 2). */
+    void readPath(Leaf leaf);
+
+    /**
+     * Evict as many stash blocks as possible onto path @p leaf,
+     * deepest buckets first (step 5). Blocks land only in buckets that
+     * lie on both @p leaf and their own mapped path.
+     */
+    void writePath(Leaf leaf);
+
+    /**
+     * Background eviction (Sec. 2.4): read + write a random path
+     * without remapping anything. Stash occupancy cannot increase.
+     * @return the (random) leaf that was accessed.
+     */
+    Leaf dummyAccess();
+
+    /** Fresh uniformly random leaf (step 4 remap target). */
+    Leaf randomLeaf();
+
+    /**
+     * Place a block into the deepest free bucket on its mapped path,
+     * falling back to the stash. Used for initialization only.
+     */
+    void placeInitial(BlockId id, std::uint64_t data);
+
+    BinaryTree &tree() { return tree_; }
+    const BinaryTree &tree() const { return tree_; }
+    Stash &stash() { return stash_; }
+    const Stash &stash() const { return stash_; }
+    PositionMap &posMap() { return posMap_; }
+
+    std::uint64_t pathReads() const { return pathReads_.value(); }
+
+  private:
+    OramConfig cfg_;
+    PositionMap &posMap_;
+    BinaryTree tree_;
+    Stash stash_;
+    Rng rng_;
+    stats::Counter pathReads_;
+};
+
+} // namespace proram
+
+#endif // PRORAM_ORAM_PATH_ORAM_HH

@@ -1,0 +1,56 @@
+#include "oram/periodic.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+PeriodicScheduler::PeriodicScheduler(const PeriodicConfig &cfg,
+                                     Cycles path_cycles)
+    : cfg_(cfg), pathCycles_(path_cycles),
+      period_(path_cycles + cfg.oInt)
+{
+    fatal_if(path_cycles == 0, "path access cannot take zero cycles");
+}
+
+PeriodicGrant
+PeriodicScheduler::schedule(Cycles now, std::uint64_t num_paths)
+{
+    PeriodicGrant grant;
+    if (!cfg_.enabled) {
+        grant.start = std::max(now, nextFree_);
+        grant.completion = grant.start + num_paths * pathCycles_;
+        nextFree_ = grant.completion;
+        return grant;
+    }
+
+    // Idle slots before `now` ran dummy accesses.
+    while (nextFree_ < now) {
+        ++dummies_;
+        ++grant.elapsedDummies;
+        nextFree_ += period_;
+    }
+    grant.start = nextFree_;
+    grant.completion =
+        grant.start + (num_paths - 1) * period_ + pathCycles_;
+    nextFree_ = grant.start + num_paths * period_;
+    return grant;
+}
+
+std::uint64_t
+PeriodicScheduler::drainDummies(Cycles now)
+{
+    if (!cfg_.enabled)
+        return 0;
+    std::uint64_t n = 0;
+    while (nextFree_ < now) {
+        ++n;
+        ++dummies_;
+        nextFree_ += period_;
+    }
+    return n;
+}
+
+} // namespace proram

@@ -1,0 +1,127 @@
+#include "oram/position_map.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace proram
+{
+
+BlockSpace::BlockSpace(const OramConfig &cfg)
+    : numData_(cfg.numDataBlocks), fanout_(cfg.posMapFanout())
+{
+    std::uint64_t count = numData_;
+    BlockId base = numData_;
+    for (std::uint32_t l = 0; l < cfg.posMapLevels(); ++l) {
+        count = divCeil(count, fanout_);
+        levelBase_.push_back(base);
+        levelCount_.push_back(count);
+        base += count;
+    }
+    total_ = base;
+}
+
+std::uint32_t
+BlockSpace::levelOf(BlockId id) const
+{
+    panic_if(id >= total_, "block id ", id, " out of range");
+    if (id < numData_)
+        return 0;
+    for (std::uint32_t l = 0; l < levelBase_.size(); ++l) {
+        if (id < levelBase_[l] + levelCount_[l])
+            return l + 1;
+    }
+    panic("unreachable: id ", id, " not in any level");
+}
+
+BlockId
+BlockSpace::posMapBlockOf(BlockId id) const
+{
+    const std::uint32_t level = levelOf(id);
+    // Index of this block within its own level.
+    const std::uint64_t index =
+        level == 0 ? id : id - levelBase_[level - 1];
+    if (level >= levelBase_.size()) {
+        // The covering table is on-chip.
+        return kInvalidBlock;
+    }
+    return levelBase_[level] + index / fanout_;
+}
+
+BlockId
+BlockSpace::levelBase(std::uint32_t level) const
+{
+    panic_if(level == 0 || level > levelBase_.size(),
+             "pos-map level ", level, " out of range");
+    return levelBase_[level - 1];
+}
+
+std::uint64_t
+BlockSpace::levelCount(std::uint32_t level) const
+{
+    panic_if(level == 0 || level > levelCount_.size(),
+             "pos-map level ", level, " out of range");
+    return levelCount_[level - 1];
+}
+
+PositionMap::PositionMap(std::uint64_t num_blocks, Leaf num_leaves)
+    : entries_(num_blocks), numLeaves_(num_leaves)
+{
+    fatal_if(num_leaves == 0, "position map needs at least one leaf");
+}
+
+PosEntry &
+PositionMap::entry(BlockId id)
+{
+    panic_if(id >= entries_.size(), "pos-map index ", id, " out of range");
+    return entries_[id];
+}
+
+const PosEntry &
+PositionMap::entry(BlockId id) const
+{
+    panic_if(id >= entries_.size(), "pos-map index ", id, " out of range");
+    return entries_[id];
+}
+
+PosMapBlockCache::PosMapBlockCache(std::uint32_t entries)
+    : capacity_(entries)
+{
+    fatal_if(entries == 0, "PLB needs at least one entry");
+}
+
+bool
+PosMapBlockCache::lookup(BlockId pm_block)
+{
+    auto it = map_.find(pm_block);
+    if (it == map_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+void
+PosMapBlockCache::insert(BlockId pm_block)
+{
+    auto it = map_.find(pm_block);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(pm_block);
+    map_[pm_block] = lru_.begin();
+}
+
+bool
+PosMapBlockCache::contains(BlockId pm_block) const
+{
+    return map_.count(pm_block) != 0;
+}
+
+} // namespace proram

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Position map state plus the unified-recursion address-space layout.
+ *
+ * Functionally, the position map is one flat table: for every
+ * tree-resident block (data blocks *and* position-map blocks) it holds
+ * the current leaf, the super-block size, and the per-block metadata
+ * bits of the dynamic super block scheme (merge / break / prefetch /
+ * hit - paper Sec. 4.1 and 4.5.1). The *recursion* (which position-map
+ * block must be on-chip to know a leaf, and which path accesses a PLB
+ * miss costs) is modelled by BlockSpace + PosMapBlockCache and charged
+ * by the unified ORAM front end.
+ */
+
+#ifndef PRORAM_ORAM_POSITION_MAP_HH
+#define PRORAM_ORAM_POSITION_MAP_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "oram/config.hh"
+#include "util/types.hh"
+
+namespace proram
+{
+
+/** Per-block position-map entry (Fig. 4 of the paper). */
+struct PosEntry
+{
+    Leaf leaf = kInvalidLeaf;
+    /** log2 of the super block this block belongs to (0 = alone). */
+    std::uint8_t sbSizeLog = 0;
+    /** log2 of the group's member stride (0 = contiguous; Sec. 6.2
+     *  strided-super-block extension). */
+    std::uint8_t sbStrideLog = 0;
+    /** Merge-counter bit contributed by this block. */
+    bool mergeBit = false;
+    /** Break-counter bit contributed by this block. */
+    bool breakBit = false;
+    /** Block was brought in as a prefetch (Sec. 4.3). */
+    bool prefetchBit = false;
+    /** Block's last prefetch was demand-used (Sec. 4.3). */
+    bool hitBit = false;
+
+    std::uint32_t sbSize() const { return 1u << sbSizeLog; }
+};
+
+/**
+ * Unified ORAM block-id layout: data blocks first, then one contiguous
+ * range per tree-resident position-map level. The last (smallest)
+ * position-map table is on-chip and has no block ids.
+ */
+class BlockSpace
+{
+  public:
+    explicit BlockSpace(const OramConfig &cfg);
+
+    std::uint64_t numDataBlocks() const { return numData_; }
+    std::uint64_t numTotalBlocks() const { return total_; }
+    std::uint32_t posMapLevels() const
+    {
+        return static_cast<std::uint32_t>(levelBase_.size());
+    }
+    std::uint32_t fanout() const { return fanout_; }
+
+    bool isData(BlockId id) const { return id < numData_; }
+
+    /**
+     * The position-map block holding @p id's entry, or kInvalidBlock
+     * if the entry lives in the on-chip table.
+     */
+    BlockId posMapBlockOf(BlockId id) const;
+
+    /** Recursion level of a block: 0 = data, k = level-k pos-map. */
+    std::uint32_t levelOf(BlockId id) const;
+
+    /** First block id of pos-map level @p level (1-based). */
+    BlockId levelBase(std::uint32_t level) const;
+
+    /** Number of blocks at pos-map level @p level (1-based). */
+    std::uint64_t levelCount(std::uint32_t level) const;
+
+  private:
+    std::uint64_t numData_;
+    std::uint32_t fanout_;
+    std::uint64_t total_;
+    std::vector<BlockId> levelBase_;
+    std::vector<std::uint64_t> levelCount_;
+};
+
+/** Flat functional position map over all tree-resident blocks. */
+class PositionMap
+{
+  public:
+    PositionMap(std::uint64_t num_blocks, Leaf num_leaves);
+
+    PosEntry &entry(BlockId id);
+    const PosEntry &entry(BlockId id) const;
+
+    Leaf leafOf(BlockId id) const { return entry(id).leaf; }
+    void setLeaf(BlockId id, Leaf leaf) { entry(id).leaf = leaf; }
+
+    std::uint64_t size() const { return entries_.size(); }
+    Leaf numLeaves() const { return numLeaves_; }
+
+  private:
+    std::vector<PosEntry> entries_;
+    Leaf numLeaves_;
+};
+
+/**
+ * PLB: fully-associative LRU cache of position-map *blocks* held
+ * on-chip (Unified ORAM / Freecursive). A hit means the leaf labels of
+ * that block's children are available without extra path accesses.
+ * Write-back of evicted pos-map blocks is treated as free (the entry's
+ * authoritative copy lives in PositionMap); DESIGN.md records this
+ * simplification.
+ */
+class PosMapBlockCache
+{
+  public:
+    explicit PosMapBlockCache(std::uint32_t entries);
+
+    /** @return true if @p pm_block is cached; refreshes LRU. */
+    bool lookup(BlockId pm_block);
+
+    /** Insert (possibly evicting LRU). */
+    void insert(BlockId pm_block);
+
+    bool contains(BlockId pm_block) const;
+    std::size_t size() const { return map_.size(); }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::list<BlockId> lru_; // front = most recent
+    std::unordered_map<BlockId, std::list<BlockId>::iterator> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace proram
+
+#endif // PRORAM_ORAM_POSITION_MAP_HH

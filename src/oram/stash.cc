@@ -1,0 +1,52 @@
+#include "oram/stash.hh"
+
+namespace proram
+{
+
+Stash::Stash(std::uint32_t capacity) : capacity_(capacity)
+{
+    entries_.reserve(capacity * 2);
+}
+
+bool
+Stash::insert(BlockId id, std::uint64_t data)
+{
+    return entries_.emplace(id, StashEntry{data}).second;
+}
+
+bool
+Stash::contains(BlockId id) const
+{
+    return entries_.count(id) != 0;
+}
+
+StashEntry *
+Stash::find(BlockId id)
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool
+Stash::erase(BlockId id)
+{
+    return entries_.erase(id) != 0;
+}
+
+std::vector<BlockId>
+Stash::residentIds() const
+{
+    std::vector<BlockId> ids;
+    ids.reserve(entries_.size());
+    for (const auto &[id, entry] : entries_)
+        ids.push_back(id);
+    return ids;
+}
+
+void
+Stash::sampleOccupancy()
+{
+    occupancy_.sample(static_cast<double>(entries_.size()));
+}
+
+} // namespace proram

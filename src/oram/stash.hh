@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The on-chip stash: blocks read from the tree that have not yet been
+ * evicted back. Path ORAM's invariant is that a block mapped to leaf s
+ * is either on path s or in the stash.
+ */
+
+#ifndef PRORAM_ORAM_STASH_HH
+#define PRORAM_ORAM_STASH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/stats.hh"
+#include "util/types.hh"
+
+namespace proram
+{
+
+/** A stash-resident block (payload only; the leaf lives in the
+ *  position map, which is the single source of truth). */
+struct StashEntry
+{
+    std::uint64_t data = 0;
+};
+
+/**
+ * Unordered block store with occupancy statistics. The capacity is a
+ * soft threshold consulted by the controller to trigger background
+ * eviction - the stash itself never refuses an insertion (hardware
+ * would deadlock; the controller's job is to keep it small).
+ */
+class Stash
+{
+  public:
+    explicit Stash(std::uint32_t capacity);
+
+    /** Add a block. @return false if it was already present. */
+    bool insert(BlockId id, std::uint64_t data);
+
+    bool contains(BlockId id) const;
+
+    /** @return pointer to the entry or nullptr. */
+    StashEntry *find(BlockId id);
+
+    /** Remove a block. @return true if it was present. */
+    bool erase(BlockId id);
+
+    std::size_t size() const { return entries_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+    bool overCapacity() const { return entries_.size() > capacity_; }
+
+    /** Snapshot of resident ids (eviction scan / tests). */
+    std::vector<BlockId> residentIds() const;
+
+    /** Record an occupancy sample (called once per ORAM access). */
+    void sampleOccupancy();
+
+    const stats::Distribution &occupancy() const { return occupancy_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::unordered_map<BlockId, StashEntry> entries_;
+    stats::Distribution occupancy_;
+};
+
+} // namespace proram
+
+#endif // PRORAM_ORAM_STASH_HH

@@ -1,0 +1,74 @@
+#include "oram/tree.hh"
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+std::uint32_t
+Bucket::occupancy() const
+{
+    std::uint32_t n = 0;
+    for (const Slot &s : slots_) {
+        if (!s.isDummy())
+            ++n;
+    }
+    return n;
+}
+
+Slot *
+Bucket::freeSlot()
+{
+    for (Slot &s : slots_) {
+        if (s.isDummy())
+            return &s;
+    }
+    return nullptr;
+}
+
+BinaryTree::BinaryTree(std::uint32_t levels, std::uint32_t z)
+    : levels_(levels), z_(z)
+{
+    fatal_if(levels > 40, "tree too deep to simulate functionally");
+    buckets_.assign((2ULL << levels) - 1, Bucket(z));
+}
+
+std::uint64_t
+BinaryTree::nodeOnPath(Leaf leaf, std::uint32_t level) const
+{
+    panic_if(leaf >= numLeaves(), "leaf ", leaf, " out of range");
+    panic_if(level > levels_, "level ", level, " out of range");
+    // The node at `level` on path `leaf` is reached by following the
+    // top `level` bits of the leaf label from the root.
+    std::uint64_t node = 0;
+    for (std::uint32_t l = 0; l < level; ++l) {
+        const std::uint32_t bit = (leaf >> (levels_ - 1 - l)) & 1;
+        node = 2 * node + 1 + bit;
+    }
+    return node;
+}
+
+std::uint32_t
+BinaryTree::commonLevel(Leaf a, Leaf b) const
+{
+    std::uint32_t level = 0;
+    while (level < levels_) {
+        const std::uint32_t bit_a = (a >> (levels_ - 1 - level)) & 1;
+        const std::uint32_t bit_b = (b >> (levels_ - 1 - level)) & 1;
+        if (bit_a != bit_b)
+            break;
+        ++level;
+    }
+    return level;
+}
+
+std::uint64_t
+BinaryTree::countRealBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const Bucket &b : buckets_)
+        n += b.occupancy();
+    return n;
+}
+
+} // namespace proram

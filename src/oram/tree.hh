@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The Path ORAM binary-tree storage: an array of buckets of Z slots
+ * living in (simulated) untrusted DRAM.
+ *
+ * Node numbering is heap order: node 0 is the root; node n has children
+ * 2n+1 / 2n+2. Leaf label s in [0, 2^L) names the leaf reached by
+ * following s's bits from the root; path s is the L+1 buckets from the
+ * root to that leaf.
+ */
+
+#ifndef PRORAM_ORAM_TREE_HH
+#define PRORAM_ORAM_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace proram
+{
+
+/** One block slot inside a bucket. Invalid id = dummy block. */
+struct Slot
+{
+    BlockId id = kInvalidBlock;
+    /** Functional payload word (verifies read-your-writes in tests). */
+    std::uint64_t data = 0;
+
+    bool isDummy() const { return id == kInvalidBlock; }
+};
+
+/** A bucket of Z slots. */
+class Bucket
+{
+  public:
+    explicit Bucket(std::uint32_t z) : slots_(z) {}
+
+    std::uint32_t z() const
+    {
+        return static_cast<std::uint32_t>(slots_.size());
+    }
+
+    Slot &slot(std::uint32_t i) { return slots_[i]; }
+    const Slot &slot(std::uint32_t i) const { return slots_[i]; }
+
+    /** Number of real (non-dummy) blocks resident. */
+    std::uint32_t occupancy() const;
+
+    /** @return a free slot, or nullptr if the bucket is full. */
+    Slot *freeSlot();
+
+  private:
+    std::vector<Slot> slots_;
+};
+
+/**
+ * The complete binary tree of buckets. Provides path geometry helpers
+ * used by the ORAM engine and by the invariant checker.
+ */
+class BinaryTree
+{
+  public:
+    /** @param levels L: root is level 0, leaves level L. */
+    BinaryTree(std::uint32_t levels, std::uint32_t z);
+
+    std::uint32_t levels() const { return levels_; }
+    std::uint64_t numLeaves() const { return 1ULL << levels_; }
+    std::uint64_t numBuckets() const { return buckets_.size(); }
+    std::uint32_t z() const { return z_; }
+
+    /** Heap index of the bucket at @p level on path @p leaf. */
+    std::uint64_t nodeOnPath(Leaf leaf, std::uint32_t level) const;
+
+    Bucket &bucket(std::uint64_t node) { return buckets_[node]; }
+    const Bucket &bucket(std::uint64_t node) const
+    {
+        return buckets_[node];
+    }
+
+    /**
+     * Deepest level at which paths @p a and @p b share a bucket
+     * (their lowest common ancestor's level).
+     */
+    std::uint32_t commonLevel(Leaf a, Leaf b) const;
+
+    /** Total real blocks stored in the tree (O(buckets); tests only). */
+    std::uint64_t countRealBlocks() const;
+
+  private:
+    std::uint32_t levels_;
+    std::uint32_t z_;
+    std::vector<Bucket> buckets_;
+};
+
+} // namespace proram
+
+#endif // PRORAM_ORAM_TREE_HH

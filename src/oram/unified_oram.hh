@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unified (recursive) ORAM front end, after Freecursive ORAM
+ * (Fletcher et al., ASPLOS'15), the paper's baseline (Sec. 2.3):
+ * position-map blocks live in the same binary tree as data blocks and
+ * are cached on-chip in a PLB; a PLB miss costs extra path accesses.
+ */
+
+#ifndef PRORAM_ORAM_UNIFIED_ORAM_HH
+#define PRORAM_ORAM_UNIFIED_ORAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "oram/path_oram.hh"
+#include "oram/position_map.hh"
+
+namespace proram
+{
+
+/** Outcome of resolving a block's leaf through the recursion. */
+struct PosMapWalk
+{
+    /** Position-map blocks that had to be path-accessed (PLB misses),
+     *  outermost (closest to on-chip) first. */
+    std::vector<BlockId> fetched;
+
+    std::uint64_t pathAccesses() const { return fetched.size(); }
+};
+
+/**
+ * Owns the functional state: block-id layout, flat position map,
+ * PathOram engine and PLB. The ORAM controller (core/) drives it.
+ */
+class UnifiedOram
+{
+  public:
+    explicit UnifiedOram(const OramConfig &cfg);
+
+    /**
+     * Initialize: assign every block (data + pos-map) an independent
+     * random leaf and place it in the tree. If @p static_sb_size > 1,
+     * data blocks are pre-merged into aligned super blocks of that
+     * size (static super block scheme initialization, Sec. 3.3).
+     */
+    void initialize(std::uint32_t static_sb_size = 1);
+
+    /**
+     * Bring the position-map block chain for @p id on-chip,
+     * path-accessing (and remapping) every PLB-missing level.
+     */
+    PosMapWalk posMapWalk(BlockId id);
+
+    /** @return true if @p id's pos-map block is PLB-resident (or
+     *  on-chip), without updating any state. Testing/diagnostics. */
+    bool posMapCached(BlockId id) const;
+
+    const OramConfig &config() const { return cfg_; }
+    const BlockSpace &space() const { return space_; }
+    PositionMap &posMap() { return posMap_; }
+    const PositionMap &posMap() const { return posMap_; }
+    PathOram &engine() { return oram_; }
+    const PathOram &engine() const { return oram_; }
+    PosMapBlockCache &plb() { return plb_; }
+    const PosMapBlockCache &plb() const { return plb_; }
+
+  private:
+    /** Path-access one pos-map block: read, remap, write back. */
+    void fetchPosMapBlock(BlockId pm_block);
+
+    OramConfig cfg_;
+    BlockSpace space_;
+    PositionMap posMap_;
+    PathOram oram_;
+    PosMapBlockCache plb_;
+    bool initialized_ = false;
+};
+
+} // namespace proram
+
+#endif // PRORAM_ORAM_UNIFIED_ORAM_HH

@@ -1,0 +1,99 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+namespace metrics
+{
+
+double
+speedup(const SimResult &base, const SimResult &x)
+{
+    panic_if(x.cycles == 0, "zero-cycle run");
+    return static_cast<double>(base.cycles) /
+               static_cast<double>(x.cycles) -
+           1.0;
+}
+
+double
+normMemAccesses(const SimResult &base, const SimResult &x)
+{
+    panic_if(base.memAccesses == 0, "baseline made no memory accesses");
+    return static_cast<double>(x.memAccesses) /
+           static_cast<double>(base.memAccesses);
+}
+
+double
+normCompletionTime(const SimResult &base, const SimResult &x)
+{
+    panic_if(base.cycles == 0, "zero-cycle baseline");
+    return static_cast<double>(x.cycles) /
+           static_cast<double>(base.cycles);
+}
+
+} // namespace metrics
+
+Experiment::Experiment(SystemConfig base, double trace_scale)
+    : base_(std::move(base)), scale_(trace_scale)
+{
+    fatal_if(scale_ <= 0.0, "trace scale must be positive");
+}
+
+SimResult
+Experiment::runBenchmark(MemScheme scheme,
+                         const BenchmarkProfile &profile) const
+{
+    return runGenerator(scheme, [&] {
+        return makeGenerator(profile, scale_);
+    });
+}
+
+SimResult
+Experiment::runGenerator(
+    MemScheme scheme,
+    const std::function<std::unique_ptr<TraceGenerator>()> &make_gen)
+    const
+{
+    return runWith(scheme, [](SystemConfig &) {}, make_gen);
+}
+
+SimResult
+Experiment::runWith(
+    MemScheme scheme, const std::function<void(SystemConfig &)> &tweak,
+    const std::function<std::unique_ptr<TraceGenerator>()> &make_gen)
+    const
+{
+    SystemConfig cfg = base_;
+    cfg.scheme = scheme;
+    tweak(cfg);
+    System system(cfg);
+    auto gen = make_gen();
+    return system.run(*gen);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+benchScaleFromEnv()
+{
+    const char *env = std::getenv("PRORAM_BENCH_SCALE");
+    if (!env)
+        return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+}
+
+} // namespace proram

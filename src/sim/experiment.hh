@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment harness: builds (scheme x workload) grids, runs fresh
+ * Systems, and computes the derived metrics the paper plots (speedup
+ * over a baseline, normalized memory accesses, normalized completion
+ * time). Every bench/ binary is a thin driver over these helpers.
+ */
+
+#ifndef PRORAM_SIM_EXPERIMENT_HH
+#define PRORAM_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "trace/benchmarks.hh"
+
+namespace proram
+{
+
+/** Metric helpers matching the paper's figure axes. */
+namespace metrics
+{
+
+/** Fig. 5/6/8/10/15 y-axis: base.cycles / x.cycles - 1. */
+double speedup(const SimResult &base, const SimResult &x);
+
+/** Fig. 6b/7/8 red markers: x.memAccesses / base.memAccesses. */
+double normMemAccesses(const SimResult &base, const SimResult &x);
+
+/** Fig. 11-14 y-axis: x.cycles / base.cycles. */
+double normCompletionTime(const SimResult &base, const SimResult &x);
+
+} // namespace metrics
+
+/**
+ * One experiment runner. Holds a base SystemConfig plus a trace
+ * scale factor so the whole evaluation can be shrunk for smoke tests
+ * (PRORAM_BENCH_SCALE environment variable in the bench binaries).
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(SystemConfig base, double trace_scale = 1.0);
+
+    /** Run @p scheme over a named benchmark profile. */
+    SimResult runBenchmark(MemScheme scheme,
+                           const BenchmarkProfile &profile) const;
+
+    /** Run @p scheme over a custom generator factory. */
+    SimResult
+    runGenerator(MemScheme scheme,
+                 const std::function<std::unique_ptr<TraceGenerator>()>
+                     &make_gen) const;
+
+    /** Same, with per-run config tweaks applied before building. */
+    SimResult runWith(
+        MemScheme scheme,
+        const std::function<void(SystemConfig &)> &tweak,
+        const std::function<std::unique_ptr<TraceGenerator>()> &make_gen)
+        const;
+
+    SystemConfig &baseConfig() { return base_; }
+    const SystemConfig &baseConfig() const { return base_; }
+    double traceScale() const { return scale_; }
+
+  private:
+    SystemConfig base_;
+    double scale_;
+};
+
+/** Geometric-ish aggregate the paper reports: arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Trace scale from $PRORAM_BENCH_SCALE, default 1.0. */
+double benchScaleFromEnv();
+
+} // namespace proram
+
+#endif // PRORAM_SIM_EXPERIMENT_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SecureMemory: the library's primary public facade. A word-
+ * addressable oblivious memory backed by the full simulated stack
+ * (caches + unified Path ORAM + the selected super-block policy),
+ * with functional read/write semantics and cycle accounting.
+ *
+ * This is what a downstream user embeds to evaluate an application on
+ * PrORAM without writing trace files: call read()/write(), then ask
+ * for cycles and statistics.
+ */
+
+#ifndef PRORAM_SIM_SECURE_MEMORY_HH
+#define PRORAM_SIM_SECURE_MEMORY_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "sim/system.hh"
+
+namespace proram
+{
+
+/**
+ * Functional + timed oblivious memory. Values are 64-bit words, one
+ * per ORAM block (the facade models the line's first word; footprint
+ * semantics are per-block).
+ */
+class SecureMemory
+{
+  public:
+    /** @param cfg must select an ORAM scheme. */
+    explicit SecureMemory(const SystemConfig &cfg);
+    ~SecureMemory();
+
+    SecureMemory(const SecureMemory &) = delete;
+    SecureMemory &operator=(const SecureMemory &) = delete;
+
+    /** Read the word at byte address @p addr (0 if never written). */
+    std::uint64_t read(Addr addr);
+
+    /** Write the word at byte address @p addr. */
+    void write(Addr addr, std::uint64_t value);
+
+    /** Advance the clock without memory activity (compute phase). */
+    void compute(Cycles cycles) { cycle_ += cycles; }
+
+    /** Current simulated cycle. */
+    Cycles now() const { return cycle_; }
+
+    /** Snapshot of run statistics so far. */
+    SimResult stats() const;
+
+    /** gem5-stats.txt-style dump of the component counters. */
+    std::string dumpStats() const;
+
+    OramController &controller() { return *controller_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Addressable capacity in bytes. */
+    std::uint64_t capacityBytes() const;
+
+  private:
+    std::uint64_t access(Addr addr, OpType op, std::uint64_t value);
+    BlockId blockOf(Addr addr) const;
+
+    SystemConfig cfg_;
+    std::unique_ptr<CacheHierarchy> hierarchy_;
+    std::unique_ptr<OramController> controller_;
+    /** Logical value of every written block (reference semantics;
+     *  also cross-checked against the ORAM's functional payload). */
+    std::unordered_map<BlockId, std::uint64_t> shadow_;
+    Cycles cycle_ = 0;
+    std::uint64_t references_ = 0;
+    std::uint64_t llcMisses_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::uint32_t lineShift_;
+};
+
+} // namespace proram
+
+#endif // PRORAM_SIM_SECURE_MEMORY_HH

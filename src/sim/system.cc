@@ -1,0 +1,87 @@
+#include "sim/system.hh"
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+System::System(const SystemConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    hierarchy_ = std::make_unique<CacheHierarchy>(cfg_.hierarchy);
+
+    switch (cfg_.scheme) {
+      case MemScheme::Dram:
+      case MemScheme::DramPrefetch: {
+        DramBackendConfig dcfg = cfg_.dram;
+        dcfg.prefetch = cfg_.scheme == MemScheme::DramPrefetch;
+        backend_ = std::make_unique<DramBackend>(dcfg);
+        break;
+      }
+      case MemScheme::OramBaseline:
+      case MemScheme::OramPrefetch:
+      case MemScheme::OramStatic:
+      case MemScheme::OramDynamic: {
+        ControllerConfig ccfg = cfg_.controller;
+        ccfg.traditionalPrefetcher =
+            cfg_.scheme == MemScheme::OramPrefetch;
+        auto ctl = std::make_unique<OramController>(cfg_.oram, ccfg,
+                                                    *hierarchy_);
+        if (cfg_.scheme == MemScheme::OramStatic)
+            ctl->configureStatic(cfg_.staticSbSize);
+        else if (cfg_.scheme == MemScheme::OramDynamic)
+            ctl->configureDynamic(cfg_.dynamic);
+        else
+            ctl->configureBaseline();
+        controller_ = ctl.get();
+        backend_ = std::move(ctl);
+        break;
+      }
+    }
+
+    cpu_ = std::make_unique<TraceCpu>(*hierarchy_, *backend_,
+                                      cfg_.hierarchy.l1.lineBytes);
+}
+
+System::~System() = default;
+
+std::string
+System::dumpStats() const
+{
+    std::string out = hierarchy_->buildStatGroup().dump();
+    if (controller_)
+        out += controller_->buildStatGroup().dump();
+    return out;
+}
+
+SimResult
+System::run(TraceGenerator &gen)
+{
+    const CpuRunResult cpu = cpu_->run(gen);
+
+    SimResult res;
+    res.scheme = schemeName(cfg_.scheme);
+    res.cycles = cpu.cycles;
+    res.references = cpu.references;
+    res.llcMisses = cpu.llcMisses;
+    res.writebacks = cpu.writebacks;
+    res.memAccesses = backend_->memAccessCount();
+
+    if (controller_) {
+        const ControllerStats &cs = controller_->stats();
+        const PolicyStats &ps = controller_->policyStats();
+        res.pathAccesses = cs.pathAccesses;
+        res.posMapAccesses = cs.posMapAccesses;
+        res.bgEvictions = cs.bgEvictions;
+        res.periodicDummies = cs.periodicDummies;
+        res.prefetchHits = ps.prefetchHits;
+        res.prefetchMisses = ps.prefetchMisses;
+        res.merges = ps.merges;
+        res.breaks = ps.breaks;
+        res.avgStashOccupancy =
+            controller_->oram().engine().stash().occupancy().mean();
+    }
+    return res;
+}
+
+} // namespace proram

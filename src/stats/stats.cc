@@ -1,0 +1,95 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace proram::stats
+{
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(std::size_t num_buckets, double bucket_width)
+    : counts_(num_buckets, 0), bucketWidth_(bucket_width)
+{
+    fatal_if(num_buckets == 0, "Histogram needs at least one bucket");
+    fatal_if(bucket_width <= 0.0, "Histogram bucket width must be > 0");
+}
+
+void
+Histogram::sample(double v)
+{
+    auto idx = static_cast<std::size_t>(std::max(0.0, v) / bucketWidth_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+    ++total_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+void
+StatGroup::addScalar(const std::string &name, const std::string &desc,
+                     const Counter &c)
+{
+    const Counter *ptr = &c;
+    entries_.push_back(
+        {name, desc, [ptr] { return static_cast<double>(ptr->value()); }});
+}
+
+void
+StatGroup::addValue(const std::string &name, const std::string &desc,
+                    std::function<double()> fn)
+{
+    entries_.push_back({name, desc, std::move(fn)});
+}
+
+double
+StatGroup::get(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return e.value();
+    }
+    panic("unknown stat '", name, "' in group '", name_, "'");
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &e : entries_) {
+        os << std::left << std::setw(40) << (name_ + "." + e.name)
+           << std::right << std::setw(16) << std::fixed
+           << std::setprecision(4) << e.value() << "  # " << e.desc
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace proram::stats

@@ -1,0 +1,91 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace proram::stats
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatal_if(headers_.empty(), "Table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(const std::string &cell)
+{
+    panic_if(rows_.empty(), "Table::add before Table::row");
+    panic_if(rows_.back().size() >= headers_.size(),
+             "row has more cells than headers");
+    rows_.back().push_back(cell);
+    return *this;
+}
+
+Table &
+Table::add(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return add(os.str());
+}
+
+Table &
+Table::addInt(std::uint64_t v)
+{
+    return add(std::to_string(v));
+}
+
+Table &
+Table::addPct(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::showpos << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << "%";
+    return add(os.str());
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cell;
+            if (c + 1 < headers_.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &r : rows_)
+        emitRow(r);
+    return os.str();
+}
+
+} // namespace proram::stats

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text table formatter used by the benchmark harness to print
+ * paper-style result rows (figures/tables from the PrORAM evaluation).
+ */
+
+#ifndef PRORAM_STATS_TABLE_HH
+#define PRORAM_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace proram::stats
+{
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric
+ * helpers format with fixed precision. Rendered with a header rule,
+ * suitable for diffing bench output across runs.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add*() calls fill it. */
+    Table &row();
+
+    Table &add(const std::string &cell);
+    Table &add(double v, int precision = 3);
+    Table &addInt(std::uint64_t v);
+    /** Format as a percentage with sign, e.g. +20.2%. */
+    Table &addPct(double fraction, int precision = 1);
+
+    /** Render the aligned table. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace proram::stats
+
+#endif // PRORAM_STATS_TABLE_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace-record and trace-generator interfaces. The simulator is
+ * trace-driven: workload generators emit a deterministic stream of
+ * memory references (with compute gaps) that stands in for the
+ * Splash2/SPEC06/DBMS reference streams of the paper - see DESIGN.md
+ * Sec. 2 for the substitution argument.
+ */
+
+#ifndef PRORAM_TRACE_GENERATOR_HH
+#define PRORAM_TRACE_GENERATOR_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace proram
+{
+
+/** One memory reference preceded by a compute gap. */
+struct TraceRecord
+{
+    /** Core-busy cycles before this reference issues. */
+    std::uint32_t computeCycles = 0;
+    /** Byte address referenced. */
+    Addr addr = 0;
+    OpType op = OpType::Read;
+};
+
+/** Pull-based trace source. Implementations must be deterministic. */
+class TraceGenerator
+{
+  public:
+    virtual ~TraceGenerator() = default;
+
+    /** Produce the next record. @return false at end of trace. */
+    virtual bool next(TraceRecord &rec) = 0;
+
+    /** Restart the trace from the beginning (same sequence). */
+    virtual void reset() = 0;
+};
+
+} // namespace proram
+
+#endif // PRORAM_TRACE_GENERATOR_HH

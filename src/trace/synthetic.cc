@@ -1,0 +1,96 @@
+#include "trace/synthetic.hh"
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+SyntheticGenerator::SyntheticGenerator(const SyntheticConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    fatal_if(cfg.footprintBlocks < 4, "synthetic footprint too small");
+    fatal_if(cfg.localityFraction < 0.0 || cfg.localityFraction > 1.0,
+             "locality fraction must be in [0, 1]");
+    fatal_if(cfg.strideBlocks == 0, "stride must be at least 1 block");
+}
+
+void
+SyntheticGenerator::reset()
+{
+    rng_ = Rng(cfg_.seed);
+    emitted_ = 0;
+    seqCursor_ = 0;
+}
+
+void
+SyntheticGenerator::currentRegions(std::uint64_t &seq_start,
+                                   std::uint64_t &seq_len,
+                                   std::uint64_t &rnd_start,
+                                   std::uint64_t &rnd_len) const
+{
+    const std::uint64_t fp = cfg_.footprintBlocks;
+    if (cfg_.phaseLength == 0) {
+        seq_len = static_cast<std::uint64_t>(
+            cfg_.localityFraction * static_cast<double>(fp));
+        seq_start = 0;
+        rnd_start = seq_len;
+        rnd_len = fp - seq_len;
+        return;
+    }
+    // Phase-change mode: halves swap roles every phase (Sec. 5.3.2).
+    const std::uint64_t half = fp / 2;
+    const bool odd_phase = (emitted_ / cfg_.phaseLength) % 2 == 1;
+    seq_start = odd_phase ? half : 0;
+    seq_len = half;
+    rnd_start = odd_phase ? 0 : half;
+    rnd_len = half;
+}
+
+bool
+SyntheticGenerator::next(TraceRecord &rec)
+{
+    if (emitted_ >= cfg_.numAccesses)
+        return false;
+
+    std::uint64_t seq_start, seq_len, rnd_start, rnd_len;
+    currentRegions(seq_start, seq_len, rnd_start, rnd_len);
+
+    // References are spread proportionally to region size, so "X% of
+    // the data has locality" also means ~X% of accesses are
+    // sequential (Sec. 5.3.1).
+    const double p_seq =
+        static_cast<double>(seq_len) /
+        static_cast<double>(seq_len + rnd_len);
+
+    auto strided_cursor = [&](std::uint64_t cursor) {
+        const std::uint64_t stride = cfg_.strideBlocks;
+        if (stride <= 1 || seq_len <= stride)
+            return cursor % seq_len;
+        // Column-major sweep of a (rows x stride) matrix laid out
+        // row-major: consecutive references are `stride` blocks
+        // apart, and every block is eventually covered.
+        const std::uint64_t rows = seq_len / stride;
+        const std::uint64_t row = cursor % rows;
+        const std::uint64_t col = (cursor / rows) % stride;
+        return row * stride + col;
+    };
+
+    std::uint64_t block;
+    if (seq_len > 0 && rng_.chance(p_seq)) {
+        block = seq_start + strided_cursor(seqCursor_);
+        ++seqCursor_;
+    } else if (rnd_len > 0) {
+        block = rnd_start + rng_.below(rnd_len);
+    } else {
+        block = seq_start + strided_cursor(seqCursor_++);
+    }
+
+    rec.addr = block * cfg_.blockBytes;
+    rec.op = rng_.chance(cfg_.writeFraction) ? OpType::Write
+                                             : OpType::Read;
+    rec.computeCycles = cfg_.computeCycles;
+    ++emitted_;
+    return true;
+}
+
+} // namespace proram

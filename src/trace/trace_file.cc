@@ -1,0 +1,72 @@
+#include "trace/trace_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+std::uint64_t
+writeTrace(TraceGenerator &gen, std::ostream &os)
+{
+    os << "# proram trace v1: <computeCycles> <hexAddr> <R|W>\n";
+    TraceRecord rec;
+    std::uint64_t n = 0;
+    while (gen.next(rec)) {
+        os << rec.computeCycles << " " << std::hex << rec.addr
+           << std::dec << " "
+           << (rec.op == OpType::Write ? 'W' : 'R') << "\n";
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+writeTraceFile(TraceGenerator &gen, const std::string &path)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot open trace file '", path, "' for writing");
+    const std::uint64_t n = writeTrace(gen, os);
+    fatal_if(!os, "write error on trace file '", path, "'");
+    return n;
+}
+
+std::vector<TraceRecord>
+readTrace(std::istream &is)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        TraceRecord rec;
+        std::uint64_t compute = 0;
+        char op = '?';
+        ls >> compute >> std::hex >> rec.addr >> std::dec >> op;
+        fatal_if(ls.fail(), "malformed trace line ", lineno, ": '",
+                 line, "'");
+        fatal_if(op != 'R' && op != 'W',
+                 "bad op '", op, "' on trace line ", lineno);
+        fatal_if(compute > 0xffffffffULL,
+                 "compute gap overflows 32 bits on line ", lineno);
+        rec.computeCycles = static_cast<std::uint32_t>(compute);
+        rec.op = op == 'W' ? OpType::Write : OpType::Read;
+        records.push_back(rec);
+    }
+    return records;
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    fatal_if(!is, "cannot open trace file '", path, "'");
+    return readTrace(is);
+}
+
+} // namespace proram

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trace record/replay: capture any TraceGenerator's stream into a
+ * portable text file and replay it later. Lets users bring their own
+ * application traces (e.g. produced by a PIN/DynamoRIO tool) to the
+ * simulator, and makes experiments shippable artifacts.
+ *
+ * Format: one record per line, `<computeCycles> <hexAddr> <R|W>`;
+ * lines starting with '#' are comments. Deterministic round-trip.
+ */
+
+#ifndef PRORAM_TRACE_TRACE_FILE_HH
+#define PRORAM_TRACE_TRACE_FILE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hh"
+
+namespace proram
+{
+
+/** Write everything @p gen produces to @p os. @return record count. */
+std::uint64_t writeTrace(TraceGenerator &gen, std::ostream &os);
+
+/** Write a trace to @p path. Throws SimFatal if unwritable. */
+std::uint64_t writeTraceFile(TraceGenerator &gen,
+                             const std::string &path);
+
+/** Parse a trace stream. Throws SimFatal on malformed input. */
+std::vector<TraceRecord> readTrace(std::istream &is);
+
+/** Parse a trace file. Throws SimFatal if unreadable/malformed. */
+std::vector<TraceRecord> readTraceFile(const std::string &path);
+
+/** Generator replaying an in-memory record vector. */
+class ReplayGenerator : public TraceGenerator
+{
+  public:
+    explicit ReplayGenerator(std::vector<TraceRecord> records)
+        : records_(std::move(records))
+    {
+    }
+
+    bool next(TraceRecord &rec) override
+    {
+        if (idx_ >= records_.size())
+            return false;
+        rec = records_[idx_++];
+        return true;
+    }
+
+    void reset() override { idx_ = 0; }
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t idx_ = 0;
+};
+
+} // namespace proram
+
+#endif // PRORAM_TRACE_TRACE_FILE_HH

@@ -1,0 +1,50 @@
+#include "trace/zipf.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+double
+ZipfGenerator::zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    fatal_if(n == 0, "zipf needs at least one item");
+    fatal_if(theta <= 0.0 || theta >= 1.0,
+             "zipf theta must be in (0, 1)");
+    alpha_ = 1.0 / (1.0 - theta);
+    zetan_ = zeta(n, theta);
+    zeta2_ = zeta(2, theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t
+ZipfGenerator::next(Rng &rng)
+{
+    const double u = rng.real();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const double v =
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t item = static_cast<std::uint64_t>(v);
+    if (item >= n_)
+        item = n_ - 1;
+    return item;
+}
+
+} // namespace proram

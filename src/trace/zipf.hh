@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Zipfian key generator (Gray et al. "Quickly generating billion-
+ * record synthetic databases", as used by YCSB): item ranks follow
+ * P(i) ~ 1/i^theta over n items.
+ */
+
+#ifndef PRORAM_TRACE_ZIPF_HH
+#define PRORAM_TRACE_ZIPF_HH
+
+#include <cstdint>
+
+#include "util/random.hh"
+
+namespace proram
+{
+
+/** Deterministic zipfian sampler over [0, n). */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(std::uint64_t n, double theta);
+
+    /** Draw the next item using @p rng. */
+    std::uint64_t next(Rng &rng);
+
+    std::uint64_t items() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2_;
+};
+
+} // namespace proram
+
+#endif // PRORAM_TRACE_ZIPF_HH

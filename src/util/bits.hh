@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef PRORAM_UTIL_BITS_HH
+#define PRORAM_UTIL_BITS_HH
+
+#include <cstdint>
+
+namespace proram
+{
+
+/** @return true iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Floor of log2.
+ * @pre v > 0
+ */
+constexpr unsigned
+log2Floor(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2. @pre v > 0 */
+constexpr unsigned
+log2Ceil(std::uint64_t v)
+{
+    return v <= 1 ? 0 : log2Floor(v - 1) + 1;
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace proram
+
+#endif // PRORAM_UTIL_BITS_HH

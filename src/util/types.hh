@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the PrORAM simulator.
+ */
+
+#ifndef PRORAM_UTIL_TYPES_HH
+#define PRORAM_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace proram
+{
+
+/** Simulated cycle count (1 GHz core by default, so cycles == ns). */
+using Cycles = std::uint64_t;
+
+/** Byte address in the program (virtual) address space. */
+using Addr = std::uint64_t;
+
+/** Logical ORAM block identifier (program address / block size). */
+using BlockId = std::uint64_t;
+
+/** Leaf label in the Path ORAM binary tree, in [0, 2^L). */
+using Leaf = std::uint32_t;
+
+/** Sentinel for "no block" (dummy slot, invalid id). */
+inline constexpr BlockId kInvalidBlock =
+    std::numeric_limits<BlockId>::max();
+
+/** Sentinel for "no leaf assigned". */
+inline constexpr Leaf kInvalidLeaf = std::numeric_limits<Leaf>::max();
+
+/** Kind of memory operation flowing through the hierarchy. */
+enum class OpType : std::uint8_t { Read, Write };
+
+} // namespace proram
+
+#endif // PRORAM_UTIL_TYPES_HH

@@ -1,0 +1,180 @@
+/** @file Unit tests for the trace-driven core. */
+
+#include "cpu/trace_cpu.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace proram
+{
+namespace
+{
+
+/** Scripted trace for precise timing checks. */
+struct ScriptedTrace : TraceGenerator
+{
+    explicit ScriptedTrace(std::vector<TraceRecord> recs)
+        : records(std::move(recs))
+    {
+    }
+    bool next(TraceRecord &r) override
+    {
+        if (idx >= records.size())
+            return false;
+        r = records[idx++];
+        return true;
+    }
+    void reset() override { idx = 0; }
+
+    std::vector<TraceRecord> records;
+    std::size_t idx = 0;
+};
+
+/** Backend with fixed latency, recording calls. */
+struct FixedBackend : MemBackend
+{
+    Cycles demandAccess(Cycles now, BlockId block, OpType) override
+    {
+        demands.push_back(block);
+        return now + latency;
+    }
+    void writebackAccess(Cycles, BlockId block) override
+    {
+        writebacks.push_back(block);
+    }
+    void onDemandTouch(Cycles, BlockId block) override
+    {
+        touches.push_back(block);
+    }
+    std::uint64_t memAccessCount() const override
+    {
+        return demands.size() + writebacks.size();
+    }
+
+    Cycles latency = 500;
+    std::vector<BlockId> demands;
+    std::vector<BlockId> writebacks;
+    std::vector<BlockId> touches;
+};
+
+HierarchyConfig
+smallHier()
+{
+    HierarchyConfig h;
+    h.l1 = CacheConfig{2 * 128, 1, 128};
+    h.l2 = CacheConfig{8 * 128, 2, 128};
+    h.l1Latency = 1;
+    h.l2Latency = 10;
+    return h;
+}
+
+TraceRecord
+rec(Addr addr, std::uint32_t compute = 0, OpType op = OpType::Read)
+{
+    return TraceRecord{compute, addr, op};
+}
+
+TEST(TraceCpu, MissCostsBackendLatency)
+{
+    CacheHierarchy h(smallHier());
+    FixedBackend be;
+    TraceCpu cpu(h, be, 128);
+    ScriptedTrace t({rec(0)});
+    auto res = cpu.run(t);
+    // compute 0 + L2 lookup 11 + 500 backend.
+    EXPECT_EQ(res.cycles, 511u);
+    EXPECT_EQ(res.llcMisses, 1u);
+    EXPECT_EQ(be.demands, std::vector<BlockId>{0});
+}
+
+TEST(TraceCpu, HitsAreCheap)
+{
+    CacheHierarchy h(smallHier());
+    FixedBackend be;
+    TraceCpu cpu(h, be, 128);
+    ScriptedTrace t({rec(0), rec(0), rec(0)});
+    auto res = cpu.run(t);
+    EXPECT_EQ(res.llcMisses, 1u);
+    EXPECT_EQ(res.l1Hits, 2u);
+    // 511 + 1 + 1.
+    EXPECT_EQ(res.cycles, 513u);
+}
+
+TEST(TraceCpu, ComputeGapsAccumulate)
+{
+    CacheHierarchy h(smallHier());
+    FixedBackend be;
+    TraceCpu cpu(h, be, 128);
+    ScriptedTrace t({rec(0, 100), rec(0, 100)});
+    auto res = cpu.run(t);
+    EXPECT_EQ(res.cycles, 100u + 511u + 100u + 1u);
+}
+
+TEST(TraceCpu, AddressesMapToBlocks)
+{
+    CacheHierarchy h(smallHier());
+    FixedBackend be;
+    TraceCpu cpu(h, be, 128);
+    // Same line: one miss. Different line: second miss.
+    ScriptedTrace t({rec(0), rec(64), rec(128)});
+    auto res = cpu.run(t);
+    EXPECT_EQ(res.llcMisses, 2u);
+    EXPECT_EQ(be.demands, (std::vector<BlockId>{0, 1}));
+}
+
+TEST(TraceCpu, DirtyEvictionTriggersWriteback)
+{
+    CacheHierarchy h(smallHier());
+    FixedBackend be;
+    TraceCpu cpu(h, be, 128);
+    // LLC: 4 sets, 2 ways. Blocks 0, 4, 8 conflict in set 0.
+    ScriptedTrace t({rec(0, 0, OpType::Write), rec(4 * 128),
+                     rec(8 * 128)});
+    auto res = cpu.run(t);
+    ASSERT_FALSE(be.writebacks.empty());
+    EXPECT_EQ(be.writebacks.front(), 0u);
+    EXPECT_GE(res.writebacks, 1u);
+}
+
+TEST(TraceCpu, DrainWritesDirtyLinesAtEnd)
+{
+    CacheHierarchy h(smallHier());
+    FixedBackend be;
+    TraceCpu cpu(h, be, 128);
+    ScriptedTrace t({rec(0, 0, OpType::Write),
+                     rec(128, 0, OpType::Write)});
+    auto res = cpu.run(t);
+    EXPECT_EQ(be.writebacks.size(), 2u);
+    EXPECT_EQ(res.writebacks, 2u);
+}
+
+TEST(TraceCpu, TouchNotifiesBackend)
+{
+    CacheHierarchy h(smallHier());
+    FixedBackend be;
+    TraceCpu cpu(h, be, 128);
+    // Miss then L2 hit (L1 conflict evicts 0 to... with 2-line L1,
+    // 0 and 2 conflict in L1 set 0 but coexist in L2).
+    ScriptedTrace t({rec(0), rec(2 * 128), rec(0)});
+    cpu.run(t);
+    // Misses notify (2) and the final L2 hit notifies (1).
+    EXPECT_EQ(be.touches.size(), 3u);
+}
+
+TEST(TraceCpu, ReferenceCountsExact)
+{
+    CacheHierarchy h(smallHier());
+    FixedBackend be;
+    TraceCpu cpu(h, be, 128);
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 50; ++i)
+        recs.push_back(rec((i % 10) * 128));
+    ScriptedTrace t(recs);
+    auto res = cpu.run(t);
+    EXPECT_EQ(res.references, 50u);
+    EXPECT_EQ(res.l1Hits + res.l2Hits + res.llcMisses, 50u);
+}
+
+} // namespace
+} // namespace proram

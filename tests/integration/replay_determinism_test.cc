@@ -1,0 +1,102 @@
+/** @file Integration: trace capture/replay produces bit-identical
+ *  simulations, and simulations are reproducible across processes
+ *  (the property every experiment in EXPERIMENTS.md relies on). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/system.hh"
+#include "trace/benchmarks.hh"
+#include "trace/trace_file.hh"
+
+namespace proram
+{
+namespace
+{
+
+SystemConfig
+cfg(MemScheme scheme)
+{
+    SystemConfig c = defaultSystemConfig();
+    c.scheme = scheme;
+    return c;
+}
+
+TEST(ReplayDeterminism, ReplayedTraceReproducesLiveRun)
+{
+    const auto &prof = profileByName("cholesky");
+
+    // Live run straight from the generator.
+    SimResult live;
+    {
+        System sys(cfg(MemScheme::OramDynamic));
+        auto gen = makeGenerator(prof, 0.05);
+        live = sys.run(*gen);
+    }
+
+    // Capture the same trace to text, replay it.
+    std::ostringstream os;
+    {
+        auto gen = makeGenerator(prof, 0.05);
+        writeTrace(*gen, os);
+    }
+    SimResult replayed;
+    {
+        std::istringstream is(os.str());
+        ReplayGenerator replay(readTrace(is));
+        System sys(cfg(MemScheme::OramDynamic));
+        replayed = sys.run(replay);
+    }
+
+    EXPECT_EQ(live.cycles, replayed.cycles);
+    EXPECT_EQ(live.pathAccesses, replayed.pathAccesses);
+    EXPECT_EQ(live.merges, replayed.merges);
+    EXPECT_EQ(live.breaks, replayed.breaks);
+    EXPECT_EQ(live.prefetchHits, replayed.prefetchHits);
+}
+
+TEST(ReplayDeterminism, EverySchemeIsDeterministic)
+{
+    const auto &prof = profileByName("gobmk");
+    for (MemScheme s :
+         {MemScheme::Dram, MemScheme::DramPrefetch,
+          MemScheme::OramBaseline, MemScheme::OramStatic,
+          MemScheme::OramDynamic}) {
+        SimResult a, b;
+        {
+            System sys(cfg(s));
+            auto gen = makeGenerator(prof, 0.05);
+            a = sys.run(*gen);
+        }
+        {
+            System sys(cfg(s));
+            auto gen = makeGenerator(prof, 0.05);
+            b = sys.run(*gen);
+        }
+        EXPECT_EQ(a.cycles, b.cycles) << schemeName(s);
+        EXPECT_EQ(a.memAccesses, b.memAccesses) << schemeName(s);
+    }
+}
+
+TEST(ReplayDeterminism, SeedChangesTheRunButNotTheShape)
+{
+    BenchmarkProfile prof = profileByName("fft");
+    SimResult runs[2];
+    for (int i = 0; i < 2; ++i) {
+        prof.seed = 1000 + i;
+        System sys(cfg(MemScheme::OramDynamic));
+        ProfileGenerator gen(prof, 0.1);
+        runs[i] = sys.run(gen);
+    }
+    EXPECT_NE(runs[0].cycles, runs[1].cycles)
+        << "different seeds must differ";
+    // Same workload character: results within 20%.
+    const double ratio = static_cast<double>(runs[0].cycles) /
+                         static_cast<double>(runs[1].cycles);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.2);
+}
+
+} // namespace
+} // namespace proram

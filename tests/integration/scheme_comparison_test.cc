@@ -1,0 +1,180 @@
+/** @file Directional integration tests: the qualitative claims of the
+ *  paper's evaluation must hold on this simulator. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/synthetic.hh"
+
+namespace proram
+{
+namespace
+{
+
+std::unique_ptr<TraceGenerator>
+synth(double locality, std::uint64_t phase = 0,
+      std::uint32_t compute = 4)
+{
+    SyntheticConfig c;
+    c.footprintBlocks = 1ULL << 14;
+    // Long enough that the dynamic scheme reaches steady state
+    // (each block revisited several times).
+    c.numAccesses = 60000;
+    c.localityFraction = locality;
+    c.phaseLength = phase;
+    c.computeCycles = compute;
+    c.seed = 3;
+    return std::make_unique<SyntheticGenerator>(c);
+}
+
+Experiment
+makeExp()
+{
+    SystemConfig cfg = defaultSystemConfig();
+    return Experiment(cfg, 1.0);
+}
+
+TEST(SchemeComparison, DynamicNeverLosesToBaseline)
+{
+    // Fig. 6a's key claim: dyn >= oram at every locality level
+    // (allow sub-1% noise).
+    Experiment exp = makeExp();
+    for (double f : {0.0, 0.5, 1.0}) {
+        const auto oram = exp.runGenerator(MemScheme::OramBaseline,
+                                           [&] { return synth(f); });
+        const auto dyn = exp.runGenerator(MemScheme::OramDynamic,
+                                          [&] { return synth(f); });
+        EXPECT_GT(metrics::speedup(oram, dyn), -0.01)
+            << "locality " << f;
+    }
+}
+
+TEST(SchemeComparison, StaticLosesWithoutLocality)
+{
+    Experiment exp = makeExp();
+    const auto oram = exp.runGenerator(MemScheme::OramBaseline,
+                                       [&] { return synth(0.0); });
+    const auto stat = exp.runGenerator(MemScheme::OramStatic,
+                                       [&] { return synth(0.0); });
+    EXPECT_LT(metrics::speedup(oram, stat), 0.0)
+        << "static super blocks must hurt at zero locality "
+           "(Sec. 3.3.2)";
+}
+
+TEST(SchemeComparison, BothSchemesWinWithFullLocality)
+{
+    // Fig. 6a runs the synthetic benchmark at Z=4 (Sec. 5.3), which
+    // relaxes tree utilization so the static scheme is not throttled
+    // by background eviction.
+    Experiment exp = makeExp();
+    exp.baseConfig().oram.z = 4;
+    const auto oram = exp.runGenerator(MemScheme::OramBaseline,
+                                       [&] { return synth(1.0); });
+    const auto stat = exp.runGenerator(MemScheme::OramStatic,
+                                       [&] { return synth(1.0); });
+    const auto dyn = exp.runGenerator(MemScheme::OramDynamic,
+                                      [&] { return synth(1.0); });
+    EXPECT_GT(metrics::speedup(oram, stat), 0.05);
+    EXPECT_GT(metrics::speedup(oram, dyn), 0.05);
+}
+
+TEST(SchemeComparison, DynamicReducesMemoryAccessesWithLocality)
+{
+    // The energy proxy of Fig. 8: fewer ORAM accesses than baseline.
+    Experiment exp = makeExp();
+    exp.baseConfig().oram.z = 4;
+    const auto oram = exp.runGenerator(MemScheme::OramBaseline,
+                                       [&] { return synth(1.0); });
+    const auto dyn = exp.runGenerator(MemScheme::OramDynamic,
+                                      [&] { return synth(1.0); });
+    EXPECT_LT(metrics::normMemAccesses(oram, dyn), 0.95);
+}
+
+TEST(SchemeComparison, BreakingHelpsPhaseChange)
+{
+    // Fig. 6b: with phase changes, adaptive breaking (am_ab) beats
+    // no-breaking (am_nb) in ORAM accesses or time.
+    Experiment exp = makeExp();
+    auto gen = [&] { return synth(0.5, /*phase=*/6000); };
+    const auto no_break = exp.runWith(
+        MemScheme::OramDynamic,
+        [](SystemConfig &c) {
+            c.dynamic.breakMode = DynamicPolicyConfig::BreakMode::None;
+        },
+        gen);
+    const auto with_break = exp.runWith(
+        MemScheme::OramDynamic,
+        [](SystemConfig &c) {
+            c.dynamic.breakMode =
+                DynamicPolicyConfig::BreakMode::Adaptive;
+        },
+        gen);
+    EXPECT_GT(with_break.breaks, 0u);
+    EXPECT_LE(with_break.prefetchMissRate(),
+              no_break.prefetchMissRate() + 0.02);
+}
+
+TEST(SchemeComparison, TraditionalPrefetchHelpsDramHurtsOram)
+{
+    // Fig. 5: sequential-heavy workload with compute gaps.
+    Experiment exp = makeExp();
+    auto gen = [&] { return synth(0.9, 0, 40); };
+    const auto dram = exp.runGenerator(MemScheme::Dram, gen);
+    const auto dram_pre = exp.runGenerator(MemScheme::DramPrefetch, gen);
+    const auto oram = exp.runGenerator(MemScheme::OramBaseline, gen);
+    const auto oram_pre = exp.runGenerator(MemScheme::OramPrefetch, gen);
+    EXPECT_GT(metrics::speedup(dram, dram_pre), 0.0)
+        << "prefetching must help on DRAM";
+    EXPECT_LT(metrics::speedup(oram, oram_pre),
+              metrics::speedup(dram, dram_pre))
+        << "prefetching must help ORAM less than DRAM (Sec. 5.2)";
+}
+
+TEST(SchemeComparison, LowerBandwidthHurtsEveryOramScheme)
+{
+    Experiment exp = makeExp();
+    auto gen = [&] { return synth(0.8); };
+    for (MemScheme s : {MemScheme::OramBaseline, MemScheme::OramStatic,
+                        MemScheme::OramDynamic}) {
+        const auto fast = exp.runGenerator(s, gen);
+        const auto slow = exp.runWith(
+            s, [](SystemConfig &c) { c.setDramBandwidthGBs(4.0); },
+            gen);
+        EXPECT_GT(slow.cycles, fast.cycles) << schemeName(s);
+    }
+}
+
+TEST(SchemeComparison, LargerStashHelpsSuperBlockSchemes)
+{
+    Experiment exp = makeExp();
+    auto gen = [&] { return synth(1.0); };
+    const auto small = exp.runWith(
+        MemScheme::OramStatic,
+        [](SystemConfig &c) { c.oram.stashCapacity = 25; }, gen);
+    const auto large = exp.runWith(
+        MemScheme::OramStatic,
+        [](SystemConfig &c) { c.oram.stashCapacity = 400; }, gen);
+    EXPECT_LT(large.bgEvictions, small.bgEvictions);
+    EXPECT_LE(large.cycles, small.cycles);
+}
+
+TEST(SchemeComparison, PeriodicAccessesCostLittle)
+{
+    // Sec. 5.6: with a small Oint, adding periodicity degrades
+    // performance only mildly.
+    Experiment exp = makeExp();
+    auto gen = [&] { return synth(0.7); };
+    const auto plain = exp.runGenerator(MemScheme::OramDynamic, gen);
+    const auto periodic = exp.runWith(
+        MemScheme::OramDynamic,
+        [](SystemConfig &c) {
+            c.controller.periodic.enabled = true;
+            c.controller.periodic.oInt = 100;
+        },
+        gen);
+    EXPECT_LT(metrics::normCompletionTime(plain, periodic), 1.25);
+    EXPECT_GE(metrics::normCompletionTime(plain, periodic), 1.0);
+}
+
+} // namespace
+} // namespace proram

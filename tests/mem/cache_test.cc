@@ -1,0 +1,226 @@
+/** @file Unit tests for the set-associative cache. */
+
+#include "mem/cache.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+CacheConfig
+tiny(std::uint32_t ways = 2, std::uint64_t sets = 4)
+{
+    // lineBytes 128; size = sets * ways * 128.
+    return CacheConfig{sets * ways * 128, ways, 128};
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c(tiny());
+    EXPECT_FALSE(c.access(5, OpType::Read));
+    c.insert(5, false);
+    EXPECT_TRUE(c.access(5, OpType::Read));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotTouchLruOrStats)
+{
+    SetAssocCache c(tiny(2, 1));
+    c.insert(0, false); // set 0
+    c.insert(1, false); // careful: set = block & (numSets-1); 1 set
+    // both map to the single set; set is now {0, 1} with 1 MRU.
+    const auto hits_before = c.hits();
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(7));
+    EXPECT_EQ(c.hits(), hits_before);
+    // Insert a third block: LRU victim must still be 0 (probe must
+    // not have refreshed it).
+    auto v = c.insert(2, false);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->block, 0u);
+}
+
+TEST(Cache, LruEviction)
+{
+    SetAssocCache c(tiny(2, 1));
+    c.insert(10, false);
+    c.insert(20, false);
+    c.access(10, OpType::Read); // 10 becomes MRU
+    auto v = c.insert(30, false);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->block, 20u);
+    EXPECT_TRUE(c.probe(10));
+    EXPECT_TRUE(c.probe(30));
+    EXPECT_FALSE(c.probe(20));
+}
+
+TEST(Cache, WriteSetsDirtyAndEvictionReportsIt)
+{
+    SetAssocCache c(tiny(1, 1));
+    c.insert(1, false);
+    c.access(1, OpType::Write);
+    auto v = c.insert(2, false);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->block, 1u);
+    EXPECT_TRUE(v->dirty);
+    EXPECT_EQ(c.dirtyEvictions(), 1u);
+}
+
+TEST(Cache, InsertDirtyFlag)
+{
+    SetAssocCache c(tiny(1, 1));
+    c.insert(1, true);
+    auto v = c.insert(2, false);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->dirty);
+}
+
+TEST(Cache, ReinsertMergesDirtyAndDoesNotEvict)
+{
+    SetAssocCache c(tiny(1, 1));
+    c.insert(1, false);
+    auto v = c.insert(1, true);
+    EXPECT_FALSE(v.has_value());
+    auto v2 = c.insert(2, false);
+    ASSERT_TRUE(v2.has_value());
+    EXPECT_TRUE(v2->dirty);
+}
+
+TEST(Cache, InvalidateReturnsDirtyState)
+{
+    SetAssocCache c(tiny());
+    c.insert(4, false);
+    c.access(4, OpType::Write);
+    auto d = c.invalidate(4);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(*d);
+    EXPECT_FALSE(c.probe(4));
+    EXPECT_FALSE(c.invalidate(4).has_value());
+}
+
+TEST(Cache, MarkDirty)
+{
+    SetAssocCache c(tiny(1, 1));
+    c.insert(3, false);
+    c.markDirty(3);
+    auto v = c.insert(7 * 1, false); // 7 & 0 == 0? sets=1: same set
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->dirty);
+}
+
+TEST(Cache, SetsIsolateConflicts)
+{
+    SetAssocCache c(tiny(1, 4)); // 4 sets, direct mapped
+    c.insert(0, false);
+    c.insert(1, false);
+    c.insert(2, false);
+    c.insert(3, false);
+    // All four coexist (different sets).
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_TRUE(c.probe(1));
+    EXPECT_TRUE(c.probe(2));
+    EXPECT_TRUE(c.probe(3));
+    // Block 4 conflicts with block 0 only.
+    auto v = c.insert(4, false);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->block, 0u);
+}
+
+TEST(Cache, ResidentBlocksEnumerates)
+{
+    SetAssocCache c(tiny());
+    c.insert(1, false);
+    c.insert(2, false);
+    auto blocks = c.residentBlocks();
+    EXPECT_EQ(blocks.size(), 2u);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(SetAssocCache(CacheConfig{1024, 0, 128}), SimFatal);
+    EXPECT_THROW(SetAssocCache(CacheConfig{1024, 2, 100}), SimFatal);
+    // 3 sets (not a power of two): 3 * 2 * 128.
+    EXPECT_THROW(SetAssocCache(CacheConfig{768, 2, 128}), SimFatal);
+}
+
+
+TEST(Cache, PeekVictimPredictsEviction)
+{
+    SetAssocCache c(tiny(2, 1));
+    EXPECT_FALSE(c.peekVictim(1).has_value()) << "free way available";
+    c.insert(10, false);
+    c.insert(20, true);
+    auto peek = c.peekVictim(30);
+    ASSERT_TRUE(peek.has_value());
+    EXPECT_EQ(peek->block, 10u);
+    EXPECT_FALSE(peek->dirty);
+    // Peek must not change state: the actual insert agrees.
+    auto v = c.insert(30, false);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->block, 10u);
+}
+
+TEST(Cache, PeekVictimOfResidentBlockIsNone)
+{
+    SetAssocCache c(tiny(1, 1));
+    c.insert(5, false);
+    EXPECT_FALSE(c.peekVictim(5).has_value());
+}
+
+TEST(Cache, PeekDirty)
+{
+    SetAssocCache c(tiny());
+    EXPECT_FALSE(c.peekDirty(3).has_value());
+    c.insert(3, false);
+    ASSERT_TRUE(c.peekDirty(3).has_value());
+    EXPECT_FALSE(*c.peekDirty(3));
+    c.access(3, OpType::Write);
+    EXPECT_TRUE(*c.peekDirty(3));
+}
+
+TEST(Cache, LowPriorityInsertIsNextVictim)
+{
+    SetAssocCache c(tiny(2, 1));
+    c.insert(10, false);
+    c.insert(20, false, /*low_priority=*/true);
+    // 20 sits at LRU despite being inserted last.
+    auto v = c.insert(30, false);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->block, 20u);
+}
+
+TEST(Cache, DemandHitPromotesLowPriorityLine)
+{
+    SetAssocCache c(tiny(2, 1));
+    c.insert(10, false);
+    c.insert(20, false, /*low_priority=*/true);
+    c.access(20, OpType::Read); // promoted to MRU
+    auto v = c.insert(30, false);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->block, 10u);
+}
+
+class CacheFillParam : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheFillParam, CapacityNeverExceeded)
+{
+    const std::uint32_t ways = GetParam();
+    SetAssocCache c(tiny(ways, 8));
+    const std::uint64_t lines = c.config().numLines();
+    for (BlockId b = 0; b < 10 * lines; ++b)
+        c.insert(b, b % 3 == 0);
+    EXPECT_LE(c.residentBlocks().size(), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheFillParam,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace
+} // namespace proram

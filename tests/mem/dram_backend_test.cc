@@ -1,0 +1,104 @@
+/** @file Unit tests for the DRAM memory backend (+ prefetch buffer). */
+
+#include "mem/dram_backend.hh"
+
+#include <gtest/gtest.h>
+
+namespace proram
+{
+namespace
+{
+
+DramBackendConfig
+cfg(bool prefetch)
+{
+    DramBackendConfig c;
+    c.dram.latency = 100;
+    c.dram.bytesPerCycle = 16.0;
+    c.dram.lineBytes = 128;
+    c.prefetch = prefetch;
+    c.prefetcher.degree = 2;
+    c.prefetcher.distance = 4;
+    c.prefetcher.trainThreshold = 2;
+    c.bufferLines = 8;
+    return c;
+}
+
+TEST(DramBackend, DemandLatencyWithoutPrefetch)
+{
+    DramBackend be(cfg(false));
+    EXPECT_EQ(be.demandAccess(0, 7, OpType::Read), 108u);
+}
+
+TEST(DramBackend, WritebackOccupiesBus)
+{
+    DramBackend be(cfg(false));
+    be.writebackAccess(0, 1);
+    // The next demand waits for the write transfer on the bus.
+    EXPECT_EQ(be.demandAccess(0, 2, OpType::Read), 116u);
+}
+
+TEST(DramBackend, SequentialStreamHitsPrefetchBuffer)
+{
+    DramBackend be(cfg(true));
+    Cycles t = 0;
+    // Train the stream and run well past the training window.
+    for (BlockId b = 0; b < 8; ++b)
+        t = be.demandAccess(t + 50, b, OpType::Read);
+    EXPECT_GT(be.prefetchBufferHits(), 0u);
+}
+
+TEST(DramBackend, PrefetchHitIsFasterThanMiss)
+{
+    DramBackend warm(cfg(true));
+    DramBackend cold(cfg(false));
+    Cycles tw = 0, tc = 0;
+    for (BlockId b = 0; b < 16; ++b) {
+        // Large compute gaps leave spare bandwidth for prefetches.
+        tw = warm.demandAccess(tw + 300, b, OpType::Read);
+        tc = cold.demandAccess(tc + 300, b, OpType::Read);
+    }
+    EXPECT_LT(tw, tc) << "prefetching on DRAM must help sequential "
+                         "streams with spare bandwidth (Fig. 5)";
+}
+
+TEST(DramBackend, RandomStreamUnaffectedByPrefetcher)
+{
+    DramBackend warm(cfg(true));
+    DramBackend cold(cfg(false));
+    const BlockId seq[] = {901, 17, 445, 2, 333, 90, 761, 54};
+    Cycles tw = 0, tc = 0;
+    for (BlockId b : seq) {
+        tw = warm.demandAccess(tw + 300, b, OpType::Read);
+        tc = cold.demandAccess(tc + 300, b, OpType::Read);
+    }
+    EXPECT_EQ(tw, tc);
+    EXPECT_EQ(warm.prefetchBufferHits(), 0u);
+}
+
+TEST(DramBackend, MemAccessCountCountsTransfers)
+{
+    DramBackend be(cfg(false));
+    be.demandAccess(0, 1, OpType::Read);
+    be.demandAccess(200, 2, OpType::Read);
+    be.writebackAccess(400, 3);
+    EXPECT_EQ(be.memAccessCount(), 3u);
+}
+
+TEST(DramBackend, BufferCapacityBounded)
+{
+    DramBackendConfig c = cfg(true);
+    c.bufferLines = 2;
+    c.prefetcher.degree = 4;
+    c.prefetcher.distance = 16;
+    DramBackend be(c);
+    Cycles t = 0;
+    for (BlockId b = 0; b < 64; ++b)
+        t = be.demandAccess(t + 10, b, OpType::Read);
+    // No assertion beyond "does not blow up": capacity handling is
+    // internal; hits still occur.
+    SUCCEED();
+}
+
+} // namespace
+} // namespace proram

@@ -1,0 +1,90 @@
+/** @file Unit tests for the DRAM timing model. */
+
+#include "mem/dram.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+DramConfig
+cfg16()
+{
+    DramConfig c;
+    c.latency = 100;
+    c.bytesPerCycle = 16.0;
+    c.lineBytes = 128;
+    return c;
+}
+
+TEST(Dram, TransferCyclesFromBandwidth)
+{
+    DramModel d(cfg16());
+    // 128 B at 16 B/cycle = 8 cycles on the bus.
+    EXPECT_EQ(d.transferCycles(), 8u);
+}
+
+TEST(Dram, SingleAccessLatency)
+{
+    DramModel d(cfg16());
+    EXPECT_EQ(d.schedule(0), 108u);
+}
+
+TEST(Dram, BackToBackAccessesOverlapLatency)
+{
+    DramModel d(cfg16());
+    const Cycles c1 = d.schedule(0);
+    const Cycles c2 = d.schedule(0);
+    // Bank parallelism: second access waits only for the bus
+    // (8 cycles), not the full latency.
+    EXPECT_EQ(c1, 108u);
+    EXPECT_EQ(c2, 116u);
+}
+
+TEST(Dram, IdleBusResetsPipelining)
+{
+    DramModel d(cfg16());
+    d.schedule(0);
+    EXPECT_EQ(d.schedule(1000), 1108u);
+}
+
+TEST(Dram, CountsTransfers)
+{
+    DramModel d(cfg16());
+    d.schedule(0);
+    d.schedule(0);
+    d.schedule(50);
+    EXPECT_EQ(d.numTransfers(), 3u);
+}
+
+TEST(Dram, LowerBandwidthMeansLongerTransfers)
+{
+    DramConfig c = cfg16();
+    c.bytesPerCycle = 4.0; // 4 GB/s
+    DramModel d(c);
+    EXPECT_EQ(d.transferCycles(), 32u);
+    EXPECT_EQ(d.schedule(0), 132u);
+}
+
+TEST(Dram, RejectsNonPositiveBandwidth)
+{
+    DramConfig c = cfg16();
+    c.bytesPerCycle = 0.0;
+    EXPECT_THROW(DramModel{c}, SimFatal);
+}
+
+TEST(Dram, SubCycleTransferClampsToOneCycle)
+{
+    DramConfig c = cfg16();
+    c.lineBytes = 8;
+    c.bytesPerCycle = 64.0;
+    DramModel d(c);
+    EXPECT_EQ(d.transferCycles(), 1u);
+}
+
+} // namespace
+} // namespace proram

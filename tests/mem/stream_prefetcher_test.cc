@@ -1,0 +1,115 @@
+/** @file Unit tests for the traditional stream prefetcher. */
+
+#include "mem/stream_prefetcher.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace proram
+{
+namespace
+{
+
+PrefetcherConfig
+cfg(std::uint32_t degree = 2, std::uint32_t distance = 4)
+{
+    PrefetcherConfig c;
+    c.numStreams = 4;
+    c.degree = degree;
+    c.distance = distance;
+    c.trainThreshold = 2;
+    return c;
+}
+
+TEST(Prefetcher, NoPrefetchUntilTrained)
+{
+    StreamPrefetcher pf(cfg());
+    EXPECT_TRUE(pf.observe(100).empty()); // allocates stream
+    EXPECT_TRUE(pf.observe(101).empty()); // confidence 1 < 2
+    EXPECT_FALSE(pf.observe(102).empty()); // trained now
+    EXPECT_EQ(pf.streamsTrained(), 1u);
+}
+
+TEST(Prefetcher, AscendingStreamPrefetchesAhead)
+{
+    StreamPrefetcher pf(cfg());
+    pf.observe(10);
+    pf.observe(11);
+    auto p = pf.observe(12);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0], 13u);
+    EXPECT_EQ(p[1], 14u);
+}
+
+TEST(Prefetcher, DescendingStreamSupported)
+{
+    StreamPrefetcher pf(cfg());
+    pf.observe(50);
+    pf.observe(49);
+    auto p = pf.observe(48);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0], 47u);
+    EXPECT_EQ(p[1], 46u);
+}
+
+TEST(Prefetcher, FrontierRespectsDistance)
+{
+    StreamPrefetcher pf(cfg(8, 3));
+    pf.observe(10);
+    pf.observe(11);
+    auto p = pf.observe(12);
+    // Degree 8 but distance 3: at most 3 ahead of block 12.
+    EXPECT_LE(p.size(), 3u);
+    for (auto b : p)
+        EXPECT_LE(b, 15u);
+}
+
+TEST(Prefetcher, NoDuplicatePrefetches)
+{
+    StreamPrefetcher pf(cfg(2, 8));
+    std::set<BlockId> all;
+    for (BlockId b = 20; b < 30; ++b) {
+        for (BlockId p : pf.observe(b)) {
+            EXPECT_TRUE(all.insert(p).second)
+                << "block " << p << " prefetched twice";
+        }
+    }
+}
+
+TEST(Prefetcher, RandomAccessesNeverTrain)
+{
+    StreamPrefetcher pf(cfg());
+    std::uint64_t total = 0;
+    for (BlockId b : {7u, 93u, 12u, 401u, 55u, 230u, 77u, 910u})
+        total += pf.observe(b).size();
+    EXPECT_EQ(total, 0u);
+    EXPECT_EQ(pf.streamsTrained(), 0u);
+}
+
+TEST(Prefetcher, TracksMultipleStreams)
+{
+    StreamPrefetcher pf(cfg());
+    // Interleave two ascending streams.
+    pf.observe(100);
+    pf.observe(500);
+    pf.observe(101);
+    pf.observe(501);
+    auto a = pf.observe(102);
+    auto b = pf.observe(502);
+    EXPECT_FALSE(a.empty());
+    EXPECT_FALSE(b.empty());
+    EXPECT_EQ(pf.streamsTrained(), 2u);
+}
+
+TEST(Prefetcher, IssuedCounterMatches)
+{
+    StreamPrefetcher pf(cfg());
+    std::uint64_t n = 0;
+    for (BlockId b = 0; b < 10; ++b)
+        n += pf.observe(b).size();
+    EXPECT_EQ(pf.issued(), n);
+}
+
+} // namespace
+} // namespace proram

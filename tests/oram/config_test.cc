@@ -1,0 +1,127 @@
+/** @file Unit tests for ORAM configuration / derived geometry. */
+
+#include "oram/config.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+TEST(OramConfig, PosMapFanout)
+{
+    OramConfig c;
+    c.blockBytes = 128;
+    c.posMapEntryBytes = 4;
+    EXPECT_EQ(c.posMapFanout(), 32u);
+}
+
+TEST(OramConfig, PosMapLevelsForDefault)
+{
+    OramConfig c;
+    c.numDataBlocks = 1ULL << 16;
+    c.hierarchies = 4;
+    // 2^16 -> 2^11 -> 2^6 -> 2 on-chip: 3 tree-resident levels.
+    EXPECT_EQ(c.posMapLevels(), 3u);
+    EXPECT_EQ(c.onChipPosMapEntries(), 2u);
+}
+
+TEST(OramConfig, HierarchyCapLimitsLevels)
+{
+    OramConfig c;
+    c.numDataBlocks = 1ULL << 16;
+    c.hierarchies = 2; // data + 1 pos-map level only
+    EXPECT_EQ(c.posMapLevels(), 1u);
+    EXPECT_EQ(c.onChipPosMapEntries(), 1ULL << 11);
+}
+
+TEST(OramConfig, SmallOramNeedsNoRecursion)
+{
+    OramConfig c;
+    c.numDataBlocks = 16;
+    EXPECT_EQ(c.posMapLevels(), 0u);
+    EXPECT_EQ(c.onChipPosMapEntries(), 16u);
+    EXPECT_EQ(c.numTotalBlocks(), 16u);
+}
+
+TEST(OramConfig, TotalBlocksIncludesPosMap)
+{
+    OramConfig c;
+    c.numDataBlocks = 1ULL << 16;
+    // 65536 + 2048 + 64 + 2 = 67650 (three tree-resident levels).
+    EXPECT_EQ(c.numTotalBlocks(), 65536u + 2048u + 64u + 2u);
+}
+
+TEST(OramConfig, LevelsGiveHighUtilization)
+{
+    OramConfig c;
+    c.numDataBlocks = 48 * 1024;
+    const std::uint64_t slots =
+        static_cast<std::uint64_t>(c.z) *
+        ((2ULL << c.levels()) - 1);
+    const double util =
+        static_cast<double>(c.numTotalBlocks()) / slots;
+    EXPECT_GT(util, 0.25);
+    EXPECT_LT(util, 0.7);
+}
+
+TEST(OramConfig, PathAccessCyclesScalesWithLevels)
+{
+    OramConfig c;
+    c.pathOverheadCycles = 100;
+    c.dramBytesPerCycle = 16.0;
+    c.z = 3;
+    c.blockBytes = 128;
+    c.timingLevels = 26; // full-size 8 GB configuration
+    // 27 buckets * 3 blocks * 128 B * 2 directions / 16 B/cycle.
+    EXPECT_EQ(c.pathAccessCycles(), 100u + 1296u);
+
+    c.timingLevels = 13;
+    EXPECT_EQ(c.pathAccessCycles(), 100u + 672u);
+}
+
+TEST(OramConfig, TimingLevelsZeroUsesFunctionalLevels)
+{
+    OramConfig c;
+    c.timingLevels = 0;
+    EXPECT_EQ(c.effectiveTimingLevels(), c.levels());
+    c.timingLevels = 26;
+    EXPECT_EQ(c.effectiveTimingLevels(), 26u);
+}
+
+TEST(OramConfig, LargerZCostsMoreLatency)
+{
+    OramConfig c3, c4;
+    c3.z = 3;
+    c4.z = 4;
+    c3.timingLevels = c4.timingLevels = 20;
+    EXPECT_GT(c4.pathAccessCycles(), c3.pathAccessCycles());
+}
+
+TEST(OramConfig, ValidateRejectsBadGeometry)
+{
+    OramConfig c;
+    c.numDataBlocks = 4;
+    EXPECT_THROW(c.validate(), SimFatal);
+
+    c = OramConfig{};
+    c.blockBytes = 100;
+    EXPECT_THROW(c.validate(), SimFatal);
+
+    c = OramConfig{};
+    c.z = 0;
+    EXPECT_THROW(c.validate(), SimFatal);
+
+    c = OramConfig{};
+    c.dramBytesPerCycle = -1;
+    EXPECT_THROW(c.validate(), SimFatal);
+
+    c = OramConfig{};
+    EXPECT_NO_THROW(c.validate());
+}
+
+} // namespace
+} // namespace proram

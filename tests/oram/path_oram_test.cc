@@ -1,0 +1,240 @@
+/** @file Unit + property tests for the Path ORAM engine. */
+
+#include "oram/path_oram.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+namespace proram
+{
+namespace
+{
+
+OramConfig
+tinyCfg(std::uint32_t z = 3)
+{
+    OramConfig c;
+    c.numDataBlocks = 256;
+    c.z = z;
+    c.stashCapacity = 50;
+    c.seed = 99;
+    return c;
+}
+
+struct Fixture
+{
+    explicit Fixture(const OramConfig &cfg = tinyCfg())
+        : config(cfg), posMap(cfg.numDataBlocks,
+                              static_cast<Leaf>(1ULL << cfg.levels())),
+          oram(cfg, posMap)
+    {
+    }
+
+    /** Assign random leaves and place all blocks. */
+    void init()
+    {
+        for (BlockId b = 0; b < config.numDataBlocks; ++b)
+            posMap.setLeaf(b, oram.randomLeaf());
+        for (BlockId b = 0; b < config.numDataBlocks; ++b)
+            oram.placeInitial(b, b * 3);
+    }
+
+    /** Count copies of a block across stash + tree. */
+    int copies(BlockId id)
+    {
+        int n = oram.stash().contains(id) ? 1 : 0;
+        const BinaryTree &t = oram.tree();
+        for (std::uint64_t node = 0; node < t.numBuckets(); ++node) {
+            for (std::uint32_t i = 0; i < t.z(); ++i) {
+                if (t.bucket(node).slot(i).id == id)
+                    ++n;
+            }
+        }
+        return n;
+    }
+
+    OramConfig config;
+    PositionMap posMap;
+    PathOram oram;
+};
+
+TEST(PathOram, InitialPlacementStoresEveryBlockOnce)
+{
+    Fixture f;
+    f.init();
+    EXPECT_EQ(f.oram.tree().countRealBlocks() + f.oram.stash().size(),
+              f.config.numDataBlocks);
+    EXPECT_EQ(f.copies(0), 1);
+    EXPECT_EQ(f.copies(255), 1);
+}
+
+TEST(PathOram, ReadPathPullsMappedBlockIntoStash)
+{
+    Fixture f;
+    f.init();
+    const BlockId b = 42;
+    const Leaf leaf = f.posMap.leafOf(b);
+    f.oram.readPath(leaf);
+    EXPECT_TRUE(f.oram.stash().contains(b));
+}
+
+TEST(PathOram, ReadPathPreservesPayload)
+{
+    Fixture f;
+    f.init();
+    const BlockId b = 17;
+    f.oram.readPath(f.posMap.leafOf(b));
+    ASSERT_TRUE(f.oram.stash().contains(b));
+    EXPECT_EQ(f.oram.stash().find(b)->data, b * 3);
+}
+
+TEST(PathOram, WritePathEvictsBlocksBackToTree)
+{
+    Fixture f;
+    f.init();
+    const Leaf leaf = 5 % f.oram.tree().numLeaves();
+    f.oram.readPath(leaf);
+    const auto stash_after_read = f.oram.stash().size();
+    f.oram.writePath(leaf);
+    // Everything read from the path goes back (no remaps happened).
+    EXPECT_LE(f.oram.stash().size(), stash_after_read);
+}
+
+TEST(PathOram, AccessWithRemapKeepsSingleCopy)
+{
+    Fixture f;
+    f.init();
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const BlockId b = rng.below(f.config.numDataBlocks);
+        const Leaf leaf = f.posMap.leafOf(b);
+        f.oram.readPath(leaf);
+        ASSERT_TRUE(f.oram.stash().contains(b));
+        f.posMap.setLeaf(b, f.oram.randomLeaf());
+        f.oram.writePath(leaf);
+    }
+    for (BlockId b : {0ULL, 77ULL, 128ULL, 255ULL})
+        EXPECT_EQ(f.copies(b), 1) << "block " << b;
+}
+
+TEST(PathOram, BlocksLandOnlyOnTheirMappedPath)
+{
+    Fixture f;
+    f.init();
+    Rng rng(2);
+    for (int i = 0; i < 300; ++i) {
+        const BlockId b = rng.below(f.config.numDataBlocks);
+        const Leaf leaf = f.posMap.leafOf(b);
+        f.oram.readPath(leaf);
+        f.posMap.setLeaf(b, f.oram.randomLeaf());
+        f.oram.writePath(leaf);
+    }
+    // Exhaustive invariant sweep.
+    const BinaryTree &t = f.oram.tree();
+    for (std::uint64_t node = 0; node < t.numBuckets(); ++node) {
+        std::uint32_t level = 0;
+        for (std::uint64_t n = node; n > 0; n = (n - 1) / 2)
+            ++level;
+        for (std::uint32_t i = 0; i < t.z(); ++i) {
+            const Slot &s = t.bucket(node).slot(i);
+            if (s.isDummy())
+                continue;
+            EXPECT_EQ(t.nodeOnPath(f.posMap.leafOf(s.id), level), node)
+                << "block " << s.id << " off its path";
+        }
+    }
+}
+
+TEST(PathOram, DummyAccessNeverGrowsStash)
+{
+    Fixture f;
+    f.init();
+    // Stress the stash first with remapping accesses.
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const BlockId b = rng.below(f.config.numDataBlocks);
+        const Leaf leaf = f.posMap.leafOf(b);
+        f.oram.readPath(leaf);
+        f.posMap.setLeaf(b, f.oram.randomLeaf());
+        f.oram.writePath(leaf);
+    }
+    for (int i = 0; i < 50; ++i) {
+        const auto before = f.oram.stash().size();
+        f.oram.dummyAccess();
+        EXPECT_LE(f.oram.stash().size(), before);
+    }
+}
+
+TEST(PathOram, WritePathPlacesDeepestFirst)
+{
+    // A block mapped exactly to the accessed path must end up below
+    // (deeper than or equal to) blocks that only share the root.
+    OramConfig cfg = tinyCfg();
+    cfg.numDataBlocks = 8; // tiny tree, levels derived
+    Fixture f(cfg);
+    const Leaf target = 0;
+    for (BlockId b = 0; b < 8; ++b)
+        f.posMap.setLeaf(b, target); // all on path 0
+    for (BlockId b = 0; b < 8; ++b)
+        f.oram.stash().insert(b, 0);
+    f.oram.writePath(target);
+    // With Z=3 and a multi-level path, the leaf bucket must be full.
+    const BinaryTree &t = f.oram.tree();
+    EXPECT_EQ(t.bucket(t.nodeOnPath(target, t.levels())).occupancy(),
+              t.z());
+}
+
+TEST(PathOram, RandomLeafCoversRange)
+{
+    Fixture f;
+    const Leaf leaves = static_cast<Leaf>(f.oram.tree().numLeaves());
+    std::vector<bool> seen(leaves, false);
+    for (int i = 0; i < 20000; ++i)
+        seen[f.oram.randomLeaf()] = true;
+    std::size_t covered = 0;
+    for (bool s : seen)
+        covered += s ? 1 : 0;
+    EXPECT_GT(covered, static_cast<std::size_t>(leaves * 0.9));
+}
+
+TEST(PathOram, PathReadsCounted)
+{
+    Fixture f;
+    f.init();
+    const auto before = f.oram.pathReads();
+    f.oram.readPath(0);
+    f.oram.writePath(0);
+    f.oram.dummyAccess();
+    EXPECT_EQ(f.oram.pathReads(), before + 2);
+}
+
+class PathOramZParam : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(PathOramZParam, InvariantHoldsAcrossZ)
+{
+    OramConfig cfg = tinyCfg(GetParam());
+    Fixture f(cfg);
+    f.init();
+    Rng rng(4);
+    for (int i = 0; i < 150; ++i) {
+        const BlockId b = rng.below(cfg.numDataBlocks);
+        const Leaf leaf = f.posMap.leafOf(b);
+        f.oram.readPath(leaf);
+        ASSERT_TRUE(f.oram.stash().contains(b));
+        f.posMap.setLeaf(b, f.oram.randomLeaf());
+        f.oram.writePath(leaf);
+        while (f.oram.stash().overCapacity())
+            f.oram.dummyAccess();
+    }
+    EXPECT_EQ(f.oram.tree().countRealBlocks() + f.oram.stash().size(),
+              cfg.numDataBlocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Z, PathOramZParam,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u));
+
+} // namespace
+} // namespace proram

@@ -1,0 +1,160 @@
+/** @file Unit tests for the position map, block space and PLB. */
+
+#include "oram/position_map.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+OramConfig
+smallCfg()
+{
+    OramConfig c;
+    c.numDataBlocks = 1ULL << 12; // 4096
+    c.blockBytes = 128;           // fanout 32
+    c.hierarchies = 4;
+    return c;
+}
+
+TEST(BlockSpace, LayoutForSmallConfig)
+{
+    BlockSpace space(smallCfg());
+    EXPECT_EQ(space.numDataBlocks(), 4096u);
+    EXPECT_EQ(space.fanout(), 32u);
+    // 4096 -> 128 -> 4 on-chip: 2 tree-resident pos-map levels.
+    EXPECT_EQ(space.posMapLevels(), 2u);
+    EXPECT_EQ(space.levelCount(1), 128u);
+    EXPECT_EQ(space.levelCount(2), 4u);
+    EXPECT_EQ(space.levelBase(1), 4096u);
+    EXPECT_EQ(space.levelBase(2), 4096u + 128u);
+    EXPECT_EQ(space.numTotalBlocks(), 4096u + 128u + 4u);
+}
+
+TEST(BlockSpace, LevelOf)
+{
+    BlockSpace space(smallCfg());
+    EXPECT_EQ(space.levelOf(0), 0u);
+    EXPECT_EQ(space.levelOf(4095), 0u);
+    EXPECT_EQ(space.levelOf(4096), 1u);
+    EXPECT_EQ(space.levelOf(4096 + 127), 1u);
+    EXPECT_EQ(space.levelOf(4096 + 128), 2u);
+    EXPECT_TRUE(space.isData(4095));
+    EXPECT_FALSE(space.isData(4096));
+}
+
+TEST(BlockSpace, PosMapBlockOfDataBlock)
+{
+    BlockSpace space(smallCfg());
+    // Data block 0..31 covered by pos-map block 4096.
+    EXPECT_EQ(space.posMapBlockOf(0), 4096u);
+    EXPECT_EQ(space.posMapBlockOf(31), 4096u);
+    EXPECT_EQ(space.posMapBlockOf(32), 4097u);
+    EXPECT_EQ(space.posMapBlockOf(4095), 4096u + 127u);
+}
+
+TEST(BlockSpace, PosMapBlockOfPosMapBlock)
+{
+    BlockSpace space(smallCfg());
+    // Level-1 block index 0..31 covered by level-2 block 0.
+    EXPECT_EQ(space.posMapBlockOf(4096), 4096u + 128u);
+    EXPECT_EQ(space.posMapBlockOf(4096 + 33), 4096u + 128u + 1u);
+    // Level-2 blocks are covered by the on-chip table.
+    EXPECT_EQ(space.posMapBlockOf(4096 + 128), kInvalidBlock);
+}
+
+TEST(BlockSpace, WholeChainTerminates)
+{
+    BlockSpace space(smallCfg());
+    for (BlockId b : {0ULL, 1000ULL, 4095ULL}) {
+        BlockId cur = b;
+        int hops = 0;
+        while ((cur = space.posMapBlockOf(cur)) != kInvalidBlock) {
+            ++hops;
+            ASSERT_LT(hops, 10);
+        }
+        EXPECT_EQ(hops, 2);
+    }
+}
+
+TEST(BlockSpace, OutOfRangePanics)
+{
+    BlockSpace space(smallCfg());
+    EXPECT_THROW(space.levelOf(space.numTotalBlocks()), SimPanic);
+}
+
+TEST(PositionMap, EntryRoundTrip)
+{
+    PositionMap pm(100, 64);
+    pm.setLeaf(7, 13);
+    EXPECT_EQ(pm.leafOf(7), 13u);
+    PosEntry &e = pm.entry(7);
+    e.sbSizeLog = 2;
+    e.mergeBit = true;
+    e.prefetchBit = true;
+    EXPECT_EQ(pm.entry(7).sbSize(), 4u);
+    EXPECT_TRUE(pm.entry(7).mergeBit);
+    EXPECT_TRUE(pm.entry(7).prefetchBit);
+    EXPECT_FALSE(pm.entry(7).breakBit);
+    EXPECT_FALSE(pm.entry(7).hitBit);
+}
+
+TEST(PositionMap, FreshEntriesAreInvalid)
+{
+    PositionMap pm(10, 8);
+    EXPECT_EQ(pm.leafOf(0), kInvalidLeaf);
+    EXPECT_EQ(pm.entry(0).sbSize(), 1u);
+}
+
+TEST(PositionMap, OutOfRangePanics)
+{
+    PositionMap pm(10, 8);
+    EXPECT_THROW(pm.leafOf(10), SimPanic);
+}
+
+TEST(Plb, HitMissLru)
+{
+    PosMapBlockCache plb(2);
+    EXPECT_FALSE(plb.lookup(1));
+    plb.insert(1);
+    plb.insert(2);
+    EXPECT_TRUE(plb.lookup(1)); // refreshes 1
+    plb.insert(3);              // evicts 2 (LRU)
+    EXPECT_TRUE(plb.contains(1));
+    EXPECT_FALSE(plb.contains(2));
+    EXPECT_TRUE(plb.contains(3));
+    EXPECT_EQ(plb.size(), 2u);
+}
+
+TEST(Plb, ReinsertRefreshes)
+{
+    PosMapBlockCache plb(2);
+    plb.insert(1);
+    plb.insert(2);
+    plb.insert(1); // refresh, no eviction
+    plb.insert(3); // evicts 2
+    EXPECT_TRUE(plb.contains(1));
+    EXPECT_FALSE(plb.contains(2));
+}
+
+TEST(Plb, CountsHitsAndMisses)
+{
+    PosMapBlockCache plb(4);
+    plb.lookup(9);
+    plb.insert(9);
+    plb.lookup(9);
+    EXPECT_EQ(plb.hits(), 1u);
+    EXPECT_EQ(plb.misses(), 1u);
+}
+
+TEST(Plb, ZeroCapacityRejected)
+{
+    EXPECT_THROW(PosMapBlockCache(0), SimFatal);
+}
+
+} // namespace
+} // namespace proram

@@ -1,0 +1,78 @@
+/** @file Unit tests for the ORAM stash. */
+
+#include "oram/stash.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace proram
+{
+namespace
+{
+
+TEST(Stash, InsertFindErase)
+{
+    Stash s(10);
+    EXPECT_TRUE(s.insert(5, 99));
+    EXPECT_TRUE(s.contains(5));
+    ASSERT_NE(s.find(5), nullptr);
+    EXPECT_EQ(s.find(5)->data, 99u);
+    EXPECT_TRUE(s.erase(5));
+    EXPECT_FALSE(s.contains(5));
+    EXPECT_FALSE(s.erase(5));
+}
+
+TEST(Stash, DuplicateInsertRejected)
+{
+    Stash s(10);
+    EXPECT_TRUE(s.insert(1, 1));
+    EXPECT_FALSE(s.insert(1, 2));
+    EXPECT_EQ(s.find(1)->data, 1u);
+}
+
+TEST(Stash, CapacityIsSoft)
+{
+    Stash s(2);
+    s.insert(1, 0);
+    s.insert(2, 0);
+    EXPECT_FALSE(s.overCapacity());
+    s.insert(3, 0);
+    EXPECT_TRUE(s.overCapacity());
+    EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Stash, ResidentIdsSnapshot)
+{
+    Stash s(10);
+    s.insert(3, 0);
+    s.insert(9, 0);
+    s.insert(1, 0);
+    auto ids = s.residentIds();
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, (std::vector<BlockId>{1, 3, 9}));
+}
+
+TEST(Stash, OccupancySampling)
+{
+    Stash s(10);
+    s.insert(1, 0);
+    s.sampleOccupancy();
+    s.insert(2, 0);
+    s.insert(3, 0);
+    s.sampleOccupancy();
+    EXPECT_EQ(s.occupancy().count(), 2u);
+    EXPECT_DOUBLE_EQ(s.occupancy().mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.occupancy().max(), 3.0);
+}
+
+TEST(Stash, MutableDataThroughFind)
+{
+    Stash s(4);
+    s.insert(7, 10);
+    s.find(7)->data = 20;
+    EXPECT_EQ(s.find(7)->data, 20u);
+}
+
+} // namespace
+} // namespace proram

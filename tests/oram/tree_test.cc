@@ -1,0 +1,122 @@
+/** @file Unit tests for the binary-tree bucket storage. */
+
+#include "oram/tree.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+TEST(Bucket, OccupancyAndFreeSlots)
+{
+    Bucket b(3);
+    EXPECT_EQ(b.occupancy(), 0u);
+    Slot *s = b.freeSlot();
+    ASSERT_NE(s, nullptr);
+    s->id = 7;
+    EXPECT_EQ(b.occupancy(), 1u);
+    b.freeSlot()->id = 8;
+    b.freeSlot()->id = 9;
+    EXPECT_EQ(b.occupancy(), 3u);
+    EXPECT_EQ(b.freeSlot(), nullptr);
+}
+
+TEST(Tree, GeometryCounts)
+{
+    BinaryTree t(3, 4);
+    EXPECT_EQ(t.levels(), 3u);
+    EXPECT_EQ(t.numLeaves(), 8u);
+    EXPECT_EQ(t.numBuckets(), 15u);
+    EXPECT_EQ(t.z(), 4u);
+}
+
+TEST(Tree, RootIsOnEveryPath)
+{
+    BinaryTree t(4, 3);
+    for (Leaf s = 0; s < t.numLeaves(); ++s)
+        EXPECT_EQ(t.nodeOnPath(s, 0), 0u);
+}
+
+TEST(Tree, LeavesAreDistinctAndAtBottom)
+{
+    BinaryTree t(3, 3);
+    // Leaf nodes occupy heap indices [7, 15).
+    std::uint64_t prev = 0;
+    for (Leaf s = 0; s < t.numLeaves(); ++s) {
+        const std::uint64_t node = t.nodeOnPath(s, 3);
+        EXPECT_GE(node, 7u);
+        EXPECT_LT(node, 15u);
+        if (s > 0)
+            EXPECT_NE(node, prev);
+        prev = node;
+    }
+}
+
+TEST(Tree, PathIsConnectedParentChain)
+{
+    BinaryTree t(5, 3);
+    for (Leaf s : {0u, 13u, 31u}) {
+        std::uint64_t parent = t.nodeOnPath(s, 0);
+        for (std::uint32_t l = 1; l <= t.levels(); ++l) {
+            const std::uint64_t node = t.nodeOnPath(s, l);
+            EXPECT_EQ((node - 1) / 2, parent)
+                << "path " << s << " broken at level " << l;
+            parent = node;
+        }
+    }
+}
+
+TEST(Tree, CommonLevelProperties)
+{
+    BinaryTree t(3, 3);
+    // Same leaf: full depth.
+    EXPECT_EQ(t.commonLevel(5, 5), 3u);
+    // Leaves 0 (000) and 7 (111) diverge at the root.
+    EXPECT_EQ(t.commonLevel(0, 7), 0u);
+    // Leaves 6 (110) and 7 (111) share root + 2 levels.
+    EXPECT_EQ(t.commonLevel(6, 7), 2u);
+    // Symmetric.
+    for (Leaf a = 0; a < 8; ++a) {
+        for (Leaf b = 0; b < 8; ++b)
+            EXPECT_EQ(t.commonLevel(a, b), t.commonLevel(b, a));
+    }
+}
+
+TEST(Tree, CommonLevelMatchesSharedNodes)
+{
+    BinaryTree t(4, 3);
+    for (Leaf a = 0; a < t.numLeaves(); a += 3) {
+        for (Leaf b = 0; b < t.numLeaves(); b += 5) {
+            const std::uint32_t cl = t.commonLevel(a, b);
+            for (std::uint32_t l = 0; l <= cl; ++l)
+                EXPECT_EQ(t.nodeOnPath(a, l), t.nodeOnPath(b, l));
+            if (cl < t.levels()) {
+                EXPECT_NE(t.nodeOnPath(a, cl + 1),
+                          t.nodeOnPath(b, cl + 1));
+            }
+        }
+    }
+}
+
+TEST(Tree, OutOfRangePanics)
+{
+    BinaryTree t(3, 3);
+    EXPECT_THROW(t.nodeOnPath(8, 0), SimPanic);
+    EXPECT_THROW(t.nodeOnPath(0, 4), SimPanic);
+}
+
+TEST(Tree, CountRealBlocks)
+{
+    BinaryTree t(2, 2);
+    EXPECT_EQ(t.countRealBlocks(), 0u);
+    t.bucket(0).freeSlot()->id = 1;
+    t.bucket(4).freeSlot()->id = 2;
+    EXPECT_EQ(t.countRealBlocks(), 2u);
+}
+
+} // namespace
+} // namespace proram

@@ -1,0 +1,97 @@
+/** @file Unit tests for the experiment harness and metrics. */
+
+#include "sim/experiment.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+SimResult
+fake(Cycles cycles, std::uint64_t accesses)
+{
+    SimResult r;
+    r.cycles = cycles;
+    r.memAccesses = accesses;
+    return r;
+}
+
+TEST(Metrics, Speedup)
+{
+    EXPECT_DOUBLE_EQ(metrics::speedup(fake(1000, 1), fake(800, 1)),
+                     0.25);
+    EXPECT_DOUBLE_EQ(metrics::speedup(fake(1000, 1), fake(1000, 1)),
+                     0.0);
+    EXPECT_LT(metrics::speedup(fake(1000, 1), fake(1250, 1)), 0.0);
+}
+
+TEST(Metrics, NormMemAccesses)
+{
+    EXPECT_DOUBLE_EQ(
+        metrics::normMemAccesses(fake(1, 200), fake(1, 150)), 0.75);
+}
+
+TEST(Metrics, NormCompletionTime)
+{
+    EXPECT_DOUBLE_EQ(
+        metrics::normCompletionTime(fake(100, 1), fake(250, 1)), 2.5);
+}
+
+TEST(Metrics, DegenerateInputsPanic)
+{
+    EXPECT_THROW(metrics::speedup(fake(1, 1), fake(0, 1)), SimPanic);
+    EXPECT_THROW(metrics::normMemAccesses(fake(1, 0), fake(1, 1)),
+                 SimPanic);
+}
+
+TEST(Experiment, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Experiment, RunBenchmarkProducesResults)
+{
+    SystemConfig cfg = defaultSystemConfig();
+    Experiment exp(cfg, 0.02);
+    const auto res = exp.runBenchmark(MemScheme::OramBaseline,
+                                      profileByName("fft"));
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_EQ(res.scheme, "oram");
+}
+
+TEST(Experiment, RunWithAppliesTweaks)
+{
+    SystemConfig cfg = defaultSystemConfig();
+    Experiment exp(cfg, 0.02);
+    const auto &prof = profileByName("fft");
+    const auto base = exp.runBenchmark(MemScheme::OramBaseline, prof);
+    const auto slow = exp.runWith(
+        MemScheme::OramBaseline,
+        [](SystemConfig &c) { c.setDramBandwidthGBs(4.0); },
+        [&] { return makeGenerator(prof, 0.02); });
+    EXPECT_GT(slow.cycles, base.cycles);
+}
+
+TEST(Experiment, FreshSystemsPerRun)
+{
+    SystemConfig cfg = defaultSystemConfig();
+    Experiment exp(cfg, 0.02);
+    const auto &prof = profileByName("raytrace");
+    const auto a = exp.runBenchmark(MemScheme::OramDynamic, prof);
+    const auto b = exp.runBenchmark(MemScheme::OramDynamic, prof);
+    EXPECT_EQ(a.cycles, b.cycles) << "state leaked between runs";
+}
+
+TEST(Experiment, RejectsBadScale)
+{
+    EXPECT_THROW(Experiment(defaultSystemConfig(), 0.0), SimFatal);
+}
+
+} // namespace
+} // namespace proram

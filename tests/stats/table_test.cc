@@ -1,0 +1,77 @@
+/** @file Unit tests for the text table formatter. */
+
+#include "stats/table.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace proram::stats
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"bench", "speedup"});
+    t.row().add("ocean_c").addPct(0.421);
+    t.row().add("volrend").addPct(-0.035);
+    const std::string out = t.str();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("ocean_c"), std::string::npos);
+    EXPECT_NE(out.find("+42.1%"), std::string::npos);
+    EXPECT_NE(out.find("-3.5%"), std::string::npos);
+}
+
+TEST(Table, FormatsDoublesWithPrecision)
+{
+    Table t({"v"});
+    t.row().add(3.14159, 2);
+    EXPECT_NE(t.str().find("3.14"), std::string::npos);
+    EXPECT_EQ(t.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, FormatsIntegers)
+{
+    Table t({"n"});
+    t.row().addInt(123456);
+    EXPECT_NE(t.str().find("123456"), std::string::npos);
+}
+
+TEST(Table, EmptyHeadersRejected)
+{
+    EXPECT_THROW(Table({}), SimFatal);
+}
+
+TEST(Table, AddBeforeRowPanics)
+{
+    Table t({"a"});
+    EXPECT_THROW(t.add("x"), SimPanic);
+}
+
+TEST(Table, TooManyCellsPanics)
+{
+    Table t({"a"});
+    t.row().add("x");
+    EXPECT_THROW(t.add("y"), SimPanic);
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t({"name", "v"});
+    t.row().add("a").add("1");
+    t.row().add("longname").add("2");
+    const std::string out = t.str();
+    // Both value cells must start at the same column.
+    const auto line_at = [&](int n) {
+        std::size_t pos = 0;
+        for (int i = 0; i < n; ++i)
+            pos = out.find('\n', pos) + 1;
+        return out.substr(pos, out.find('\n', pos) - pos);
+    };
+    const std::string r1 = line_at(2), r2 = line_at(3);
+    EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+} // namespace
+} // namespace proram::stats

@@ -1,0 +1,198 @@
+/** @file Unit tests for the synthetic (Sec. 5.3) benchmark. */
+
+#include "trace/synthetic.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+SyntheticConfig
+base()
+{
+    SyntheticConfig c;
+    c.footprintBlocks = 1024;
+    c.numAccesses = 20000;
+    c.localityFraction = 0.5;
+    c.computeCycles = 4;
+    c.seed = 11;
+    return c;
+}
+
+TEST(Synthetic, EmitsExactlyNumAccesses)
+{
+    SyntheticGenerator g(base());
+    TraceRecord r;
+    std::uint64_t n = 0;
+    while (g.next(r))
+        ++n;
+    EXPECT_EQ(n, 20000u);
+    EXPECT_FALSE(g.next(r));
+}
+
+TEST(Synthetic, AddressesWithinFootprint)
+{
+    SyntheticGenerator g(base());
+    TraceRecord r;
+    while (g.next(r)) {
+        EXPECT_LT(r.addr, 1024u * 128u);
+        EXPECT_EQ(r.addr % 128, 0u);
+    }
+}
+
+TEST(Synthetic, ResetReplaysIdentically)
+{
+    SyntheticGenerator g(base());
+    std::vector<Addr> first;
+    TraceRecord r;
+    for (int i = 0; i < 500 && g.next(r); ++i)
+        first.push_back(r.addr);
+    g.reset();
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_TRUE(g.next(r));
+        EXPECT_EQ(r.addr, first[i]);
+    }
+}
+
+TEST(Synthetic, ZeroLocalityIsAllRandom)
+{
+    SyntheticConfig c = base();
+    c.localityFraction = 0.0;
+    SyntheticGenerator g(c);
+    TraceRecord r;
+    std::uint64_t sequential_pairs = 0, n = 0;
+    Addr prev = ~0ULL;
+    while (g.next(r)) {
+        if (r.addr == prev + 128)
+            ++sequential_pairs;
+        prev = r.addr;
+        ++n;
+    }
+    EXPECT_LT(sequential_pairs, n / 50);
+}
+
+TEST(Synthetic, FullLocalityIsSequentialScan)
+{
+    SyntheticConfig c = base();
+    c.localityFraction = 1.0;
+    SyntheticGenerator g(c);
+    TraceRecord r;
+    ASSERT_TRUE(g.next(r));
+    Addr prev = r.addr;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(g.next(r));
+        const Addr expect = (prev + 128) % (1024 * 128);
+        EXPECT_EQ(r.addr, expect);
+        prev = r.addr;
+    }
+}
+
+TEST(Synthetic, LocalityFractionSplitsAccesses)
+{
+    SyntheticConfig c = base();
+    c.localityFraction = 0.3;
+    SyntheticGenerator g(c);
+    TraceRecord r;
+    std::uint64_t in_seq_region = 0, total = 0;
+    const Addr boundary =
+        static_cast<Addr>(0.3 * 1024) * 128;
+    while (g.next(r)) {
+        in_seq_region += r.addr < boundary ? 1 : 0;
+        ++total;
+    }
+    EXPECT_NEAR(static_cast<double>(in_seq_region) / total, 0.3, 0.03);
+}
+
+TEST(Synthetic, PhaseModeSwapsRegions)
+{
+    SyntheticConfig c = base();
+    c.phaseLength = 5000;
+    SyntheticGenerator g(c);
+    TraceRecord r;
+    // Phase 0: sequential cursor walks the low half - consecutive
+    // address pairs land there. Phase 1: they land in the high half.
+    std::uint64_t phase0_low_runs = 0, phase1_high_runs = 0;
+    Addr prev = ~0ULL;
+    const Addr half = 512 * 128;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(g.next(r));
+        if (r.addr == prev + 128) {
+            if (i < 5000 && r.addr < half)
+                ++phase0_low_runs;
+            if (i >= 5000 && r.addr >= half)
+                ++phase1_high_runs;
+        }
+        prev = r.addr;
+    }
+    EXPECT_GT(phase0_low_runs, 1000u);
+    EXPECT_GT(phase1_high_runs, 1000u);
+}
+
+
+TEST(Synthetic, StridedSweepStepsByStride)
+{
+    SyntheticConfig c = base();
+    c.localityFraction = 1.0;
+    c.strideBlocks = 4;
+    SyntheticGenerator g(c);
+    TraceRecord r;
+    ASSERT_TRUE(g.next(r));
+    Addr prev = r.addr;
+    std::uint64_t strided_steps = 0, total = 0;
+    for (int i = 0; i < 3000; ++i) {
+        ASSERT_TRUE(g.next(r));
+        strided_steps += r.addr == prev + 4 * 128 ? 1 : 0;
+        prev = r.addr;
+        ++total;
+    }
+    // Nearly every step advances by the stride (column wraps rare).
+    EXPECT_GT(static_cast<double>(strided_steps) / total, 0.95);
+}
+
+TEST(Synthetic, StridedSweepCoversAllBlocks)
+{
+    SyntheticConfig c = base();
+    c.footprintBlocks = 256;
+    c.numAccesses = 256;
+    c.localityFraction = 1.0;
+    c.strideBlocks = 8;
+    SyntheticGenerator g(c);
+    TraceRecord r;
+    std::set<Addr> seen;
+    while (g.next(r))
+        seen.insert(r.addr);
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Synthetic, WriteFractionHonored)
+{
+    SyntheticConfig c = base();
+    c.writeFraction = 0.4;
+    SyntheticGenerator g(c);
+    TraceRecord r;
+    std::uint64_t writes = 0, total = 0;
+    while (g.next(r)) {
+        writes += r.op == OpType::Write ? 1 : 0;
+        ++total;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / total, 0.4, 0.03);
+}
+
+TEST(Synthetic, RejectsBadConfig)
+{
+    SyntheticConfig c = base();
+    c.localityFraction = 1.5;
+    EXPECT_THROW(SyntheticGenerator{c}, SimFatal);
+    c = base();
+    c.footprintBlocks = 2;
+    EXPECT_THROW(SyntheticGenerator{c}, SimFatal);
+}
+
+} // namespace
+} // namespace proram

@@ -1,0 +1,110 @@
+/** @file Unit tests for trace record/replay. */
+
+#include "trace/trace_file.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/benchmarks.hh"
+#include "trace/synthetic.hh"
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+SyntheticConfig
+tiny()
+{
+    SyntheticConfig c;
+    c.footprintBlocks = 256;
+    c.numAccesses = 500;
+    c.localityFraction = 0.5;
+    c.writeFraction = 0.3;
+    c.seed = 4;
+    return c;
+}
+
+TEST(TraceFile, RoundTripPreservesEveryRecord)
+{
+    SyntheticGenerator gen(tiny());
+    std::ostringstream os;
+    const std::uint64_t written = writeTrace(gen, os);
+    EXPECT_EQ(written, 500u);
+
+    std::istringstream is(os.str());
+    const auto records = readTrace(is);
+    ASSERT_EQ(records.size(), 500u);
+
+    gen.reset();
+    TraceRecord rec;
+    for (const TraceRecord &r : records) {
+        ASSERT_TRUE(gen.next(rec));
+        EXPECT_EQ(r.addr, rec.addr);
+        EXPECT_EQ(r.op, rec.op);
+        EXPECT_EQ(r.computeCycles, rec.computeCycles);
+    }
+}
+
+TEST(TraceFile, ReplayGeneratorMatchesSource)
+{
+    SyntheticGenerator gen(tiny());
+    std::ostringstream os;
+    writeTrace(gen, os);
+    std::istringstream is(os.str());
+    ReplayGenerator replay(readTrace(is));
+    EXPECT_EQ(replay.size(), 500u);
+
+    gen.reset();
+    TraceRecord a, b;
+    while (gen.next(a)) {
+        ASSERT_TRUE(replay.next(b));
+        EXPECT_EQ(a.addr, b.addr);
+    }
+    EXPECT_FALSE(replay.next(b));
+    replay.reset();
+    EXPECT_TRUE(replay.next(b));
+}
+
+TEST(TraceFile, CommentsAndBlankLinesIgnored)
+{
+    std::istringstream is(
+        "# header\n\n10 1f80 R\n# mid comment\n0 0 W\n");
+    const auto records = readTrace(is);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].computeCycles, 10u);
+    EXPECT_EQ(records[0].addr, 0x1f80u);
+    EXPECT_EQ(records[0].op, OpType::Read);
+    EXPECT_EQ(records[1].op, OpType::Write);
+}
+
+TEST(TraceFile, MalformedLinesRejected)
+{
+    std::istringstream bad_op("5 100 X\n");
+    EXPECT_THROW(readTrace(bad_op), SimFatal);
+    std::istringstream missing("5 100\n");
+    EXPECT_THROW(readTrace(missing), SimFatal);
+    std::istringstream garbage("hello world R\n");
+    EXPECT_THROW(readTrace(garbage), SimFatal);
+}
+
+TEST(TraceFile, MissingFileRejected)
+{
+    EXPECT_THROW(readTraceFile("/nonexistent/path/trace.txt"),
+                 SimFatal);
+}
+
+TEST(TraceFile, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "proram_trace.txt";
+    auto gen = makeGenerator(profileByName("fft"), 0.01);
+    const std::uint64_t written = writeTraceFile(*gen, path);
+    const auto records = readTraceFile(path);
+    EXPECT_EQ(records.size(), written);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace proram

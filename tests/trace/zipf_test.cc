@@ -1,0 +1,84 @@
+/** @file Unit tests for the zipfian generator. */
+
+#include "trace/zipf.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+TEST(Zipf, StaysInRange)
+{
+    ZipfGenerator z(100, 0.99);
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(z.next(rng), 100u);
+}
+
+TEST(Zipf, RankZeroIsMostPopular)
+{
+    ZipfGenerator z(1000, 0.99);
+    Rng rng(2);
+    std::vector<int> count(1000, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++count[z.next(rng)];
+    int max_count = 0, max_idx = -1;
+    for (int i = 0; i < 1000; ++i) {
+        if (count[i] > max_count) {
+            max_count = count[i];
+            max_idx = i;
+        }
+    }
+    EXPECT_EQ(max_idx, 0);
+    // Head concentration: rank 0 far above the uniform share.
+    EXPECT_GT(count[0], 10 * 50);
+}
+
+TEST(Zipf, HigherThetaMoreSkewed)
+{
+    Rng r1(3), r2(3);
+    ZipfGenerator lo(1000, 0.5), hi(1000, 0.99);
+    int lo_head = 0, hi_head = 0;
+    for (int i = 0; i < 30000; ++i) {
+        lo_head += lo.next(r1) < 10 ? 1 : 0;
+        hi_head += hi.next(r2) < 10 ? 1 : 0;
+    }
+    EXPECT_GT(hi_head, lo_head);
+}
+
+TEST(Zipf, DeterministicGivenRngSeed)
+{
+    ZipfGenerator a(500, 0.9), b(500, 0.9);
+    Rng ra(7), rb(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(ra), b.next(rb));
+}
+
+TEST(Zipf, RejectsBadParameters)
+{
+    EXPECT_THROW(ZipfGenerator(0, 0.9), SimFatal);
+    EXPECT_THROW(ZipfGenerator(10, 0.0), SimFatal);
+    EXPECT_THROW(ZipfGenerator(10, 1.0), SimFatal);
+}
+
+TEST(Zipf, CoversTail)
+{
+    ZipfGenerator z(50, 0.8);
+    Rng rng(9);
+    std::vector<bool> seen(50, false);
+    for (int i = 0; i < 20000; ++i)
+        seen[z.next(rng)] = true;
+    int covered = 0;
+    for (bool s : seen)
+        covered += s ? 1 : 0;
+    EXPECT_GT(covered, 45);
+}
+
+} // namespace
+} // namespace proram

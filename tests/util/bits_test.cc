@@ -1,0 +1,77 @@
+/** @file Unit tests for util/bits.hh. */
+
+#include "util/bits.hh"
+
+#include <gtest/gtest.h>
+
+namespace proram
+{
+namespace
+{
+
+TEST(Bits, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(Bits, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4), 2u);
+    EXPECT_EQ(log2Floor(1023), 9u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+}
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(Bits, Log2FloorCeilAgreeOnPowersOfTwo)
+{
+    for (unsigned s = 0; s < 63; ++s) {
+        const std::uint64_t v = 1ULL << s;
+        EXPECT_EQ(log2Floor(v), s);
+        EXPECT_EQ(log2Ceil(v), s);
+    }
+}
+
+TEST(Bits, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 8), 0u);
+    EXPECT_EQ(alignDown(7, 8), 0u);
+    EXPECT_EQ(alignDown(8, 8), 8u);
+    EXPECT_EQ(alignDown(17, 8), 16u);
+}
+
+TEST(Bits, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 8), 0u);
+    EXPECT_EQ(alignUp(1, 8), 8u);
+    EXPECT_EQ(alignUp(8, 8), 8u);
+    EXPECT_EQ(alignUp(17, 8), 24u);
+}
+
+TEST(Bits, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(100, 3), 34u);
+}
+
+} // namespace
+} // namespace proram

@@ -1,0 +1,49 @@
+/** @file Unit tests for panic/fatal reporting. */
+
+#include "util/logging.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace proram
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsSimPanic)
+{
+    EXPECT_THROW(panic("boom"), SimPanic);
+}
+
+TEST(Logging, FatalThrowsSimFatal)
+{
+    EXPECT_THROW(fatal("bad config"), SimFatal);
+}
+
+TEST(Logging, PanicMessageCarriesArgsAndLocation)
+{
+    try {
+        panic("value is ", 42, " not ", 7);
+        FAIL() << "panic did not throw";
+    } catch (const SimPanic &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("value is 42 not 7"), std::string::npos);
+        EXPECT_NE(msg.find("logging_test.cc"), std::string::npos);
+    }
+}
+
+TEST(Logging, PanicIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panic_if(false, "never"));
+    EXPECT_THROW(panic_if(true, "always"), SimPanic);
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatal_if(false, "never"));
+    EXPECT_THROW(fatal_if(1 + 1 == 2, "always"), SimFatal);
+}
+
+} // namespace
+} // namespace proram
