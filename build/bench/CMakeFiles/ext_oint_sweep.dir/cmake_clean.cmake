@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_oint_sweep.dir/ext_oint_sweep.cc.o"
+  "CMakeFiles/ext_oint_sweep.dir/ext_oint_sweep.cc.o.d"
+  "ext_oint_sweep"
+  "ext_oint_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_oint_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

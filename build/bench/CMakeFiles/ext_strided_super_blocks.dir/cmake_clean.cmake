@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_strided_super_blocks.dir/ext_strided_super_blocks.cc.o"
+  "CMakeFiles/ext_strided_super_blocks.dir/ext_strided_super_blocks.cc.o.d"
+  "ext_strided_super_blocks"
+  "ext_strided_super_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_strided_super_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

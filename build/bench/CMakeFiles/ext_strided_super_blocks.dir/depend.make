@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_strided_super_blocks.
+# This may be replaced when dependencies are built.

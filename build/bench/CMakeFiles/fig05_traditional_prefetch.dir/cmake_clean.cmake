@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_traditional_prefetch.dir/fig05_traditional_prefetch.cc.o"
+  "CMakeFiles/fig05_traditional_prefetch.dir/fig05_traditional_prefetch.cc.o.d"
+  "fig05_traditional_prefetch"
+  "fig05_traditional_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_traditional_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06a_locality_sweep.dir/fig06a_locality_sweep.cc.o"
+  "CMakeFiles/fig06a_locality_sweep.dir/fig06a_locality_sweep.cc.o.d"
+  "fig06a_locality_sweep"
+  "fig06a_locality_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06a_locality_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_phase_change.dir/fig06b_phase_change.cc.o"
+  "CMakeFiles/fig06b_phase_change.dir/fig06b_phase_change.cc.o.d"
+  "fig06b_phase_change"
+  "fig06b_phase_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_phase_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

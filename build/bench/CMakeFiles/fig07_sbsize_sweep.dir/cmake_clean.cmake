@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_sbsize_sweep.dir/fig07_sbsize_sweep.cc.o"
+  "CMakeFiles/fig07_sbsize_sweep.dir/fig07_sbsize_sweep.cc.o.d"
+  "fig07_sbsize_sweep"
+  "fig07_sbsize_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sbsize_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

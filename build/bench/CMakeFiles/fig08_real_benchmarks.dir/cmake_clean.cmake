@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_real_benchmarks.dir/fig08_real_benchmarks.cc.o"
+  "CMakeFiles/fig08_real_benchmarks.dir/fig08_real_benchmarks.cc.o.d"
+  "fig08_real_benchmarks"
+  "fig08_real_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_real_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_coefficients.dir/fig10_coefficients.cc.o"
+  "CMakeFiles/fig10_coefficients.dir/fig10_coefficients.cc.o.d"
+  "fig10_coefficients"
+  "fig10_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

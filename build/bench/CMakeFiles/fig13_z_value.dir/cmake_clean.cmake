@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_z_value.dir/fig13_z_value.cc.o"
+  "CMakeFiles/fig13_z_value.dir/fig13_z_value.cc.o.d"
+  "fig13_z_value"
+  "fig13_z_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_z_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cacheline.dir/fig14_cacheline.cc.o"
+  "CMakeFiles/fig14_cacheline.dir/fig14_cacheline.cc.o.d"
+  "fig14_cacheline"
+  "fig14_cacheline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cacheline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_periodic.dir/fig15_periodic.cc.o"
+  "CMakeFiles/fig15_periodic.dir/fig15_periodic.cc.o.d"
+  "fig15_periodic"
+  "fig15_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

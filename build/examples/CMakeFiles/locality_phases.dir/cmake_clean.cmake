@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_phases.dir/locality_phases.cpp.o"
+  "CMakeFiles/locality_phases.dir/locality_phases.cpp.o.d"
+  "locality_phases"
+  "locality_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

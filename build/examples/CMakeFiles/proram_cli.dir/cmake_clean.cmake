@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proram_cli.dir/proram_cli.cpp.o"
+  "CMakeFiles/proram_cli.dir/proram_cli.cpp.o.d"
+  "proram_cli"
+  "proram_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proram_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dynamic_policy.cc" "src/CMakeFiles/proram.dir/core/dynamic_policy.cc.o" "gcc" "src/CMakeFiles/proram.dir/core/dynamic_policy.cc.o.d"
+  "/root/repo/src/core/oram_controller.cc" "src/CMakeFiles/proram.dir/core/oram_controller.cc.o" "gcc" "src/CMakeFiles/proram.dir/core/oram_controller.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/proram.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/proram.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/static_policy.cc" "src/CMakeFiles/proram.dir/core/static_policy.cc.o" "gcc" "src/CMakeFiles/proram.dir/core/static_policy.cc.o.d"
+  "/root/repo/src/core/super_block.cc" "src/CMakeFiles/proram.dir/core/super_block.cc.o" "gcc" "src/CMakeFiles/proram.dir/core/super_block.cc.o.d"
+  "/root/repo/src/cpu/trace_cpu.cc" "src/CMakeFiles/proram.dir/cpu/trace_cpu.cc.o" "gcc" "src/CMakeFiles/proram.dir/cpu/trace_cpu.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/proram.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/proram.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/cache_hierarchy.cc" "src/CMakeFiles/proram.dir/mem/cache_hierarchy.cc.o" "gcc" "src/CMakeFiles/proram.dir/mem/cache_hierarchy.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/proram.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/proram.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/dram_backend.cc" "src/CMakeFiles/proram.dir/mem/dram_backend.cc.o" "gcc" "src/CMakeFiles/proram.dir/mem/dram_backend.cc.o.d"
+  "/root/repo/src/mem/stream_prefetcher.cc" "src/CMakeFiles/proram.dir/mem/stream_prefetcher.cc.o" "gcc" "src/CMakeFiles/proram.dir/mem/stream_prefetcher.cc.o.d"
+  "/root/repo/src/oram/config.cc" "src/CMakeFiles/proram.dir/oram/config.cc.o" "gcc" "src/CMakeFiles/proram.dir/oram/config.cc.o.d"
+  "/root/repo/src/oram/integrity.cc" "src/CMakeFiles/proram.dir/oram/integrity.cc.o" "gcc" "src/CMakeFiles/proram.dir/oram/integrity.cc.o.d"
+  "/root/repo/src/oram/path_oram.cc" "src/CMakeFiles/proram.dir/oram/path_oram.cc.o" "gcc" "src/CMakeFiles/proram.dir/oram/path_oram.cc.o.d"
+  "/root/repo/src/oram/periodic.cc" "src/CMakeFiles/proram.dir/oram/periodic.cc.o" "gcc" "src/CMakeFiles/proram.dir/oram/periodic.cc.o.d"
+  "/root/repo/src/oram/position_map.cc" "src/CMakeFiles/proram.dir/oram/position_map.cc.o" "gcc" "src/CMakeFiles/proram.dir/oram/position_map.cc.o.d"
+  "/root/repo/src/oram/stash.cc" "src/CMakeFiles/proram.dir/oram/stash.cc.o" "gcc" "src/CMakeFiles/proram.dir/oram/stash.cc.o.d"
+  "/root/repo/src/oram/tree.cc" "src/CMakeFiles/proram.dir/oram/tree.cc.o" "gcc" "src/CMakeFiles/proram.dir/oram/tree.cc.o.d"
+  "/root/repo/src/oram/unified_oram.cc" "src/CMakeFiles/proram.dir/oram/unified_oram.cc.o" "gcc" "src/CMakeFiles/proram.dir/oram/unified_oram.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/proram.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/proram.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/secure_memory.cc" "src/CMakeFiles/proram.dir/sim/secure_memory.cc.o" "gcc" "src/CMakeFiles/proram.dir/sim/secure_memory.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/proram.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/proram.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/system_config.cc" "src/CMakeFiles/proram.dir/sim/system_config.cc.o" "gcc" "src/CMakeFiles/proram.dir/sim/system_config.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/proram.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/proram.dir/stats/stats.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/proram.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/proram.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/benchmarks.cc" "src/CMakeFiles/proram.dir/trace/benchmarks.cc.o" "gcc" "src/CMakeFiles/proram.dir/trace/benchmarks.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/proram.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/proram.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/proram.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/proram.dir/trace/trace_file.cc.o.d"
+  "/root/repo/src/trace/zipf.cc" "src/CMakeFiles/proram.dir/trace/zipf.cc.o" "gcc" "src/CMakeFiles/proram.dir/trace/zipf.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/proram.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/proram.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/proram.dir/util/random.cc.o" "gcc" "src/CMakeFiles/proram.dir/util/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_tests.dir/mem/cache_hierarchy_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/cache_hierarchy_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/cache_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/cache_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/dram_backend_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/dram_backend_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/dram_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/dram_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/stream_prefetcher_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/stream_prefetcher_test.cc.o.d"
+  "mem_tests"
+  "mem_tests.pdb"
+  "mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/oram/config_test.cc" "tests/CMakeFiles/oram_tests.dir/oram/config_test.cc.o" "gcc" "tests/CMakeFiles/oram_tests.dir/oram/config_test.cc.o.d"
+  "/root/repo/tests/oram/integrity_test.cc" "tests/CMakeFiles/oram_tests.dir/oram/integrity_test.cc.o" "gcc" "tests/CMakeFiles/oram_tests.dir/oram/integrity_test.cc.o.d"
+  "/root/repo/tests/oram/path_oram_test.cc" "tests/CMakeFiles/oram_tests.dir/oram/path_oram_test.cc.o" "gcc" "tests/CMakeFiles/oram_tests.dir/oram/path_oram_test.cc.o.d"
+  "/root/repo/tests/oram/periodic_test.cc" "tests/CMakeFiles/oram_tests.dir/oram/periodic_test.cc.o" "gcc" "tests/CMakeFiles/oram_tests.dir/oram/periodic_test.cc.o.d"
+  "/root/repo/tests/oram/position_map_test.cc" "tests/CMakeFiles/oram_tests.dir/oram/position_map_test.cc.o" "gcc" "tests/CMakeFiles/oram_tests.dir/oram/position_map_test.cc.o.d"
+  "/root/repo/tests/oram/security_properties_test.cc" "tests/CMakeFiles/oram_tests.dir/oram/security_properties_test.cc.o" "gcc" "tests/CMakeFiles/oram_tests.dir/oram/security_properties_test.cc.o.d"
+  "/root/repo/tests/oram/stash_test.cc" "tests/CMakeFiles/oram_tests.dir/oram/stash_test.cc.o" "gcc" "tests/CMakeFiles/oram_tests.dir/oram/stash_test.cc.o.d"
+  "/root/repo/tests/oram/tree_test.cc" "tests/CMakeFiles/oram_tests.dir/oram/tree_test.cc.o" "gcc" "tests/CMakeFiles/oram_tests.dir/oram/tree_test.cc.o.d"
+  "/root/repo/tests/oram/unified_oram_test.cc" "tests/CMakeFiles/oram_tests.dir/oram/unified_oram_test.cc.o" "gcc" "tests/CMakeFiles/oram_tests.dir/oram/unified_oram_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/proram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

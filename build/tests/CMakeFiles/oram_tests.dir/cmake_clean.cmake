@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oram_tests.dir/oram/config_test.cc.o"
+  "CMakeFiles/oram_tests.dir/oram/config_test.cc.o.d"
+  "CMakeFiles/oram_tests.dir/oram/integrity_test.cc.o"
+  "CMakeFiles/oram_tests.dir/oram/integrity_test.cc.o.d"
+  "CMakeFiles/oram_tests.dir/oram/path_oram_test.cc.o"
+  "CMakeFiles/oram_tests.dir/oram/path_oram_test.cc.o.d"
+  "CMakeFiles/oram_tests.dir/oram/periodic_test.cc.o"
+  "CMakeFiles/oram_tests.dir/oram/periodic_test.cc.o.d"
+  "CMakeFiles/oram_tests.dir/oram/position_map_test.cc.o"
+  "CMakeFiles/oram_tests.dir/oram/position_map_test.cc.o.d"
+  "CMakeFiles/oram_tests.dir/oram/security_properties_test.cc.o"
+  "CMakeFiles/oram_tests.dir/oram/security_properties_test.cc.o.d"
+  "CMakeFiles/oram_tests.dir/oram/stash_test.cc.o"
+  "CMakeFiles/oram_tests.dir/oram/stash_test.cc.o.d"
+  "CMakeFiles/oram_tests.dir/oram/tree_test.cc.o"
+  "CMakeFiles/oram_tests.dir/oram/tree_test.cc.o.d"
+  "CMakeFiles/oram_tests.dir/oram/unified_oram_test.cc.o"
+  "CMakeFiles/oram_tests.dir/oram/unified_oram_test.cc.o.d"
+  "oram_tests"
+  "oram_tests.pdb"
+  "oram_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oram_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

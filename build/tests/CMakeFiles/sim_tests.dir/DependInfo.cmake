@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu/trace_cpu_test.cc" "tests/CMakeFiles/sim_tests.dir/cpu/trace_cpu_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/cpu/trace_cpu_test.cc.o.d"
+  "/root/repo/tests/sim/experiment_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/experiment_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/experiment_test.cc.o.d"
+  "/root/repo/tests/sim/secure_memory_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/secure_memory_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/secure_memory_test.cc.o.d"
+  "/root/repo/tests/sim/stats_dump_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/stats_dump_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/stats_dump_test.cc.o.d"
+  "/root/repo/tests/sim/system_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/system_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/system_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/proram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
