@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include <algorithm>
+#include <iterator>
 
 #include "common.hh"
 #include "trace/synthetic.hh"
@@ -51,20 +52,32 @@ main()
     // 1. Thresholding mode.
     {
         std::printf("--- Thresholding mode (60%% locality) ---\n");
-        auto gen = [&] { return mixedGen(false); };
-        const auto oram =
-            exp.runGenerator(MemScheme::OramBaseline, gen);
+        auto gen = [] { return mixedGen(false); };
+        const DynamicPolicyConfig::MergeThreshold modes[] = {
+            DynamicPolicyConfig::MergeThreshold::Static,
+            DynamicPolicyConfig::MergeThreshold::Adaptive};
+
+        std::vector<Experiment::GridCell> cells;
+        cells.push_back(
+            bench::generatorCell(exp, MemScheme::OramBaseline, gen));
+        for (auto mode : modes) {
+            cells.push_back([&exp, mode, gen] {
+                return exp.runWith(
+                    MemScheme::OramDynamic,
+                    [mode](SystemConfig &c) {
+                        c.dynamic.mergeThreshold = mode;
+                    },
+                    gen);
+            });
+        }
+        const auto results = exp.runGrid(cells);
+
+        const auto &oram = results[0];
         stats::Table t({"mode", "speedup", "norm.acc", "bg"});
-        for (auto mode : {DynamicPolicyConfig::MergeThreshold::Static,
-                          DynamicPolicyConfig::MergeThreshold::Adaptive}) {
-            const auto res = exp.runWith(
-                MemScheme::OramDynamic,
-                [&](SystemConfig &c) {
-                    c.dynamic.mergeThreshold = mode;
-                },
-                gen);
+        for (std::size_t i = 0; i < std::size(modes); ++i) {
+            const auto &res = results[1 + i];
             t.row()
-                .add(mode ==
+                .add(modes[i] ==
                              DynamicPolicyConfig::MergeThreshold::Static
                          ? "static(2n)"
                          : "adaptive(Eq.1)")
@@ -80,28 +93,39 @@ main()
     //    under phase changes.
     {
         std::printf("--- Break eagerness under phase change ---\n");
-        auto gen = [&] { return mixedGen(true); };
-        const auto oram =
-            exp.runGenerator(MemScheme::OramBaseline, gen);
-        stats::Table t(
-            {"config", "speedup", "merges", "breaks", "missrate"});
+        auto gen = [] { return mixedGen(true); };
         struct Row
         {
             const char *name;
             double cm, cb;
         };
-        for (const Row &r : {Row{"balanced (m1b1)", 1, 1},
-                             Row{"eager break (m1b8)", 1, 8},
-                             Row{"lazy break (m8b1)", 8, 1}}) {
-            const auto res = exp.runWith(
-                MemScheme::OramDynamic,
-                [&](SystemConfig &c) {
-                    c.dynamic.cMerge = r.cm;
-                    c.dynamic.cBreak = r.cb;
-                },
-                gen);
+        const Row rows[] = {Row{"balanced (m1b1)", 1, 1},
+                            Row{"eager break (m1b8)", 1, 8},
+                            Row{"lazy break (m8b1)", 8, 1}};
+
+        std::vector<Experiment::GridCell> cells;
+        cells.push_back(
+            bench::generatorCell(exp, MemScheme::OramBaseline, gen));
+        for (const Row &r : rows) {
+            cells.push_back([&exp, r, gen] {
+                return exp.runWith(
+                    MemScheme::OramDynamic,
+                    [r](SystemConfig &c) {
+                        c.dynamic.cMerge = r.cm;
+                        c.dynamic.cBreak = r.cb;
+                    },
+                    gen);
+            });
+        }
+        const auto results = exp.runGrid(cells);
+
+        const auto &oram = results[0];
+        stats::Table t(
+            {"config", "speedup", "merges", "breaks", "missrate"});
+        for (std::size_t i = 0; i < std::size(rows); ++i) {
+            const auto &res = results[1 + i];
             t.row()
-                .add(r.name)
+                .add(rows[i].name)
                 .addPct(metrics::speedup(oram, res))
                 .addInt(res.merges)
                 .addInt(res.breaks)
@@ -113,19 +137,27 @@ main()
     // 3. PLB capacity: recursion cost of the unified ORAM.
     {
         std::printf("--- PLB capacity (pos-map recursion cost) ---\n");
-        auto gen = [&] { return mixedGen(false); };
+        auto gen = [] { return mixedGen(false); };
+        const std::uint32_t plbs[] = {1u, 8u, 32u, 64u, 256u};
+
+        std::vector<Experiment::GridCell> cells;
+        for (std::uint32_t plb : plbs) {
+            cells.push_back([&exp, plb, gen] {
+                return exp.runWith(
+                    MemScheme::OramDynamic,
+                    [plb](SystemConfig &c) { c.oram.plbEntries = plb; },
+                    gen);
+            });
+        }
+        const auto results = exp.runGrid(cells);
+
         stats::Table t({"plb.entries", "cycles(norm)", "posmap.paths",
                         "total.paths"});
-        SimResult base{};
-        for (std::uint32_t plb : {1u, 8u, 32u, 64u, 256u}) {
-            const auto res = exp.runWith(
-                MemScheme::OramDynamic,
-                [&](SystemConfig &c) { c.oram.plbEntries = plb; },
-                gen);
-            if (plb == 1)
-                base = res;
+        const SimResult &base = results[0]; // plb == 1
+        for (std::size_t i = 0; i < std::size(plbs); ++i) {
+            const auto &res = results[i];
             t.row()
-                .addInt(plb)
+                .addInt(plbs[i])
                 .add(metrics::normCompletionTime(base, res), 3)
                 .addInt(res.posMapAccesses)
                 .addInt(res.pathAccesses);

@@ -27,6 +27,10 @@ banner(const std::string &title, const std::string &expectation)
     if (scale != 1.0)
         std::printf("(PRORAM_BENCH_SCALE=%.3g - shortened traces)\n",
                     scale);
+    const unsigned threads = Experiment::benchThreadsFromEnv();
+    if (threads > 1)
+        std::printf("(PRORAM_BENCH_THREADS=%u - parallel grid cells)\n",
+                    threads);
     std::printf("==============================================================\n");
 }
 
@@ -35,6 +39,29 @@ inline Experiment
 defaultExperiment()
 {
     return Experiment(defaultSystemConfig(), benchScaleFromEnv());
+}
+
+/**
+ * Grid-cell factories: bind one simulation run into an
+ * Experiment::GridCell for runGrid(). The cell captures @p exp by
+ * reference - keep the Experiment alive until runGrid() returns.
+ */
+inline Experiment::GridCell
+benchmarkCell(const Experiment &exp, MemScheme scheme,
+              const BenchmarkProfile &profile)
+{
+    return [&exp, scheme, profile] {
+        return exp.runBenchmark(scheme, profile);
+    };
+}
+
+inline Experiment::GridCell
+generatorCell(const Experiment &exp, MemScheme scheme,
+              std::function<std::unique_ptr<TraceGenerator>()> make_gen)
+{
+    return [&exp, scheme, make_gen = std::move(make_gen)] {
+        return exp.runGenerator(scheme, make_gen);
+    };
 }
 
 } // namespace proram::bench

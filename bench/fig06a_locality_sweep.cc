@@ -28,9 +28,11 @@ main()
     SystemConfig cfg = defaultSystemConfig();
     const Experiment exp(cfg, benchScaleFromEnv());
 
-    stats::Table t({"locality", "stat", "dyn"});
-    for (double f : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-        auto gen = [&] {
+    const std::vector<double> fractions = {0.0, 0.2, 0.4,
+                                           0.6, 0.8, 1.0};
+    std::vector<Experiment::GridCell> cells;
+    for (double f : fractions) {
+        auto gen = [f] {
             SyntheticConfig c;
             c.footprintBlocks = 1ULL << 14;
             c.numAccesses = static_cast<std::uint64_t>(
@@ -40,11 +42,20 @@ main()
             c.seed = 3;
             return std::make_unique<SyntheticGenerator>(c);
         };
-        const auto oram = exp.runGenerator(MemScheme::OramBaseline, gen);
-        const auto stat = exp.runGenerator(MemScheme::OramStatic, gen);
-        const auto dyn = exp.runGenerator(MemScheme::OramDynamic, gen);
+        for (MemScheme s :
+             {MemScheme::OramBaseline, MemScheme::OramStatic,
+              MemScheme::OramDynamic})
+            cells.push_back(bench::generatorCell(exp, s, gen));
+    }
+    const std::vector<SimResult> results = exp.runGrid(cells);
+
+    stats::Table t({"locality", "stat", "dyn"});
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        const auto &oram = results[i * 3 + 0];
+        const auto &stat = results[i * 3 + 1];
+        const auto &dyn = results[i * 3 + 2];
         t.row()
-            .add(f, 1)
+            .add(fractions[i], 1)
             .addPct(metrics::speedup(oram, stat))
             .addPct(metrics::speedup(oram, dyn));
     }

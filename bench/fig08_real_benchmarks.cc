@@ -26,12 +26,26 @@ runSuite(const Experiment &exp, const char *title,
     std::vector<double> stat_all, dyn_all, stat_mem, dyn_mem;
     std::vector<double> stat_acc, dyn_acc;
 
+    // All (benchmark x scheme) cells of this suite run on the pool;
+    // results come back in cell order, so the table below is
+    // identical to the old serial loop.
+    const MemScheme schemes[] = {MemScheme::Dram,
+                                 MemScheme::OramBaseline,
+                                 MemScheme::OramStatic,
+                                 MemScheme::OramDynamic};
+    std::vector<Experiment::GridCell> cells;
     for (const auto &prof : suite) {
-        const auto dram = exp.runBenchmark(MemScheme::Dram, prof);
-        const auto oram =
-            exp.runBenchmark(MemScheme::OramBaseline, prof);
-        const auto stat = exp.runBenchmark(MemScheme::OramStatic, prof);
-        const auto dyn = exp.runBenchmark(MemScheme::OramDynamic, prof);
+        for (MemScheme s : schemes)
+            cells.push_back(bench::benchmarkCell(exp, s, prof));
+    }
+    const std::vector<SimResult> results = exp.runGrid(cells);
+
+    for (std::size_t p = 0; p < suite.size(); ++p) {
+        const auto &prof = suite[p];
+        const auto &dram = results[p * 4 + 0];
+        const auto &oram = results[p * 4 + 1];
+        const auto &stat = results[p * 4 + 2];
+        const auto &dyn = results[p * 4 + 3];
 
         const double overhead =
             static_cast<double>(oram.cycles) / dram.cycles;

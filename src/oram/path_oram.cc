@@ -1,5 +1,7 @@
 #include "oram/path_oram.hh"
 
+#include <cassert>
+
 #include "util/logging.hh"
 
 namespace proram
@@ -7,8 +9,10 @@ namespace proram
 
 PathOram::PathOram(const OramConfig &cfg, PositionMap &pos_map)
     : cfg_(cfg), posMap_(pos_map), tree_(cfg.levels(), cfg.z),
-      stash_(cfg.stashCapacity), rng_(cfg.seed ^ 0x0aa77aa55aa33aa1ULL)
+      stash_(cfg.stashCapacity), rng_(cfg.seed ^ 0x0aa77aa55aa33aa1ULL),
+      eligibleScratch_(tree_.levels() + 1)
 {
+    poolScratch_.reserve(cfg.stashCapacity);
 }
 
 Leaf
@@ -24,14 +28,13 @@ PathOram::readPath(Leaf leaf)
     for (std::uint32_t level = 0; level <= tree_.levels(); ++level) {
         Bucket &b = tree_.bucket(tree_.nodeOnPath(leaf, level));
         for (std::uint32_t i = 0; i < b.z(); ++i) {
-            Slot &s = b.slot(i);
+            const Slot &s = b.slot(i);
             if (s.isDummy())
                 continue;
             const bool fresh = stash_.insert(s.id, s.data);
             panic_if(!fresh, "block ", s.id,
                      " duplicated between tree and stash");
-            s.id = kInvalidBlock;
-            s.data = 0;
+            b.clearSlot(i);
         }
     }
 }
@@ -41,31 +44,36 @@ PathOram::writePath(Leaf leaf)
 {
     // Bucket the stash by the deepest level each block may occupy on
     // this path, then fill buckets greedily from the leaf upward.
+    // One scan captures id + payload, so eviction below needs no
+    // stash re-lookup; the per-level scratch vectors keep their
+    // capacity across calls (no allocations once warmed up).
     const std::uint32_t levels = tree_.levels();
-    std::vector<std::vector<BlockId>> eligible(levels + 1);
-    for (BlockId id : stash_.residentIds()) {
+    for (auto &level_blocks : eligibleScratch_)
+        level_blocks.clear();
+    stash_.forEachResident([&](BlockId id, const StashEntry &e) {
         const Leaf block_leaf = posMap_.leafOf(id);
         panic_if(block_leaf == kInvalidLeaf,
                  "stash block ", id, " has no leaf");
-        eligible[tree_.commonLevel(block_leaf, leaf)].push_back(id);
-    }
+        eligibleScratch_[tree_.commonLevel(block_leaf, leaf)]
+            .push_back({id, e.data});
+    });
 
-    std::vector<BlockId> pool;
+    poolScratch_.clear();
     for (std::uint32_t l = levels + 1; l-- > 0;) {
-        for (BlockId id : eligible[l])
-            pool.push_back(id);
+        for (const Evictable &ev : eligibleScratch_[l])
+            poolScratch_.push_back(ev);
         Bucket &b = tree_.bucket(tree_.nodeOnPath(leaf, l));
-        while (!pool.empty()) {
+        while (!poolScratch_.empty()) {
             Slot *slot = b.freeSlot();
             if (!slot)
                 break;
-            const BlockId id = pool.back();
-            pool.pop_back();
-            StashEntry *e = stash_.find(id);
-            panic_if(!e, "eligible block ", id, " vanished from stash");
-            slot->id = id;
-            slot->data = e->data;
-            stash_.erase(id);
+            const Evictable ev = poolScratch_.back();
+            poolScratch_.pop_back();
+            slot->id = ev.id;
+            slot->data = ev.data;
+            const bool erased = stash_.erase(ev.id);
+            assert(erased && "eligible block vanished from stash");
+            (void)erased;
         }
     }
     stash_.sampleOccupancy();

@@ -66,12 +66,25 @@ class PathOram
     std::uint64_t pathReads() const { return pathReads_.value(); }
 
   private:
+    /** A stash block staged for eviction: id plus payload captured in
+     *  the single stash scan so write-back needs no re-lookup. */
+    struct Evictable
+    {
+        BlockId id;
+        std::uint64_t data;
+    };
+
     OramConfig cfg_;
     PositionMap &posMap_;
     BinaryTree tree_;
     Stash stash_;
     Rng rng_;
     stats::Counter pathReads_;
+
+    // writePath scratch, reused across accesses so the hot path makes
+    // no allocations once the per-level capacities have warmed up.
+    std::vector<std::vector<Evictable>> eligibleScratch_;
+    std::vector<Evictable> poolScratch_;
 };
 
 } // namespace proram

@@ -51,7 +51,22 @@ class Stash
     std::uint32_t capacity() const { return capacity_; }
     bool overCapacity() const { return entries_.size() > capacity_; }
 
-    /** Snapshot of resident ids (eviction scan / tests). */
+    /**
+     * Visit every resident block without snapshotting (the eviction
+     * scan's hot path). @p fn is called as fn(BlockId, const
+     * StashEntry &); the stash must not be mutated during iteration.
+     * Visit order matches residentIds(), keeping eviction decisions
+     * bit-identical to the snapshot-based scan.
+     */
+    template <typename Fn>
+    void forEachResident(Fn &&fn) const
+    {
+        for (const auto &[id, entry] : entries_)
+            fn(id, entry);
+    }
+
+    /** Snapshot of resident ids (invariant checks / tests only -
+     *  allocates; use forEachResident() on hot paths). */
     std::vector<BlockId> residentIds() const;
 
     /** Record an occupancy sample (called once per ORAM access). */

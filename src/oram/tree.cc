@@ -1,5 +1,7 @@
 #include "oram/tree.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace proram
@@ -19,11 +21,25 @@ Bucket::occupancy() const
 Slot *
 Bucket::freeSlot()
 {
+    if (free_ == 0)
+        return nullptr;
     for (Slot &s : slots_) {
-        if (s.isDummy())
+        if (s.isDummy()) {
+            --free_;
             return &s;
+        }
     }
-    return nullptr;
+    panic("bucket free-slot count ", free_, " but no dummy slot");
+}
+
+void
+Bucket::clearSlot(std::uint32_t i)
+{
+    Slot &s = slots_[i];
+    if (!s.isDummy())
+        ++free_;
+    s.id = kInvalidBlock;
+    s.data = 0;
 }
 
 BinaryTree::BinaryTree(std::uint32_t levels, std::uint32_t z)
@@ -38,28 +54,22 @@ BinaryTree::nodeOnPath(Leaf leaf, std::uint32_t level) const
 {
     panic_if(leaf >= numLeaves(), "leaf ", leaf, " out of range");
     panic_if(level > levels_, "level ", level, " out of range");
-    // The node at `level` on path `leaf` is reached by following the
-    // top `level` bits of the leaf label from the root.
-    std::uint64_t node = 0;
-    for (std::uint32_t l = 0; l < level; ++l) {
-        const std::uint32_t bit = (leaf >> (levels_ - 1 - l)) & 1;
-        node = 2 * node + 1 + bit;
-    }
-    return node;
+    // Heap level l spans indices [2^l - 1, 2^(l+1) - 2] and the path
+    // node within it is indexed by the top `level` bits of the leaf
+    // label, so the bit-by-bit walk collapses to one shift-and-add.
+    return ((1ULL << level) - 1) +
+           (static_cast<std::uint64_t>(leaf) >> (levels_ - level));
 }
 
 std::uint32_t
 BinaryTree::commonLevel(Leaf a, Leaf b) const
 {
-    std::uint32_t level = 0;
-    while (level < levels_) {
-        const std::uint32_t bit_a = (a >> (levels_ - 1 - level)) & 1;
-        const std::uint32_t bit_b = (b >> (levels_ - 1 - level)) & 1;
-        if (bit_a != bit_b)
-            break;
-        ++level;
-    }
-    return level;
+    // Paths diverge at the highest differing leaf bit: the shared
+    // depth is levels_ minus the XOR's bit width (equal labels share
+    // the whole path).
+    const std::uint64_t diff =
+        static_cast<std::uint64_t>(a) ^ static_cast<std::uint64_t>(b);
+    return levels_ - static_cast<std::uint32_t>(std::bit_width(diff));
 }
 
 std::uint64_t

@@ -30,11 +30,17 @@ struct Slot
     bool isDummy() const { return id == kInvalidBlock; }
 };
 
-/** A bucket of Z slots. */
+/**
+ * A bucket of Z slots. Tracks its free-slot count so a full bucket
+ * answers freeSlot() in O(1); fill/clear must therefore go through
+ * freeSlot()/clearSlot(). The non-const slot() accessor exists for
+ * tests that corrupt state deliberately - occupancy changes made
+ * through it are not reflected in the free count.
+ */
 class Bucket
 {
   public:
-    explicit Bucket(std::uint32_t z) : slots_(z) {}
+    explicit Bucket(std::uint32_t z) : slots_(z), free_(z) {}
 
     std::uint32_t z() const
     {
@@ -47,11 +53,22 @@ class Bucket
     /** Number of real (non-dummy) blocks resident. */
     std::uint32_t occupancy() const;
 
-    /** @return a free slot, or nullptr if the bucket is full. */
+    /** Free slots available via freeSlot(). */
+    std::uint32_t freeSlots() const { return free_; }
+
+    /**
+     * Reserve a free slot, or nullptr if the bucket is full (O(1) in
+     * that case). The caller must fill the returned slot with a real
+     * block - the slot is counted as occupied from here on.
+     */
     Slot *freeSlot();
+
+    /** Evict slot @p i back to dummy, releasing it for reuse. */
+    void clearSlot(std::uint32_t i);
 
   private:
     std::vector<Slot> slots_;
+    std::uint32_t free_;
 };
 
 /**

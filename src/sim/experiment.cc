@@ -1,8 +1,11 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <future>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace proram
 {
@@ -73,6 +76,40 @@ Experiment::runWith(
     System system(cfg);
     auto gen = make_gen();
     return system.run(*gen);
+}
+
+std::vector<SimResult>
+Experiment::runGrid(const std::vector<GridCell> &cells,
+                    unsigned threads) const
+{
+    if (threads == 0)
+        threads = benchThreadsFromEnv();
+
+    std::vector<SimResult> results(cells.size());
+    if (threads == 1 || cells.size() <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            results[i] = cells[i]();
+        return results;
+    }
+
+    util::ThreadPool pool(
+        std::min<std::size_t>(threads, cells.size()));
+    std::vector<std::future<SimResult>> futures;
+    futures.reserve(cells.size());
+    for (const GridCell &cell : cells)
+        futures.push_back(pool.submit(cell));
+    // Collect in submission order: deterministic result layout, and
+    // any cell exception surfaces (from the first failing index) only
+    // after the pool has drained the cells already running.
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        results[i] = futures[i].get();
+    return results;
+}
+
+unsigned
+Experiment::benchThreadsFromEnv()
+{
+    return util::ThreadPool::defaultThreadCount();
 }
 
 double

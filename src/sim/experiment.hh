@@ -42,6 +42,14 @@ double normCompletionTime(const SimResult &base, const SimResult &x);
 class Experiment
 {
   public:
+    /**
+     * One (scheme x workload) grid cell: a closure that builds and
+     * runs a fresh, self-contained System. Cells must not share
+     * mutable state - all randomness derives from config seeds, which
+     * is what makes parallel execution bit-identical to serial.
+     */
+    using GridCell = std::function<SimResult()>;
+
     explicit Experiment(SystemConfig base, double trace_scale = 1.0);
 
     /** Run @p scheme over a named benchmark profile. */
@@ -60,6 +68,19 @@ class Experiment
         const std::function<void(SystemConfig &)> &tweak,
         const std::function<std::unique_ptr<TraceGenerator>()> &make_gen)
         const;
+
+    /**
+     * Run every cell and return results in cell order. Cells execute
+     * on @p threads pool workers (0 = benchThreadsFromEnv());
+     * threads == 1 degenerates to a plain serial loop. Results are
+     * bit-identical either way; a cell's exception is rethrown after
+     * in-flight cells finish.
+     */
+    std::vector<SimResult> runGrid(const std::vector<GridCell> &cells,
+                                   unsigned threads = 0) const;
+
+    /** Worker count from $PRORAM_BENCH_THREADS (default: all cores). */
+    static unsigned benchThreadsFromEnv();
 
     SystemConfig &baseConfig() { return base_; }
     const SystemConfig &baseConfig() const { return base_; }

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
+#include "sim/experiment.hh"
 #include "sim/system.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_file.hh"
@@ -77,6 +79,60 @@ TEST(ReplayDeterminism, EverySchemeIsDeterministic)
         EXPECT_EQ(a.cycles, b.cycles) << schemeName(s);
         EXPECT_EQ(a.memAccesses, b.memAccesses) << schemeName(s);
     }
+}
+
+TEST(ReplayDeterminism, ParallelGridMatchesSerialGrid)
+{
+    // The bench binaries' core assumption: runGrid() on a worker pool
+    // produces bit-identical SimResults, in the same order, as the
+    // serial loop. Cells cover every scheme plus a config tweak so
+    // per-cell seeding paths are all exercised.
+    const Experiment exp(defaultSystemConfig(), 0.03);
+    const auto &prof_a = profileByName("fft");
+    const auto &prof_b = profileByName("gobmk");
+
+    std::vector<Experiment::GridCell> cells;
+    for (const auto *prof : {&prof_a, &prof_b}) {
+        for (MemScheme s :
+             {MemScheme::Dram, MemScheme::OramBaseline,
+              MemScheme::OramStatic, MemScheme::OramDynamic}) {
+            cells.push_back(
+                [&exp, s, prof] { return exp.runBenchmark(s, *prof); });
+        }
+    }
+    cells.push_back([&exp, &prof_a] {
+        return exp.runWith(
+            MemScheme::OramDynamic,
+            [](SystemConfig &c) { c.oram.plbEntries = 8; },
+            [&] { return makeGenerator(prof_a, 0.03); });
+    });
+
+    const auto serial = exp.runGrid(cells, 1);
+    const auto parallel = exp.runGrid(cells, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].scheme, parallel[i].scheme) << "cell " << i;
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles) << "cell " << i;
+        EXPECT_EQ(serial[i].memAccesses, parallel[i].memAccesses)
+            << "cell " << i;
+        EXPECT_EQ(serial[i].pathAccesses, parallel[i].pathAccesses)
+            << "cell " << i;
+        EXPECT_EQ(serial[i].merges, parallel[i].merges) << "cell " << i;
+        EXPECT_EQ(serial[i].breaks, parallel[i].breaks) << "cell " << i;
+    }
+}
+
+TEST(ReplayDeterminism, GridCellExceptionPropagates)
+{
+    const Experiment exp(defaultSystemConfig(), 0.03);
+    std::vector<Experiment::GridCell> cells;
+    cells.push_back([&exp] {
+        return exp.runBenchmark(MemScheme::Dram, profileByName("fft"));
+    });
+    cells.push_back(
+        []() -> SimResult { throw std::runtime_error("boom"); });
+    EXPECT_THROW(exp.runGrid(cells, 2), std::runtime_error);
 }
 
 TEST(ReplayDeterminism, SeedChangesTheRunButNotTheShape)

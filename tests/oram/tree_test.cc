@@ -50,8 +50,9 @@ TEST(Tree, LeavesAreDistinctAndAtBottom)
         const std::uint64_t node = t.nodeOnPath(s, 3);
         EXPECT_GE(node, 7u);
         EXPECT_LT(node, 15u);
-        if (s > 0)
+        if (s > 0) {
             EXPECT_NE(node, prev);
+        }
         prev = node;
     }
 }
