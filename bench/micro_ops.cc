@@ -2,7 +2,9 @@
  * @file
  * google-benchmark microbenchmarks of the simulator's primitive
  * operations: path read/write, pos-map walk, background eviction,
- * full controller accesses per scheme, and policy bookkeeping.
+ * full controller accesses per scheme, policy bookkeeping, and the
+ * isolated memory-layout loops (stash scan, PLB lookup, tree path
+ * touch) that PR 2's cache-conscious containers target.
  * These measure *simulator* throughput (host time), useful for
  * estimating experiment wall-clock budgets.
  */
@@ -109,6 +111,71 @@ BENCHMARK(BM_ControllerAccess)
     ->Arg(static_cast<int>(MemScheme::OramBaseline))
     ->Arg(static_cast<int>(MemScheme::OramStatic))
     ->Arg(static_cast<int>(MemScheme::OramDynamic));
+
+void
+BM_StashScan(benchmark::State &state)
+{
+    // The writePath eviction scan in isolation: iterate a populated
+    // stash and compute each block's eviction level off the cached
+    // leaf (the contiguous-entry hot loop of the dense stash).
+    UnifiedOram oram(microCfg());
+    oram.initialize();
+    PathOram &engine = oram.engine();
+    // Pull a few paths in without writing back to populate the stash.
+    for (Leaf l = 0; l < 4; ++l)
+        engine.readPath(engine.randomLeaf());
+    const BinaryTree &tree = engine.tree();
+    Leaf target = 0;
+    for (auto _ : state) {
+        std::uint64_t acc = 0;
+        engine.stash().forEachResident([&](const StashEntry &e) {
+            acc += tree.commonLevel(e.leaf, target);
+        });
+        benchmark::DoNotOptimize(acc);
+        target = (target + 1) % static_cast<Leaf>(tree.numLeaves());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["stashBlocks"] =
+        static_cast<double>(engine.stash().size());
+}
+BENCHMARK(BM_StashScan);
+
+void
+BM_PlbLookup(benchmark::State &state)
+{
+    // PLB hit/miss/insert churn over a working set larger than the
+    // cache: exercises the array-backed LRU's refresh and eviction.
+    PosMapBlockCache plb(64);
+    Rng rng(5);
+    for (auto _ : state) {
+        const BlockId b = rng.below(256);
+        if (!plb.lookup(b))
+            plb.insert(b);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlbLookup);
+
+void
+BM_TreePathTouch(benchmark::State &state)
+{
+    // Raw slot-arena traversal: walk one root-to-leaf path and sum
+    // bucket occupancies (the memory-access pattern of readPath
+    // without the stash work).
+    UnifiedOram oram(microCfg());
+    oram.initialize();
+    const BinaryTree &tree = oram.engine().tree();
+    Leaf leaf = 0;
+    for (auto _ : state) {
+        std::uint64_t occupied = 0;
+        for (std::uint32_t l = 0; l <= tree.levels(); ++l)
+            occupied += tree.occupancy(tree.nodeOnPath(leaf, l));
+        benchmark::DoNotOptimize(occupied);
+        leaf = (leaf + 1) % static_cast<Leaf>(tree.numLeaves());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreePathTouch);
 
 void
 BM_MergeBreakBookkeeping(benchmark::State &state)

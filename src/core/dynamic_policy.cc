@@ -43,7 +43,8 @@ DynamicSuperBlockPolicy::readMergeCounter(BlockId pair_base,
     // The counter is the concatenation of the 2n members' merge bits
     // (Fig. 4); members are stride-spaced under the Sec. 6.2 extension.
     std::uint32_t v = 0;
-    for (BlockId m : sbMembersStrided(pair_base, 2 * n, cfg_.strideLog)) {
+    for (std::uint32_t i = 0; i < 2 * n; ++i) {
+        const BlockId m = sbMemberAt(pair_base, i, cfg_.strideLog);
         v <<= 1;
         v |= oram_.posMap().entry(m).mergeBit ? 1u : 0u;
     }
@@ -56,11 +57,10 @@ DynamicSuperBlockPolicy::writeMergeCounter(BlockId pair_base,
                                            std::uint32_t value)
 {
     const std::uint32_t bits = 2 * n;
-    std::uint32_t i = 0;
-    for (BlockId m : sbMembersStrided(pair_base, bits, cfg_.strideLog)) {
+    for (std::uint32_t i = 0; i < bits; ++i) {
+        const BlockId m = sbMemberAt(pair_base, i, cfg_.strideLog);
         const std::uint32_t bit = (value >> (bits - 1 - i)) & 1u;
         oram_.posMap().entry(m).mergeBit = bit != 0;
-        ++i;
     }
 }
 
@@ -69,7 +69,8 @@ DynamicSuperBlockPolicy::readBreakCounter(BlockId base,
                                           std::uint32_t m) const
 {
     std::uint32_t v = 0;
-    for (BlockId b : sbMembersStrided(base, m, cfg_.strideLog)) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+        const BlockId b = sbMemberAt(base, i, cfg_.strideLog);
         v <<= 1;
         v |= oram_.posMap().entry(b).breakBit ? 1u : 0u;
     }
@@ -80,11 +81,10 @@ void
 DynamicSuperBlockPolicy::writeBreakCounter(BlockId base, std::uint32_t m,
                                            std::uint32_t value)
 {
-    std::uint32_t i = 0;
-    for (BlockId b : sbMembersStrided(base, m, cfg_.strideLog)) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+        const BlockId b = sbMemberAt(base, i, cfg_.strideLog);
         const std::uint32_t bit = (value >> (m - 1 - i)) & 1u;
         oram_.posMap().entry(b).breakBit = bit != 0;
-        ++i;
     }
 }
 
@@ -152,8 +152,9 @@ DynamicSuperBlockPolicy::neighborCoherent(BlockId nbase,
         (n > 1 && first.sbStrideLog != cfg_.strideLog)) {
         return false;
     }
-    for (BlockId m : sbMembersStrided(nbase, n, cfg_.strideLog)) {
-        const PosEntry &e = oram_.posMap().entry(m);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const PosEntry &e =
+            oram_.posMap().entry(sbMemberAt(nbase, i, cfg_.strideLog));
         if (e.sbSize() != n || e.leaf != first.leaf)
             return false;
         if (n > 1 && e.sbStrideLog != cfg_.strideLog)
@@ -194,14 +195,17 @@ DynamicSuperBlockPolicy::applyBreakScheme(
     const Leaf leaf_req = oram_.engine().randomLeaf();
     const Leaf leaf_other = oram_.engine().randomLeaf();
     const auto half_log = static_cast<std::uint8_t>(log2Floor(half));
+    // Remaps go through setLeaf so members sitting in the stash (this
+    // very access just read them in) see their cached leaf refreshed
+    // before the write-back's eviction scan runs.
     for (std::uint32_t i = 0; i < half; ++i) {
         const BlockId off = static_cast<BlockId>(i) << stride;
+        oram_.posMap().setLeaf(req_half + off, leaf_req);
         PosEntry &a = oram_.posMap().entry(req_half + off);
-        a.leaf = leaf_req;
         a.sbSizeLog = half_log;
         a.sbStrideLog = half > 1 ? static_cast<std::uint8_t>(stride) : 0;
+        oram_.posMap().setLeaf(other_half + off, leaf_other);
         PosEntry &b = oram_.posMap().entry(other_half + off);
-        b.leaf = leaf_other;
         b.sbSizeLog = half_log;
         b.sbStrideLog = half > 1 ? static_cast<std::uint8_t>(stride) : 0;
     }
@@ -236,8 +240,8 @@ DynamicSuperBlockPolicy::applyMergeScheme(BlockId base, std::uint32_t n)
     std::uint32_t counter = readMergeCounter(pair_base, n);
 
     bool all_in_llc = true;
-    for (BlockId m : sbMembersStrided(nbase, n, stride)) {
-        if (!llc_.probe(m)) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!llc_.probe(sbMemberAt(nbase, i, stride))) {
             all_in_llc = false;
             break;
         }
@@ -263,10 +267,11 @@ DynamicSuperBlockPolicy::applyMergeScheme(BlockId base, std::uint32_t n)
     // super block of size 2n with fresh counters.
     const Leaf nleaf = oram_.posMap().leafOf(nbase);
     const auto merged_log = static_cast<std::uint8_t>(log2Floor(2 * n));
-    for (BlockId m : sbMembersStrided(base, n, stride))
-        oram_.posMap().setLeaf(m, nleaf);
-    for (BlockId m : sbMembersStrided(pair_base, 2 * n, stride)) {
-        PosEntry &e = oram_.posMap().entry(m);
+    for (std::uint32_t i = 0; i < n; ++i)
+        oram_.posMap().setLeaf(sbMemberAt(base, i, stride), nleaf);
+    for (std::uint32_t i = 0; i < 2 * n; ++i) {
+        PosEntry &e =
+            oram_.posMap().entry(sbMemberAt(pair_base, i, stride));
         e.sbSizeLog = merged_log;
         e.sbStrideLog = static_cast<std::uint8_t>(stride);
     }
@@ -281,7 +286,12 @@ DynamicSuperBlockPolicy::onDataAccess(BlockId requested,
 {
     std::uint32_t n = oram_.posMap().entry(requested).sbSize();
     BlockId base = sbBaseStrided(requested, n, cfg_.strideLog);
-    auto members = sbMembersStrided(base, n, cfg_.strideLog);
+    // Scratch members keep the per-access hot path allocation-free
+    // once warmed up (n is small, bounded by maxSbSize).
+    std::vector<BlockId> &members = membersScratch_;
+    members.clear();
+    for (std::uint32_t i = 0; i < n; ++i)
+        members.push_back(sbMemberAt(base, i, cfg_.strideLog));
 
     if (is_writeback) {
         // Victim write-back: remap-only; no learning, no prefetching.
@@ -289,7 +299,8 @@ DynamicSuperBlockPolicy::onDataAccess(BlockId requested,
         return {};
     }
 
-    std::vector<bool> in_llc(members.size());
+    std::vector<bool> &in_llc = inLlcScratch_;
+    in_llc.assign(members.size(), false);
     for (std::size_t i = 0; i < members.size(); ++i)
         in_llc[i] = llc_.probe(members[i]);
 
@@ -297,11 +308,12 @@ DynamicSuperBlockPolicy::onDataAccess(BlockId requested,
     if (n > 1) {
         broke = applyBreakScheme(requested, base, n, members, in_llc);
         if (broke) {
-            members = sbMembersStrided(base, n, cfg_.strideLog);
-            std::vector<bool> trimmed(members.size());
+            members.clear();
+            for (std::uint32_t i = 0; i < n; ++i)
+                members.push_back(sbMemberAt(base, i, cfg_.strideLog));
+            in_llc.assign(members.size(), false);
             for (std::size_t i = 0; i < members.size(); ++i)
-                trimmed[i] = llc_.probe(members[i]);
-            in_llc = std::move(trimmed);
+                in_llc[i] = llc_.probe(members[i]);
         }
     } else {
         // Singleton: still settle the block's own prefetch verdict.

@@ -100,6 +100,11 @@ class DynamicSuperBlockPolicy : public SuperBlockPolicy
 
     DynamicPolicyConfig cfg_;
 
+    /** onDataAccess scratch, reused across accesses so the hot path
+     *  makes no allocations once warmed up. */
+    std::vector<BlockId> membersScratch_;
+    std::vector<bool> inLlcScratch_;
+
     /** Windowed inputs to Eq. 1, refreshed by onEpoch(). */
     double evictionRate_ = 0.0;
     double accessRate_ = 0.0;

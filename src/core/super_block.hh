@@ -65,6 +65,14 @@ BlockId sbNeighborBaseStrided(BlockId base, std::uint32_t size,
 std::vector<BlockId> sbMembersStrided(BlockId base, std::uint32_t size,
                                       std::uint32_t stride_log);
 
+/** The @p i-th member of the strided group at @p base; the
+ *  allocation-free alternative to sbMembersStrided() on hot paths. */
+inline BlockId
+sbMemberAt(BlockId base, std::uint32_t i, std::uint32_t stride_log)
+{
+    return base + (static_cast<BlockId>(i) << stride_log);
+}
+
 /** Bounds/fanout check for merging two size-@p size strided groups. */
 bool mergeWithinBoundsStrided(BlockId base, std::uint32_t size,
                               std::uint32_t stride_log,

@@ -37,23 +37,22 @@ checkIntegrity(const UnifiedOram &oram)
     for (std::uint64_t node = 0; node < tree.numBuckets(); ++node) {
         // Recover the level of this heap node.
         std::uint32_t level = log2Floor(node + 1);
-        const Bucket &b = tree.bucket(node);
-        for (std::uint32_t i = 0; i < b.z(); ++i) {
-            const Slot &s = b.slot(i);
-            if (s.isDummy())
+        for (std::uint32_t i = 0; i < tree.z(); ++i) {
+            const BlockId id = tree.slotId(node, i);
+            if (id == kInvalidBlock)
                 continue;
-            if (s.id >= total) {
-                report.fail(str("tree slot holds out-of-range id", s.id));
+            if (id >= total) {
+                report.fail(str("tree slot holds out-of-range id", id));
                 continue;
             }
-            ++copies[s.id];
-            const Leaf leaf = pos.leafOf(s.id);
+            ++copies[id];
+            const Leaf leaf = pos.leafOf(id);
             if (leaf == kInvalidLeaf || leaf >= tree.numLeaves()) {
-                report.fail(str("tree block has invalid leaf", s.id));
+                report.fail(str("tree block has invalid leaf", id));
                 continue;
             }
             if (tree.nodeOnPath(leaf, level) != node)
-                report.fail(str("block off its mapped path", s.id));
+                report.fail(str("block off its mapped path", id));
         }
     }
 

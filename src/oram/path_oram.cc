@@ -13,6 +13,15 @@ PathOram::PathOram(const OramConfig &cfg, PositionMap &pos_map)
       eligibleScratch_(tree_.levels() + 1)
 {
     poolScratch_.reserve(cfg.stashCapacity);
+    // Every leaf remap must reach stash-resident entries' cached
+    // leaves; routing through the position map's single write point
+    // covers all remap sites (eviction, merge, break) at once.
+    posMap_.attachLeafCache(&stash_);
+}
+
+PathOram::~PathOram()
+{
+    posMap_.attachLeafCache(nullptr);
 }
 
 Leaf
@@ -25,16 +34,20 @@ void
 PathOram::readPath(Leaf leaf)
 {
     ++pathReads_;
+    const std::uint32_t z = tree_.z();
     for (std::uint32_t level = 0; level <= tree_.levels(); ++level) {
-        Bucket &b = tree_.bucket(tree_.nodeOnPath(leaf, level));
-        for (std::uint32_t i = 0; i < b.z(); ++i) {
-            const Slot &s = b.slot(i);
-            if (s.isDummy())
+        const std::uint64_t node = tree_.nodeOnPath(leaf, level);
+        if (tree_.occupancy(node) == 0)
+            continue;
+        for (std::uint32_t i = 0; i < z; ++i) {
+            const BlockId id = tree_.slotId(node, i);
+            if (id == kInvalidBlock)
                 continue;
-            const bool fresh = stash_.insert(s.id, s.data);
-            panic_if(!fresh, "block ", s.id,
+            const bool fresh = stash_.insert(id, tree_.slotData(node, i),
+                                             posMap_.leafOf(id));
+            panic_if(!fresh, "block ", id,
                      " duplicated between tree and stash");
-            b.clearSlot(i);
+            tree_.clearSlot(node, i);
         }
     }
 }
@@ -44,33 +57,29 @@ PathOram::writePath(Leaf leaf)
 {
     // Bucket the stash by the deepest level each block may occupy on
     // this path, then fill buckets greedily from the leaf upward.
-    // One scan captures id + payload, so eviction below needs no
-    // stash re-lookup; the per-level scratch vectors keep their
+    // One scan over the contiguous entry vector captures id + payload
+    // and reads the cached leaf straight off the entry (no position
+    // map lookup per block); the per-level scratch vectors keep their
     // capacity across calls (no allocations once warmed up).
     const std::uint32_t levels = tree_.levels();
     for (auto &level_blocks : eligibleScratch_)
         level_blocks.clear();
-    stash_.forEachResident([&](BlockId id, const StashEntry &e) {
-        const Leaf block_leaf = posMap_.leafOf(id);
-        panic_if(block_leaf == kInvalidLeaf,
-                 "stash block ", id, " has no leaf");
-        eligibleScratch_[tree_.commonLevel(block_leaf, leaf)]
-            .push_back({id, e.data});
+    stash_.forEachResident([&](const StashEntry &e) {
+        panic_if(e.leaf == kInvalidLeaf,
+                 "stash block ", e.id, " has no leaf");
+        eligibleScratch_[tree_.commonLevel(e.leaf, leaf)]
+            .push_back({e.id, e.data});
     });
 
     poolScratch_.clear();
     for (std::uint32_t l = levels + 1; l-- > 0;) {
         for (const Evictable &ev : eligibleScratch_[l])
             poolScratch_.push_back(ev);
-        Bucket &b = tree_.bucket(tree_.nodeOnPath(leaf, l));
-        while (!poolScratch_.empty()) {
-            Slot *slot = b.freeSlot();
-            if (!slot)
-                break;
+        const std::uint64_t node = tree_.nodeOnPath(leaf, l);
+        while (!poolScratch_.empty() && tree_.freeSlots(node) != 0) {
             const Evictable ev = poolScratch_.back();
             poolScratch_.pop_back();
-            slot->id = ev.id;
-            slot->data = ev.data;
+            tree_.tryPlace(node, ev.id, ev.data);
             const bool erased = stash_.erase(ev.id);
             assert(erased && "eligible block vanished from stash");
             (void)erased;
@@ -94,14 +103,10 @@ PathOram::placeInitial(BlockId id, std::uint64_t data)
     const Leaf leaf = posMap_.leafOf(id);
     panic_if(leaf == kInvalidLeaf, "placeInitial before leaf assignment");
     for (std::uint32_t l = tree_.levels() + 1; l-- > 0;) {
-        Bucket &b = tree_.bucket(tree_.nodeOnPath(leaf, l));
-        if (Slot *slot = b.freeSlot()) {
-            slot->id = id;
-            slot->data = data;
+        if (tree_.tryPlace(tree_.nodeOnPath(leaf, l), id, data))
             return;
-        }
     }
-    stash_.insert(id, data);
+    stash_.insert(id, data, leaf);
 }
 
 } // namespace proram

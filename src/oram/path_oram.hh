@@ -30,6 +30,10 @@ class PathOram
 {
   public:
     PathOram(const OramConfig &cfg, PositionMap &pos_map);
+    ~PathOram();
+
+    PathOram(const PathOram &) = delete;
+    PathOram &operator=(const PathOram &) = delete;
 
     /** Read every bucket on path @p leaf into the stash (step 2). */
     void readPath(Leaf leaf);

@@ -84,44 +84,81 @@ PositionMap::entry(BlockId id) const
 }
 
 PosMapBlockCache::PosMapBlockCache(std::uint32_t entries)
-    : capacity_(entries)
+    : capacity_(entries), nodes_(entries), index_(entries)
 {
     fatal_if(entries == 0, "PLB needs at least one entry");
+}
+
+void
+PosMapBlockCache::unlink(std::uint32_t slot)
+{
+    Node &n = nodes_[slot];
+    if (n.prev != kNil)
+        nodes_[n.prev].next = n.next;
+    else
+        head_ = n.next;
+    if (n.next != kNil)
+        nodes_[n.next].prev = n.prev;
+    else
+        tail_ = n.prev;
+}
+
+void
+PosMapBlockCache::linkFront(std::uint32_t slot)
+{
+    Node &n = nodes_[slot];
+    n.prev = kNil;
+    n.next = head_;
+    if (head_ != kNil)
+        nodes_[head_].prev = slot;
+    head_ = slot;
+    if (tail_ == kNil)
+        tail_ = slot;
 }
 
 bool
 PosMapBlockCache::lookup(BlockId pm_block)
 {
-    auto it = map_.find(pm_block);
-    if (it == map_.end()) {
+    const std::uint32_t slot = index_.get(pm_block);
+    if (slot == FlatIndex::kNone) {
         ++misses_;
         return false;
     }
     ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    if (head_ != slot) {
+        unlink(slot);
+        linkFront(slot);
+    }
     return true;
 }
 
 void
 PosMapBlockCache::insert(BlockId pm_block)
 {
-    auto it = map_.find(pm_block);
-    if (it != map_.end()) {
-        lru_.splice(lru_.begin(), lru_, it->second);
+    std::uint32_t slot = index_.get(pm_block);
+    if (slot != FlatIndex::kNone) {
+        if (head_ != slot) {
+            unlink(slot);
+            linkFront(slot);
+        }
         return;
     }
-    if (map_.size() >= capacity_) {
-        map_.erase(lru_.back());
-        lru_.pop_back();
+    if (used_ < capacity_) {
+        slot = used_++;
+    } else {
+        slot = tail_;
+        index_.erase(nodes_[slot].id);
+        unlink(slot);
     }
-    lru_.push_front(pm_block);
-    map_[pm_block] = lru_.begin();
+    nodes_[slot].id = pm_block;
+    linkFront(slot);
+    index_.put(pm_block, slot);
 }
 
 bool
 PosMapBlockCache::contains(BlockId pm_block) const
 {
-    return map_.count(pm_block) != 0;
+    return index_.get(pm_block) != FlatIndex::kNone;
 }
 
 } // namespace proram

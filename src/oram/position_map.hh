@@ -10,17 +10,23 @@
  * block must be on-chip to know a leaf, and which path accesses a PLB
  * miss costs) is modelled by BlockSpace + PosMapBlockCache and charged
  * by the unified ORAM front end.
+ *
+ * Leaf-cache coherence: stash entries cache their block's leaf so the
+ * eviction scan never re-reads the position map. setLeaf() is the one
+ * mutation point for leaves, and it forwards every remap to the
+ * attached Stash (see attachLeafCache()) - remap call sites do not,
+ * and must not, update the stash themselves.
  */
 
 #ifndef PRORAM_ORAM_POSITION_MAP_HH
 #define PRORAM_ORAM_POSITION_MAP_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "oram/config.hh"
+#include "oram/stash.hh"
+#include "util/flat_index.hh"
 #include "util/types.hh"
 
 namespace proram
@@ -100,7 +106,24 @@ class PositionMap
     const PosEntry &entry(BlockId id) const;
 
     Leaf leafOf(BlockId id) const { return entry(id).leaf; }
-    void setLeaf(BlockId id, Leaf leaf) { entry(id).leaf = leaf; }
+
+    /**
+     * Remap @p id to @p leaf. The single write point for leaves: also
+     * refreshes the attached stash's cached copy, so a remap made
+     * mid-access is visible to that access's own eviction scan.
+     * (Writing entry(id).leaf directly bypasses the stash and is a
+     * coherence bug whenever the block can be stash-resident.)
+     */
+    void setLeaf(BlockId id, Leaf leaf)
+    {
+        entry(id).leaf = leaf;
+        if (leafCache_)
+            leafCache_->updateLeaf(id, leaf);
+    }
+
+    /** Register @p stash as the leaf-cache coherence listener
+     *  (PathOram wires this up; nullptr detaches). */
+    void attachLeafCache(Stash *stash) { leafCache_ = stash; }
 
     std::uint64_t size() const { return entries_.size(); }
     Leaf numLeaves() const { return numLeaves_; }
@@ -108,6 +131,7 @@ class PositionMap
   private:
     std::vector<PosEntry> entries_;
     Leaf numLeaves_;
+    Stash *leafCache_ = nullptr;
 };
 
 /**
@@ -117,6 +141,10 @@ class PositionMap
  * Write-back of evicted pos-map blocks is treated as free (the entry's
  * authoritative copy lives in PositionMap); DESIGN.md records this
  * simplification.
+ *
+ * Layout: fixed slot array with intrusive prev/next index links (the
+ * LRU chain) plus a FlatIndex for id -> slot lookup. No per-operation
+ * allocation; an LRU refresh rewires three slots' links in place.
  */
 class PosMapBlockCache
 {
@@ -130,15 +158,33 @@ class PosMapBlockCache
     void insert(BlockId pm_block);
 
     bool contains(BlockId pm_block) const;
-    std::size_t size() const { return map_.size(); }
+    std::size_t size() const { return index_.size(); }
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
   private:
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+    struct Node
+    {
+        BlockId id = kInvalidBlock;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    /** Unhook @p slot from the chain (it must be linked). */
+    void unlink(std::uint32_t slot);
+    /** Make @p slot the MRU head. */
+    void linkFront(std::uint32_t slot);
+
     std::uint32_t capacity_;
-    std::list<BlockId> lru_; // front = most recent
-    std::unordered_map<BlockId, std::list<BlockId>::iterator> map_;
+    std::vector<Node> nodes_;
+    /** Slots [0, used_) hold (or held) entries; the rest are virgin. */
+    std::uint32_t used_ = 0;
+    std::uint32_t head_ = kNil; // MRU
+    std::uint32_t tail_ = kNil; // LRU
+    FlatIndex index_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

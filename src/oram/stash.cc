@@ -3,50 +3,94 @@
 namespace proram
 {
 
-Stash::Stash(std::uint32_t capacity) : capacity_(capacity)
+Stash::Stash(std::uint32_t capacity)
+    : capacity_(capacity), index_(capacity * 2)
 {
     entries_.reserve(capacity * 2);
 }
 
 bool
-Stash::insert(BlockId id, std::uint64_t data)
+Stash::insert(BlockId id, std::uint64_t data, Leaf leaf)
 {
-    return entries_.emplace(id, StashEntry{data}).second;
+    if (index_.get(id) != FlatIndex::kNone)
+        return false;
+    index_.put(id, static_cast<std::uint32_t>(entries_.size()));
+    entries_.push_back(StashEntry{id, leaf, data});
+    ++live_;
+    return true;
 }
 
 bool
 Stash::contains(BlockId id) const
 {
-    return entries_.count(id) != 0;
+    return index_.get(id) != FlatIndex::kNone;
 }
 
 StashEntry *
 Stash::find(BlockId id)
 {
-    auto it = entries_.find(id);
-    return it == entries_.end() ? nullptr : &it->second;
+    const std::uint32_t slot = index_.get(id);
+    return slot == FlatIndex::kNone ? nullptr : &entries_[slot];
 }
 
 bool
 Stash::erase(BlockId id)
 {
-    return entries_.erase(id) != 0;
+    const std::uint32_t slot = index_.get(id);
+    if (slot == FlatIndex::kNone)
+        return false;
+    // Mark dead in place: shuffling survivors would perturb the
+    // insertion order the eviction scan (and replay determinism)
+    // depends on. Compaction below preserves relative order.
+    entries_[slot].id = kInvalidBlock;
+    index_.erase(id);
+    --live_;
+    ++dead_;
+    if (dead_ >= 16 && dead_ >= live_)
+        compact();
+    return true;
+}
+
+void
+Stash::updateLeaf(BlockId id, Leaf leaf)
+{
+    const std::uint32_t slot = index_.get(id);
+    if (slot != FlatIndex::kNone)
+        entries_[slot].leaf = leaf;
+}
+
+void
+Stash::compact()
+{
+    std::size_t out = 0;
+    for (std::size_t in = 0; in < entries_.size(); ++in) {
+        if (entries_[in].id == kInvalidBlock)
+            continue;
+        if (out != in)
+            entries_[out] = entries_[in];
+        index_.put(entries_[out].id, static_cast<std::uint32_t>(out));
+        ++out;
+    }
+    entries_.resize(out);
+    dead_ = 0;
 }
 
 std::vector<BlockId>
 Stash::residentIds() const
 {
     std::vector<BlockId> ids;
-    ids.reserve(entries_.size());
-    for (const auto &[id, entry] : entries_)
-        ids.push_back(id);
+    ids.reserve(live_);
+    for (const StashEntry &e : entries_) {
+        if (e.id != kInvalidBlock)
+            ids.push_back(e.id);
+    }
     return ids;
 }
 
 void
 Stash::sampleOccupancy()
 {
-    occupancy_.sample(static_cast<double>(entries_.size()));
+    occupancy_.sample(static_cast<double>(live_));
 }
 
 } // namespace proram

@@ -3,70 +3,96 @@
  * The on-chip stash: blocks read from the tree that have not yet been
  * evicted back. Path ORAM's invariant is that a block mapped to leaf s
  * is either on path s or in the stash.
+ *
+ * Storage is a dense insertion-ordered flat map: entries live in one
+ * contiguous vector (the eviction scan streams over it), a FlatIndex
+ * maps BlockId -> vector slot, and erase marks the slot dead instead
+ * of shuffling survivors so iteration order stays insertion order by
+ * construction - the determinism the replay tests rely on. Each entry
+ * also caches the block's mapped leaf (kept coherent by PositionMap's
+ * setLeaf hook) so writePath computes commonLevel straight off the
+ * entry without a position-map lookup per block per access.
  */
 
 #ifndef PRORAM_ORAM_STASH_HH
 #define PRORAM_ORAM_STASH_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "stats/stats.hh"
+#include "util/flat_index.hh"
 #include "util/types.hh"
 
 namespace proram
 {
 
-/** A stash-resident block (payload only; the leaf lives in the
- *  position map, which is the single source of truth). */
+/** A stash-resident block. @c id is kInvalidBlock for dead (erased)
+ *  slots awaiting compaction. @c leaf mirrors the position map's
+ *  mapping for the block - see Stash::updateLeaf(). */
 struct StashEntry
 {
+    BlockId id = kInvalidBlock;
+    Leaf leaf = kInvalidLeaf;
     std::uint64_t data = 0;
 };
 
 /**
- * Unordered block store with occupancy statistics. The capacity is a
+ * Dense block store with occupancy statistics. The capacity is a
  * soft threshold consulted by the controller to trigger background
  * eviction - the stash itself never refuses an insertion (hardware
  * would deadlock; the controller's job is to keep it small).
+ *
+ * Pointers returned by find() are invalidated by insert(), erase(),
+ * and any call that may compact the entry vector.
  */
 class Stash
 {
   public:
     explicit Stash(std::uint32_t capacity);
 
-    /** Add a block. @return false if it was already present. */
-    bool insert(BlockId id, std::uint64_t data);
+    /** Add a block mapped to @p leaf. @return false if already
+     *  present (the existing entry is left untouched). */
+    bool insert(BlockId id, std::uint64_t data, Leaf leaf);
 
     bool contains(BlockId id) const;
 
-    /** @return pointer to the entry or nullptr. */
+    /** @return pointer to the entry or nullptr. Invalidated by any
+     *  mutating call. */
     StashEntry *find(BlockId id);
 
     /** Remove a block. @return true if it was present. */
     bool erase(BlockId id);
 
-    std::size_t size() const { return entries_.size(); }
+    /**
+     * Refresh the cached leaf of @p id if it is resident; no-op
+     * otherwise. Called from PositionMap::setLeaf() so remaps made
+     * mid-access (eviction, super-block merge/break) are visible to
+     * the same access's eviction scan.
+     */
+    void updateLeaf(BlockId id, Leaf leaf);
+
+    std::size_t size() const { return live_; }
     std::uint32_t capacity() const { return capacity_; }
-    bool overCapacity() const { return entries_.size() > capacity_; }
+    bool overCapacity() const { return live_ > capacity_; }
 
     /**
-     * Visit every resident block without snapshotting (the eviction
-     * scan's hot path). @p fn is called as fn(BlockId, const
-     * StashEntry &); the stash must not be mutated during iteration.
-     * Visit order matches residentIds(), keeping eviction decisions
-     * bit-identical to the snapshot-based scan.
+     * Visit every resident block in insertion order without
+     * snapshotting (the eviction scan's hot path). @p fn is called as
+     * fn(const StashEntry &); the stash must not be mutated during
+     * iteration.
      */
     template <typename Fn>
     void forEachResident(Fn &&fn) const
     {
-        for (const auto &[id, entry] : entries_)
-            fn(id, entry);
+        for (const StashEntry &e : entries_) {
+            if (e.id != kInvalidBlock)
+                fn(e);
+        }
     }
 
-    /** Snapshot of resident ids (invariant checks / tests only -
-     *  allocates; use forEachResident() on hot paths). */
+    /** Snapshot of resident ids in insertion order (invariant checks /
+     *  tests only - allocates; use forEachResident() on hot paths). */
     std::vector<BlockId> residentIds() const;
 
     /** Record an occupancy sample (called once per ORAM access). */
@@ -75,8 +101,17 @@ class Stash
     const stats::Distribution &occupancy() const { return occupancy_; }
 
   private:
+    /** Drop dead slots, preserving the survivors' relative order. */
+    void compact();
+
     std::uint32_t capacity_;
-    std::unordered_map<BlockId, StashEntry> entries_;
+    /** Insertion-ordered entries; dead slots keep id == kInvalidBlock
+     *  until compact() reclaims them. */
+    std::vector<StashEntry> entries_;
+    /** BlockId -> entries_ slot. */
+    FlatIndex index_;
+    std::size_t live_ = 0;
+    std::size_t dead_ = 0;
     stats::Distribution occupancy_;
 };
 

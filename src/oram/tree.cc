@@ -8,45 +8,24 @@ namespace proram
 {
 
 std::uint32_t
-Bucket::occupancy() const
+BucketRef::occupancyScan() const
 {
     std::uint32_t n = 0;
-    for (const Slot &s : slots_) {
-        if (!s.isDummy())
+    for (std::uint32_t i = 0; i < tree_->z_; ++i) {
+        if (!isDummy(i))
             ++n;
     }
     return n;
-}
-
-Slot *
-Bucket::freeSlot()
-{
-    if (free_ == 0)
-        return nullptr;
-    for (Slot &s : slots_) {
-        if (s.isDummy()) {
-            --free_;
-            return &s;
-        }
-    }
-    panic("bucket free-slot count ", free_, " but no dummy slot");
-}
-
-void
-Bucket::clearSlot(std::uint32_t i)
-{
-    Slot &s = slots_[i];
-    if (!s.isDummy())
-        ++free_;
-    s.id = kInvalidBlock;
-    s.data = 0;
 }
 
 BinaryTree::BinaryTree(std::uint32_t levels, std::uint32_t z)
     : levels_(levels), z_(z)
 {
     fatal_if(levels > 40, "tree too deep to simulate functionally");
-    buckets_.assign((2ULL << levels) - 1, Bucket(z));
+    numBuckets_ = (2ULL << levels) - 1;
+    ids_.assign(numBuckets_ * z_, kInvalidBlock);
+    data_.assign(numBuckets_ * z_, 0);
+    free_.assign(numBuckets_, z_);
 }
 
 std::uint64_t
@@ -59,6 +38,33 @@ BinaryTree::nodeOnPath(Leaf leaf, std::uint32_t level) const
     // label, so the bit-by-bit walk collapses to one shift-and-add.
     return ((1ULL << level) - 1) +
            (static_cast<std::uint64_t>(leaf) >> (levels_ - level));
+}
+
+bool
+BinaryTree::tryPlace(std::uint64_t node, BlockId id, std::uint64_t data)
+{
+    if (free_[node] == 0)
+        return false;
+    const std::uint64_t base = node * z_;
+    for (std::uint32_t i = 0; i < z_; ++i) {
+        if (ids_[base + i] == kInvalidBlock) {
+            ids_[base + i] = id;
+            data_[base + i] = data;
+            --free_[node];
+            return true;
+        }
+    }
+    panic("bucket free-slot count ", free_[node], " but no dummy slot");
+}
+
+void
+BinaryTree::clearSlot(std::uint64_t node, std::uint32_t i)
+{
+    const std::uint64_t at = node * z_ + i;
+    if (ids_[at] != kInvalidBlock)
+        ++free_[node];
+    ids_[at] = kInvalidBlock;
+    data_[at] = 0;
 }
 
 std::uint32_t
@@ -76,8 +82,10 @@ std::uint64_t
 BinaryTree::countRealBlocks() const
 {
     std::uint64_t n = 0;
-    for (const Bucket &b : buckets_)
-        n += b.occupancy();
+    for (BlockId id : ids_) {
+        if (id != kInvalidBlock)
+            ++n;
+    }
     return n;
 }
 

@@ -1,12 +1,19 @@
 /**
  * @file
- * The Path ORAM binary-tree storage: an array of buckets of Z slots
- * living in (simulated) untrusted DRAM.
+ * The Path ORAM binary-tree storage: a flat structure-of-arrays slot
+ * arena living in (simulated) untrusted DRAM.
  *
  * Node numbering is heap order: node 0 is the root; node n has children
  * 2n+1 / 2n+2. Leaf label s in [0, 2^L) names the leaf reached by
  * following s's bits from the root; path s is the L+1 buckets from the
  * root to that leaf.
+ *
+ * Memory layout (DESIGN.md "Memory layout"): bucket b slot i lives at
+ * arena offset b*Z+i. Block ids and payload words are split into two
+ * parallel arrays so the hot scans (readPath looking for real blocks,
+ * occupancy checks) stream over one contiguous id run per bucket and
+ * never touch payloads they do not copy. Per-bucket free-slot counts
+ * are a third array, making occupancy O(1).
  */
 
 #ifndef PRORAM_ORAM_TREE_HH
@@ -20,60 +27,67 @@
 namespace proram
 {
 
-/** One block slot inside a bucket. Invalid id = dummy block. */
-struct Slot
-{
-    BlockId id = kInvalidBlock;
-    /** Functional payload word (verifies read-your-writes in tests). */
-    std::uint64_t data = 0;
-
-    bool isDummy() const { return id == kInvalidBlock; }
-};
+class BinaryTree;
 
 /**
- * A bucket of Z slots. Tracks its free-slot count so a full bucket
- * answers freeSlot() in O(1); fill/clear must therefore go through
- * freeSlot()/clearSlot(). The non-const slot() accessor exists for
- * tests that corrupt state deliberately - occupancy changes made
- * through it are not reflected in the free count.
+ * Lightweight view of one bucket inside the tree's slot arena. Cheap
+ * to construct (a pointer + node index); mutating methods maintain the
+ * bucket's free-slot count. The raw accessors exist for tests that
+ * corrupt state deliberately - occupancy changes made through them are
+ * not reflected in the free count (use occupancyScan() afterwards).
  */
-class Bucket
+class BucketRef
 {
   public:
-    explicit Bucket(std::uint32_t z) : slots_(z), free_(z) {}
+    std::uint32_t z() const;
 
-    std::uint32_t z() const
-    {
-        return static_cast<std::uint32_t>(slots_.size());
-    }
+    BlockId id(std::uint32_t i) const;
+    std::uint64_t data(std::uint32_t i) const;
+    bool isDummy(std::uint32_t i) const { return id(i) == kInvalidBlock; }
 
-    Slot &slot(std::uint32_t i) { return slots_[i]; }
-    const Slot &slot(std::uint32_t i) const { return slots_[i]; }
-
-    /** Number of real (non-dummy) blocks resident. */
+    /** Real (non-dummy) blocks resident, from the free count (O(1)). */
     std::uint32_t occupancy() const;
 
-    /** Free slots available via freeSlot(). */
-    std::uint32_t freeSlots() const { return free_; }
+    /**
+     * Real blocks resident by scanning the Z slots (O(Z)). Ground
+     * truth even after raw-slot corruption; the checked slow path the
+     * tests compare against occupancy().
+     */
+    std::uint32_t occupancyScan() const;
+
+    /** Free slots available via tryPlace(). */
+    std::uint32_t freeSlots() const;
 
     /**
-     * Reserve a free slot, or nullptr if the bucket is full (O(1) in
-     * that case). The caller must fill the returned slot with a real
-     * block - the slot is counted as occupied from here on.
+     * Place a real block into the first dummy slot. @return false if
+     * the bucket is full (O(1) in that case).
      */
-    Slot *freeSlot();
+    bool tryPlace(BlockId id, std::uint64_t data);
 
     /** Evict slot @p i back to dummy, releasing it for reuse. */
     void clearSlot(std::uint32_t i);
 
+    /** @name Raw slot words (test/corruption interface).
+     *  Writes bypass the free-slot bookkeeping. @{ */
+    BlockId &rawId(std::uint32_t i);
+    std::uint64_t &rawData(std::uint32_t i);
+    /** @} */
+
   private:
-    std::vector<Slot> slots_;
-    std::uint32_t free_;
+    friend class BinaryTree;
+    BucketRef(BinaryTree *tree, std::uint64_t node)
+        : tree_(tree), node_(node)
+    {
+    }
+
+    BinaryTree *tree_;
+    std::uint64_t node_;
 };
 
 /**
- * The complete binary tree of buckets. Provides path geometry helpers
- * used by the ORAM engine and by the invariant checker.
+ * The complete binary tree of buckets over the slot arena. Provides
+ * path geometry helpers used by the ORAM engine and by the invariant
+ * checker.
  */
 class BinaryTree
 {
@@ -83,17 +97,57 @@ class BinaryTree
 
     std::uint32_t levels() const { return levels_; }
     std::uint64_t numLeaves() const { return 1ULL << levels_; }
-    std::uint64_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t numBuckets() const { return numBuckets_; }
     std::uint32_t z() const { return z_; }
 
     /** Heap index of the bucket at @p level on path @p leaf. */
     std::uint64_t nodeOnPath(Leaf leaf, std::uint32_t level) const;
 
-    Bucket &bucket(std::uint64_t node) { return buckets_[node]; }
-    const Bucket &bucket(std::uint64_t node) const
+    /** View of bucket @p node. */
+    BucketRef bucket(std::uint64_t node)
     {
-        return buckets_[node];
+        return BucketRef(this, node);
     }
+    BucketRef bucket(std::uint64_t node) const
+    {
+        return BucketRef(const_cast<BinaryTree *>(this), node);
+    }
+
+    /** @name Arena hot-path accessors (bucket b slot i at b*Z+i). @{ */
+    BlockId slotId(std::uint64_t node, std::uint32_t i) const
+    {
+        return ids_[node * z_ + i];
+    }
+    std::uint64_t slotData(std::uint64_t node, std::uint32_t i) const
+    {
+        return data_[node * z_ + i];
+    }
+    /** First slot offset of @p node in the id/payload arrays. */
+    std::uint64_t slotBase(std::uint64_t node) const
+    {
+        return node * z_;
+    }
+    const BlockId *idArena() const { return ids_.data(); }
+    const std::uint64_t *dataArena() const { return data_.data(); }
+
+    /** Free slots of @p node (O(1)). */
+    std::uint32_t freeSlots(std::uint64_t node) const
+    {
+        return free_[node];
+    }
+    /** Real blocks in @p node from the free count (O(1)). */
+    std::uint32_t occupancy(std::uint64_t node) const
+    {
+        return z_ - free_[node];
+    }
+
+    /** Place a block in the first dummy slot of @p node; false if the
+     *  bucket is full (O(1) in that case). */
+    bool tryPlace(std::uint64_t node, BlockId id, std::uint64_t data);
+
+    /** Evict slot @p i of @p node back to dummy. */
+    void clearSlot(std::uint64_t node, std::uint32_t i);
+    /** @} */
 
     /**
      * Deepest level at which paths @p a and @p b share a bucket
@@ -101,14 +155,76 @@ class BinaryTree
      */
     std::uint32_t commonLevel(Leaf a, Leaf b) const;
 
-    /** Total real blocks stored in the tree (O(buckets); tests only). */
+    /** Total real blocks stored in the tree, by scanning the arena
+     *  (O(slots); tests only - reflects raw-slot corruption). */
     std::uint64_t countRealBlocks() const;
 
   private:
+    friend class BucketRef;
+
     std::uint32_t levels_;
     std::uint32_t z_;
-    std::vector<Bucket> buckets_;
+    std::uint64_t numBuckets_;
+    /** Slot arena, structure-of-arrays: all ids, then all payloads. */
+    std::vector<BlockId> ids_;
+    std::vector<std::uint64_t> data_;
+    /** Per-bucket free-slot counts (occupancy in O(1)). */
+    std::vector<std::uint32_t> free_;
 };
+
+inline std::uint32_t
+BucketRef::z() const
+{
+    return tree_->z_;
+}
+
+inline BlockId
+BucketRef::id(std::uint32_t i) const
+{
+    return tree_->slotId(node_, i);
+}
+
+inline std::uint64_t
+BucketRef::data(std::uint32_t i) const
+{
+    return tree_->slotData(node_, i);
+}
+
+inline std::uint32_t
+BucketRef::occupancy() const
+{
+    return tree_->occupancy(node_);
+}
+
+inline std::uint32_t
+BucketRef::freeSlots() const
+{
+    return tree_->freeSlots(node_);
+}
+
+inline bool
+BucketRef::tryPlace(BlockId id, std::uint64_t data)
+{
+    return tree_->tryPlace(node_, id, data);
+}
+
+inline void
+BucketRef::clearSlot(std::uint32_t i)
+{
+    tree_->clearSlot(node_, i);
+}
+
+inline BlockId &
+BucketRef::rawId(std::uint32_t i)
+{
+    return tree_->ids_[tree_->slotBase(node_) + i];
+}
+
+inline std::uint64_t &
+BucketRef::rawData(std::uint32_t i)
+{
+    return tree_->data_[tree_->slotBase(node_) + i];
+}
 
 } // namespace proram
 

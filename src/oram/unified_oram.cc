@@ -31,6 +31,9 @@ UnifiedOram::initialize(std::uint32_t static_sb_size)
     const std::uint8_t sb_log =
         static_cast<std::uint8_t>(log2Floor(static_sb_size));
 
+    // Direct PosEntry::leaf writes are safe only here: the stash is
+    // empty until placeInitial below, so there are no cached leaves to
+    // keep coherent yet. Everywhere else leaves go through setLeaf().
     for (BlockId id = 0; id < total; ++id) {
         PosEntry &e = posMap_.entry(id);
         if (id < num_data && static_sb_size > 1) {
@@ -75,8 +78,11 @@ UnifiedOram::posMapWalk(BlockId id)
     PosMapWalk walk;
 
     // Collect the chain of pos-map blocks covering `id`, innermost
-    // (direct parent) first, ending when the table is on-chip.
-    std::vector<BlockId> chain;
+    // (direct parent) first, ending when the table is on-chip. The
+    // chain scratch is reused across calls (allocation-free once
+    // warmed up; its length is the recursion depth).
+    std::vector<BlockId> &chain = chainScratch_;
+    chain.clear();
     BlockId cursor = id;
     while (true) {
         const BlockId pm = space_.posMapBlockOf(cursor);

@@ -74,6 +74,8 @@ class UnifiedOram
     PathOram oram_;
     PosMapBlockCache plb_;
     bool initialized_ = false;
+    /** posMapWalk scratch (no allocation per walk once warmed up). */
+    std::vector<BlockId> chainScratch_;
 };
 
 } // namespace proram

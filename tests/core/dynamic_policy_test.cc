@@ -104,6 +104,60 @@ TEST(DynamicPolicy, MergeAfterObservedLocality)
     EXPECT_TRUE(checkIntegrity(*f.oram).ok);
 }
 
+TEST(DynamicPolicy, MergeRemapRefreshesStashCachedLeaves)
+{
+    // A merge remaps blocks that are stash-resident mid-access; the
+    // stash's cached leaf copies must see the new mapping so this
+    // same access's write-back evicts along the right path.
+    Fixture f;
+    f.llc.resident = {1};
+    f.oram->posMapWalk(0);
+    const Leaf old_leaf = f.oram->posMap().leafOf(0);
+    f.oram->engine().readPath(old_leaf);
+    ASSERT_TRUE(f.oram->engine().stash().contains(0));
+    f.policy->onDataAccess(0, /*wb=*/false); // merges (0,1), remaps
+    ASSERT_EQ(f.sbSize(0), 2u);
+    const StashEntry *e = f.oram->engine().stash().find(0);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->leaf, f.oram->posMap().leafOf(0));
+    if (const StashEntry *s = f.oram->engine().stash().find(1)) {
+        EXPECT_EQ(s->leaf, f.oram->posMap().leafOf(1));
+    }
+    f.oram->engine().writePath(old_leaf);
+    EXPECT_TRUE(checkIntegrity(*f.oram).ok);
+}
+
+TEST(DynamicPolicy, BreakRemapRefreshesStashCachedLeaves)
+{
+    DynamicPolicyConfig p;
+    p.breakMode = DynamicPolicyConfig::BreakMode::Static;
+    Fixture f(p);
+    f.llc.resident = {1};
+    f.access(0); // merge
+    ASSERT_EQ(f.sbSize(0), 2u);
+    f.llc.resident.clear();
+    bool broke = false;
+    for (int i = 0; i < 8 && !broke; ++i) {
+        f.oram->posMapWalk(0);
+        const Leaf leaf = f.oram->posMap().leafOf(0);
+        f.oram->engine().readPath(leaf);
+        f.policy->onDataAccess(0, /*wb=*/false);
+        broke = f.sbSize(0) == 1;
+        if (broke) {
+            // Both halves were just remapped to fresh independent
+            // leaves; the resident copy's cached leaf must match.
+            const StashEntry *e = f.oram->engine().stash().find(0);
+            ASSERT_NE(e, nullptr);
+            EXPECT_EQ(e->leaf, f.oram->posMap().leafOf(0));
+        }
+        f.oram->engine().writePath(leaf);
+        while (f.oram->engine().stash().overCapacity())
+            f.oram->engine().dummyAccess();
+    }
+    ASSERT_TRUE(broke);
+    EXPECT_TRUE(checkIntegrity(*f.oram).ok);
+}
+
 TEST(DynamicPolicy, MergeCounterDecrementsOnNoLocality)
 {
     Fixture f;

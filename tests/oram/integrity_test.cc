@@ -19,19 +19,25 @@ cfg()
     return c;
 }
 
-/** Find the tree slot currently holding @p id, or nullptr. */
-Slot *
+/** Locate the tree slot currently holding @p id. */
+struct SlotLoc
+{
+    bool found = false;
+    std::uint64_t node = 0;
+    std::uint32_t i = 0;
+};
+
+SlotLoc
 findSlot(UnifiedOram &u, BlockId id)
 {
-    BinaryTree &t = u.engine().tree();
+    const BinaryTree &t = u.engine().tree();
     for (std::uint64_t node = 0; node < t.numBuckets(); ++node) {
         for (std::uint32_t i = 0; i < t.z(); ++i) {
-            Slot &s = t.bucket(node).slot(i);
-            if (s.id == id)
-                return &s;
+            if (t.slotId(node, i) == id)
+                return {true, node, i};
         }
     }
-    return nullptr;
+    return {};
 }
 
 TEST(Integrity, HealthyOramPasses)
@@ -47,9 +53,10 @@ TEST(Integrity, DetectsLostBlock)
 {
     UnifiedOram u(cfg());
     u.initialize();
-    Slot *s = findSlot(u, 5);
-    ASSERT_NE(s, nullptr);
-    s->id = kInvalidBlock; // drop the block
+    const SlotLoc loc = findSlot(u, 5);
+    ASSERT_TRUE(loc.found);
+    // Drop the block behind the bookkeeping's back (raw corruption).
+    u.engine().tree().bucket(loc.node).rawId(loc.i) = kInvalidBlock;
     const auto rep = checkIntegrity(u);
     EXPECT_FALSE(rep.ok);
     bool found = false;
@@ -63,8 +70,8 @@ TEST(Integrity, DetectsDuplicateBlock)
     UnifiedOram u(cfg());
     u.initialize();
     // Stash copy + tree copy at once.
-    ASSERT_NE(findSlot(u, 9), nullptr);
-    u.engine().stash().insert(9, 0);
+    ASSERT_TRUE(findSlot(u, 9).found);
+    u.engine().stash().insert(9, 0, u.posMap().leafOf(9));
     const auto rep = checkIntegrity(u);
     EXPECT_FALSE(rep.ok);
     bool found = false;
@@ -80,7 +87,7 @@ TEST(Integrity, DetectsOffPathBlock)
     // Remap a tree-resident block without moving it: unless the new
     // random leaf happens to share the whole path, it is off-path.
     const BlockId victim = 3;
-    ASSERT_NE(findSlot(u, victim), nullptr);
+    ASSERT_TRUE(findSlot(u, victim).found);
     const Leaf old_leaf = u.posMap().leafOf(victim);
     u.posMap().setLeaf(victim,
                        (old_leaf + u.engine().tree().numLeaves() / 2) %
@@ -95,10 +102,11 @@ TEST(Integrity, DetectsSuperBlockLeafMismatch)
     u.initialize(2); // static pairs
     // Tear one pair's member onto a different leaf, but keep it in
     // the stash so the path invariant itself still holds.
-    Slot *s = findSlot(u, 0);
-    if (s) {
-        u.engine().stash().insert(0, s->data);
-        s->id = kInvalidBlock;
+    const SlotLoc loc = findSlot(u, 0);
+    if (loc.found) {
+        BucketRef b = u.engine().tree().bucket(loc.node);
+        u.engine().stash().insert(0, b.data(loc.i), u.posMap().leafOf(0));
+        b.clearSlot(loc.i);
     }
     u.posMap().setLeaf(0, (u.posMap().leafOf(1) + 1) %
                               u.engine().tree().numLeaves());

@@ -47,7 +47,7 @@ struct Fixture
         const BinaryTree &t = oram.tree();
         for (std::uint64_t node = 0; node < t.numBuckets(); ++node) {
             for (std::uint32_t i = 0; i < t.z(); ++i) {
-                if (t.bucket(node).slot(i).id == id)
+                if (t.slotId(node, i) == id)
                     ++n;
             }
         }
@@ -87,6 +87,61 @@ TEST(PathOram, ReadPathPreservesPayload)
     f.oram.readPath(f.posMap.leafOf(b));
     ASSERT_TRUE(f.oram.stash().contains(b));
     EXPECT_EQ(f.oram.stash().find(b)->data, b * 3);
+}
+
+TEST(PathOram, ReadPathCachesCurrentLeafInStashEntry)
+{
+    Fixture f;
+    f.init();
+    const BlockId b = 23;
+    const Leaf leaf = f.posMap.leafOf(b);
+    f.oram.readPath(leaf);
+    ASSERT_NE(f.oram.stash().find(b), nullptr);
+    EXPECT_EQ(f.oram.stash().find(b)->leaf, leaf);
+}
+
+TEST(PathOram, RemapWhileResidentRefreshesCachedLeaf)
+{
+    // The leaf-cache coherence invariant: a remap made through the
+    // position map between readPath and writePath must be visible in
+    // the stash entry the eviction scan reads.
+    Fixture f;
+    f.init();
+    const BlockId b = 42;
+    const Leaf leaf = f.posMap.leafOf(b);
+    f.oram.readPath(leaf);
+    const Leaf remapped =
+        static_cast<Leaf>((leaf + f.oram.tree().numLeaves() / 2) %
+                          f.oram.tree().numLeaves());
+    f.posMap.setLeaf(b, remapped);
+    ASSERT_NE(f.oram.stash().find(b), nullptr);
+    EXPECT_EQ(f.oram.stash().find(b)->leaf, remapped);
+}
+
+TEST(PathOram, RemapMidAccessStopsEvictionBelowDivergence)
+{
+    // Remap a resident block to the opposite half of the tree (paths
+    // share only the root) and write the old path back: a stale
+    // cached leaf would bury the block deep on the OLD path; with
+    // coherence it may land in the root bucket at most.
+    Fixture f;
+    f.init();
+    const BlockId b = 7;
+    const Leaf leaf = f.posMap.leafOf(b);
+    f.oram.readPath(leaf);
+    ASSERT_TRUE(f.oram.stash().contains(b));
+    const Leaf opposite = static_cast<Leaf>(
+        leaf ^ (f.oram.tree().numLeaves() / 2)); // flip top bit
+    f.posMap.setLeaf(b, opposite);
+    f.oram.writePath(leaf);
+    const BinaryTree &t = f.oram.tree();
+    if (!f.oram.stash().contains(b)) {
+        bool in_root = false;
+        for (std::uint32_t i = 0; i < t.z(); ++i)
+            in_root = in_root || t.slotId(0, i) == b;
+        EXPECT_TRUE(in_root) << "remapped block evicted below the root";
+    }
+    EXPECT_EQ(f.copies(b), 1);
 }
 
 TEST(PathOram, WritePathEvictsBlocksBackToTree)
@@ -137,11 +192,11 @@ TEST(PathOram, BlocksLandOnlyOnTheirMappedPath)
         for (std::uint64_t n = node; n > 0; n = (n - 1) / 2)
             ++level;
         for (std::uint32_t i = 0; i < t.z(); ++i) {
-            const Slot &s = t.bucket(node).slot(i);
-            if (s.isDummy())
+            const BlockId id = t.slotId(node, i);
+            if (id == kInvalidBlock)
                 continue;
-            EXPECT_EQ(t.nodeOnPath(f.posMap.leafOf(s.id), level), node)
-                << "block " << s.id << " off its path";
+            EXPECT_EQ(t.nodeOnPath(f.posMap.leafOf(id), level), node)
+                << "block " << id << " off its path";
         }
     }
 }
@@ -177,7 +232,7 @@ TEST(PathOram, WritePathPlacesDeepestFirst)
     for (BlockId b = 0; b < 8; ++b)
         f.posMap.setLeaf(b, target); // all on path 0
     for (BlockId b = 0; b < 8; ++b)
-        f.oram.stash().insert(b, 0);
+        f.oram.stash().insert(b, 0, target);
     f.oram.writePath(target);
     // With Z=3 and a multi-level path, the leaf bucket must be full.
     const BinaryTree &t = f.oram.tree();

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <list>
+
 #include "util/logging.hh"
+#include "util/random.hh"
 
 namespace proram
 {
@@ -154,6 +158,58 @@ TEST(Plb, CountsHitsAndMisses)
 TEST(Plb, ZeroCapacityRejected)
 {
     EXPECT_THROW(PosMapBlockCache(0), SimFatal);
+}
+
+TEST(Plb, MatchesReferenceLruModel)
+{
+    // The array-backed intrusive LRU must be behaviorally identical
+    // to the textbook list-based cache it replaced: drive both with
+    // the same randomized lookup/insert stream and compare contents
+    // and hit counts throughout.
+    constexpr std::uint32_t kCap = 8;
+    PosMapBlockCache plb(kCap);
+    std::list<BlockId> model; // front = most recent
+    Rng rng(31);
+    std::uint64_t model_hits = 0;
+    for (int step = 0; step < 5000; ++step) {
+        const BlockId b = rng.below(32);
+        const auto it = std::find(model.begin(), model.end(), b);
+        const bool model_hit = it != model.end();
+        if (model_hit) {
+            ++model_hits;
+            model.splice(model.begin(), model, it);
+        }
+        EXPECT_EQ(plb.lookup(b), model_hit) << "step " << step;
+        if (!model_hit) {
+            if (model.size() >= kCap)
+                model.pop_back();
+            model.push_front(b);
+            plb.insert(b);
+        }
+        ASSERT_EQ(plb.size(), model.size());
+    }
+    EXPECT_EQ(plb.hits(), model_hits);
+    for (BlockId b : model)
+        EXPECT_TRUE(plb.contains(b)) << "block " << b;
+}
+
+TEST(PositionMap, SetLeafForwardsToAttachedLeafCache)
+{
+    // The leaf-cache coherence hook: while a stash is attached, every
+    // setLeaf must refresh that stash's cached copy for resident
+    // blocks and leave non-resident blocks alone.
+    PositionMap pm(100, 64);
+    Stash stash(8);
+    stash.insert(7, 0, 1);
+    pm.attachLeafCache(&stash);
+    pm.setLeaf(7, 42);
+    EXPECT_EQ(pm.leafOf(7), 42u);
+    EXPECT_EQ(stash.find(7)->leaf, 42u);
+    pm.setLeaf(8, 13); // not stash-resident: no phantom insert
+    EXPECT_FALSE(stash.contains(8));
+    pm.attachLeafCache(nullptr);
+    pm.setLeaf(7, 5); // detached: stash copy goes stale by design
+    EXPECT_EQ(stash.find(7)->leaf, 42u);
 }
 
 } // namespace

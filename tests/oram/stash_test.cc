@@ -1,4 +1,4 @@
-/** @file Unit tests for the ORAM stash. */
+/** @file Unit tests for the dense insertion-ordered ORAM stash. */
 
 #include "oram/stash.hh"
 
@@ -14,10 +14,11 @@ namespace
 TEST(Stash, InsertFindErase)
 {
     Stash s(10);
-    EXPECT_TRUE(s.insert(5, 99));
+    EXPECT_TRUE(s.insert(5, 99, 3));
     EXPECT_TRUE(s.contains(5));
     ASSERT_NE(s.find(5), nullptr);
     EXPECT_EQ(s.find(5)->data, 99u);
+    EXPECT_EQ(s.find(5)->leaf, 3u);
     EXPECT_TRUE(s.erase(5));
     EXPECT_FALSE(s.contains(5));
     EXPECT_FALSE(s.erase(5));
@@ -26,40 +27,91 @@ TEST(Stash, InsertFindErase)
 TEST(Stash, DuplicateInsertRejected)
 {
     Stash s(10);
-    EXPECT_TRUE(s.insert(1, 1));
-    EXPECT_FALSE(s.insert(1, 2));
+    EXPECT_TRUE(s.insert(1, 1, 0));
+    EXPECT_FALSE(s.insert(1, 2, 7));
     EXPECT_EQ(s.find(1)->data, 1u);
+    EXPECT_EQ(s.find(1)->leaf, 0u);
 }
 
 TEST(Stash, CapacityIsSoft)
 {
     Stash s(2);
-    s.insert(1, 0);
-    s.insert(2, 0);
+    s.insert(1, 0, 0);
+    s.insert(2, 0, 0);
     EXPECT_FALSE(s.overCapacity());
-    s.insert(3, 0);
+    s.insert(3, 0, 0);
     EXPECT_TRUE(s.overCapacity());
     EXPECT_EQ(s.size(), 3u);
 }
 
-TEST(Stash, ResidentIdsSnapshot)
+TEST(Stash, IterationFollowsInsertionOrder)
 {
     Stash s(10);
-    s.insert(3, 0);
-    s.insert(9, 0);
-    s.insert(1, 0);
-    auto ids = s.residentIds();
-    std::sort(ids.begin(), ids.end());
-    EXPECT_EQ(ids, (std::vector<BlockId>{1, 3, 9}));
+    s.insert(3, 0, 0);
+    s.insert(9, 0, 0);
+    s.insert(1, 0, 0);
+    EXPECT_EQ(s.residentIds(), (std::vector<BlockId>{3, 9, 1}));
+    std::vector<BlockId> visited;
+    s.forEachResident([&](const StashEntry &e) {
+        visited.push_back(e.id);
+    });
+    EXPECT_EQ(visited, (std::vector<BlockId>{3, 9, 1}));
+}
+
+TEST(Stash, InsertionOrderSurvivesEraseAndReinsert)
+{
+    Stash s(10);
+    for (BlockId b : {4, 8, 15, 16, 23})
+        s.insert(b, 0, 0);
+    s.erase(8);
+    s.erase(16);
+    // Survivors keep their relative order; a reinsert goes to the end.
+    EXPECT_EQ(s.residentIds(), (std::vector<BlockId>{4, 15, 23}));
+    s.insert(8, 0, 0);
+    EXPECT_EQ(s.residentIds(), (std::vector<BlockId>{4, 15, 23, 8}));
+}
+
+TEST(Stash, OrderAndLookupsSurviveCompaction)
+{
+    // Churn enough dead entries to force internal compaction several
+    // times; order and id -> entry mapping must hold throughout.
+    Stash s(8);
+    for (BlockId b = 0; b < 64; ++b)
+        s.insert(b, b * 2, static_cast<Leaf>(b % 7));
+    for (BlockId b = 0; b < 64; ++b) {
+        if (b % 3 != 0)
+            s.erase(b);
+    }
+    std::vector<BlockId> expect;
+    for (BlockId b = 0; b < 64; b += 3)
+        expect.push_back(b);
+    EXPECT_EQ(s.residentIds(), expect);
+    for (BlockId b : expect) {
+        ASSERT_NE(s.find(b), nullptr) << "block " << b;
+        EXPECT_EQ(s.find(b)->data, b * 2);
+        EXPECT_EQ(s.find(b)->leaf, static_cast<Leaf>(b % 7));
+    }
+    EXPECT_EQ(s.size(), expect.size());
+}
+
+TEST(Stash, UpdateLeafRefreshesResidentEntryOnly)
+{
+    Stash s(4);
+    s.insert(6, 0, 2);
+    s.updateLeaf(6, 11);
+    EXPECT_EQ(s.find(6)->leaf, 11u);
+    s.updateLeaf(99, 5); // absent: must be a no-op, not an insert
+    EXPECT_FALSE(s.contains(99));
+    EXPECT_EQ(s.size(), 1u);
 }
 
 TEST(Stash, OccupancySampling)
 {
     Stash s(10);
-    s.insert(1, 0);
+    s.insert(1, 0, 0);
     s.sampleOccupancy();
-    s.insert(2, 0);
-    s.insert(3, 0);
+    s.insert(2, 0, 0);
+    s.insert(3, 0, 0);
     s.sampleOccupancy();
     EXPECT_EQ(s.occupancy().count(), 2u);
     EXPECT_DOUBLE_EQ(s.occupancy().mean(), 2.0);
@@ -69,7 +121,7 @@ TEST(Stash, OccupancySampling)
 TEST(Stash, MutableDataThroughFind)
 {
     Stash s(4);
-    s.insert(7, 10);
+    s.insert(7, 10, 0);
     s.find(7)->data = 20;
     EXPECT_EQ(s.find(7)->data, 20u);
 }

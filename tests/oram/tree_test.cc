@@ -1,4 +1,4 @@
-/** @file Unit tests for the binary-tree bucket storage. */
+/** @file Unit tests for the binary-tree slot-arena storage. */
 
 #include "oram/tree.hh"
 
@@ -13,16 +13,71 @@ namespace
 
 TEST(Bucket, OccupancyAndFreeSlots)
 {
-    Bucket b(3);
+    BinaryTree t(1, 3);
+    BucketRef b = t.bucket(0);
     EXPECT_EQ(b.occupancy(), 0u);
-    Slot *s = b.freeSlot();
-    ASSERT_NE(s, nullptr);
-    s->id = 7;
+    EXPECT_EQ(b.freeSlots(), 3u);
+    EXPECT_TRUE(b.tryPlace(7, 70));
     EXPECT_EQ(b.occupancy(), 1u);
-    b.freeSlot()->id = 8;
-    b.freeSlot()->id = 9;
+    EXPECT_TRUE(b.tryPlace(8, 0));
+    EXPECT_TRUE(b.tryPlace(9, 0));
     EXPECT_EQ(b.occupancy(), 3u);
-    EXPECT_EQ(b.freeSlot(), nullptr);
+    EXPECT_EQ(b.freeSlots(), 0u);
+    EXPECT_FALSE(b.tryPlace(10, 0));
+}
+
+TEST(Bucket, PlacementFillsFirstDummySlot)
+{
+    BinaryTree t(1, 3);
+    BucketRef b = t.bucket(0);
+    b.tryPlace(1, 10);
+    b.tryPlace(2, 20);
+    b.tryPlace(3, 30);
+    EXPECT_EQ(b.id(0), 1u);
+    b.clearSlot(1);
+    EXPECT_TRUE(b.isDummy(1));
+    EXPECT_EQ(b.occupancy(), 2u);
+    // Reuse reclaims the hole, not a new slot.
+    EXPECT_TRUE(b.tryPlace(4, 40));
+    EXPECT_EQ(b.id(1), 4u);
+    EXPECT_EQ(b.data(1), 40u);
+}
+
+TEST(Bucket, ClearSlotIsIdempotent)
+{
+    BinaryTree t(1, 2);
+    BucketRef b = t.bucket(0);
+    b.tryPlace(5, 0);
+    b.clearSlot(0);
+    b.clearSlot(0); // clearing a dummy must not inflate the free count
+    EXPECT_EQ(b.freeSlots(), 2u);
+    EXPECT_EQ(b.occupancy(), 0u);
+}
+
+TEST(Bucket, OccupancyScanMatchesCountThenDetectsRawCorruption)
+{
+    BinaryTree t(1, 4);
+    BucketRef b = t.bucket(1);
+    b.tryPlace(1, 0);
+    b.tryPlace(2, 0);
+    EXPECT_EQ(b.occupancyScan(), b.occupancy());
+    // Corrupt a slot behind the bookkeeping's back: the O(1) count is
+    // now stale and only the checked scan sees the truth.
+    b.rawId(0) = kInvalidBlock;
+    EXPECT_EQ(b.occupancy(), 2u);
+    EXPECT_EQ(b.occupancyScan(), 1u);
+}
+
+TEST(Tree, ArenaLayoutIsBucketMajor)
+{
+    BinaryTree t(2, 3);
+    t.bucket(4).tryPlace(42, 9);
+    // Bucket b slot i lives at arena offset b*Z+i.
+    EXPECT_EQ(t.idArena()[4 * 3 + 0], 42u);
+    EXPECT_EQ(t.dataArena()[4 * 3 + 0], 9u);
+    EXPECT_EQ(t.slotId(4, 0), 42u);
+    EXPECT_EQ(t.slotData(4, 0), 9u);
+    EXPECT_EQ(t.slotBase(4), 12u);
 }
 
 TEST(Tree, GeometryCounts)
@@ -114,8 +169,8 @@ TEST(Tree, CountRealBlocks)
 {
     BinaryTree t(2, 2);
     EXPECT_EQ(t.countRealBlocks(), 0u);
-    t.bucket(0).freeSlot()->id = 1;
-    t.bucket(4).freeSlot()->id = 2;
+    t.tryPlace(0, 1, 0);
+    t.tryPlace(4, 2, 0);
     EXPECT_EQ(t.countRealBlocks(), 2u);
 }
 
