@@ -11,8 +11,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/oram_controller.hh"
+#include "oram/evict_kernel.hh"
+#include "sim/system.hh"
 #include "sim/system_config.hh"
+#include "trace/benchmarks.hh"
+#include "trace/trace_file.hh"
 #include "util/random.hh"
 
 namespace proram
@@ -176,6 +182,73 @@ BM_TreePathTouch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TreePathTouch);
+
+void
+BM_EvictClassify(benchmark::State &state)
+{
+    // The vectorized heart of writePath: classify every stash slot's
+    // eviction level against one path, per kernel variant. 512 slots
+    // is a heavily loaded stash (capacity default is 200).
+    const auto kernel = static_cast<evict::Kernel>(state.range(0));
+    if (!evict::kernelAvailable(kernel)) {
+        state.SkipWithError("kernel unavailable on this host");
+        return;
+    }
+    constexpr std::size_t kSlots = 512;
+    constexpr std::uint32_t kLevels = 14;
+    std::vector<Leaf> leaves(kSlots);
+    std::vector<std::uint32_t> out(kSlots);
+    Rng rng(6);
+    for (Leaf &l : leaves)
+        l = static_cast<Leaf>(rng.below(1ULL << kLevels));
+    Leaf path_leaf = 0;
+    for (auto _ : state) {
+        evict::classifyLevelsWith(kernel, leaves.data(), kSlots,
+                                  path_leaf, kLevels, out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+        path_leaf = (path_leaf + 1) & ((1u << kLevels) - 1);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kSlots));
+    state.SetLabel(evict::kernelName(kernel));
+}
+BENCHMARK(BM_EvictClassify)
+    ->Arg(static_cast<int>(evict::Kernel::Scalar))
+    ->Arg(static_cast<int>(evict::Kernel::Swar))
+    ->Arg(static_cast<int>(evict::Kernel::Avx2));
+
+void
+BM_BatchedDrive(benchmark::State &state)
+{
+    // End-to-end drive-loop overhead: replay one pre-decoded trace
+    // through a full System at the given batch size. The Dram scheme
+    // keeps the backend cheap so decode + stats-flush overhead (what
+    // batching amortizes) dominates the measurement.
+    const auto batch = static_cast<std::uint32_t>(state.range(0));
+    SystemConfig cfg = defaultSystemConfig();
+    cfg.scheme = MemScheme::Dram;
+    cfg.cpuBatch = batch;
+    std::vector<TraceRecord> records;
+    {
+        auto gen = makeGenerator(profileByName("cholesky"), 0.05);
+        TraceRecord rec;
+        while (gen->next(rec))
+            records.push_back(rec);
+    }
+    std::uint64_t refs = 0;
+    for (auto _ : state) {
+        System system(cfg);
+        ReplayGenerator replay(records);
+        const SimResult r = system.run(replay);
+        benchmark::DoNotOptimize(r.cycles);
+        refs += r.references;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+    state.counters["traceRecords"] =
+        static_cast<double>(records.size());
+}
+BENCHMARK(BM_BatchedDrive)->Arg(1)->Arg(64);
 
 void
 BM_MergeBreakBookkeeping(benchmark::State &state)

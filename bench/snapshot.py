@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Append a micro_ops snapshot to BENCH_micro_ops.json.
+
+Runs the micro_ops google-benchmark binary with repetitions, takes the
+per-benchmark median of real_time, and appends a correctly-keyed entry
+to the snapshots list:
+
+    bench/snapshot.py --binary build/bench/micro_ops \\
+        --label pr3_after \\
+        --description "SIMD eviction scan + batched drive loop" \\
+        --speedup-vs pr3_before
+
+Only stdlib; safe to run on any host with the repo built. The JSON
+file is rewritten with 2-space indentation (matching the committed
+style) and a trailing newline.
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_micro_ops.json"
+
+
+def run_benchmarks(binary, repetitions, min_time, bench_filter):
+    cmd = [
+        str(binary),
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_repetitions={repetitions}",
+        "--benchmark_report_aggregates_only=true",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def medians(report):
+    """Median real_time per benchmark, keyed like the committed file
+    (e.g. 'BM_ControllerAccess/2'). Prefers the _median aggregate the
+    binary already computed; falls back to collecting repetitions."""
+    agg = {}
+    raw = {}
+    for row in report.get("benchmarks", []):
+        name = row["name"]
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                agg[name.removesuffix("_median")] = row["real_time"]
+        else:
+            raw.setdefault(name, []).append(row["real_time"])
+    if agg:
+        return {k: round(v, 1) for k, v in sorted(agg.items())}
+    return {
+        k: round(statistics.median(v), 1) for k, v in sorted(raw.items())
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True,
+                    help="path to the built micro_ops binary")
+    ap.add_argument("--label", required=True,
+                    help="snapshot key, e.g. pr3_after")
+    ap.add_argument("--description", required=True)
+    ap.add_argument("--json", default=str(DEFAULT_JSON),
+                    help=f"snapshot file (default {DEFAULT_JSON})")
+    ap.add_argument("--repetitions", type=int, default=5)
+    ap.add_argument("--min-time", default="0.2")
+    ap.add_argument("--filter", default="",
+                    help="--benchmark_filter regex passthrough")
+    ap.add_argument("--speedup-vs", action="append", default=[],
+                    help="existing snapshot label to compute speedups "
+                         "against (repeatable)")
+    args = ap.parse_args()
+
+    path = pathlib.Path(args.json)
+    doc = json.loads(path.read_text())
+    snapshots = doc.setdefault("snapshots", [])
+    if any(s.get("label") == args.label for s in snapshots):
+        sys.exit(f"error: snapshot '{args.label}' already exists "
+                 f"in {path}; pick a new label")
+    by_label = {s["label"]: s for s in snapshots}
+    for base in args.speedup_vs:
+        if base not in by_label:
+            sys.exit(f"error: --speedup-vs label '{base}' not found "
+                     f"in {path}")
+
+    report = run_benchmarks(args.binary, args.repetitions,
+                            args.min_time, args.filter)
+    micro = medians(report)
+    if not micro:
+        sys.exit("error: benchmark run produced no results")
+
+    entry = {
+        "label": args.label,
+        "description": args.description,
+        "micro_ops": micro,
+    }
+    speedups = {}
+    for base in args.speedup_vs:
+        base_micro = by_label[base].get("micro_ops", {})
+        common = {
+            k: round(base_micro[k] / v, 2)
+            for k, v in micro.items()
+            if k in base_micro and v > 0
+        }
+        if common:
+            speedups[base] = common
+    if speedups:
+        entry["speedup_vs"] = speedups
+
+    snapshots.append(entry)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"appended '{args.label}' ({len(micro)} benchmarks) "
+          f"to {path}")
+    for name, val in micro.items():
+        print(f"  {name}: {val}")
+
+
+if __name__ == "__main__":
+    main()

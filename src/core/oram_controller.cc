@@ -70,15 +70,15 @@ OramController::performAccess(BlockId block, bool is_writeback,
     PathOram &engine = oram_.engine();
     engine.readPath(leaf);
     ++paths;
-    StashEntry *entry = engine.stash().find(block);
-    panic_if(!entry, "block ", block, " absent from path ", leaf,
+    std::uint64_t *payload = engine.stash().findData(block);
+    panic_if(!payload, "block ", block, " absent from path ", leaf,
              " and stash (invariant broken)");
 
     // 3. Payload (null write_data = remap-only, payload preserved).
     if (op == OpType::Write && write_data)
-        entry->data = *write_data;
+        *payload = *write_data;
     if (read_out)
-        *read_out = entry->data;
+        *read_out = *payload;
 
     // 4. Policy: remap / merge / break / choose prefetches
     //    (steps 4 of the paper, plus Algorithms 1-2).
@@ -171,7 +171,7 @@ OramController::demandAccess(Cycles now, BlockId block, OpType op)
 }
 
 void
-OramController::writebackAccess(Cycles now, BlockId block)
+OramController::writebackOne(Cycles now, BlockId block)
 {
     // Timing-only write-back: remap the super block, preserve payload
     // (the trace CPU carries no data).
@@ -190,6 +190,24 @@ OramController::writebackAccess(Cycles now, BlockId block)
     epochBusy_ += grant.completion - grant.start;
     busyUntil_ = grant.completion;
     maybeRollEpoch(grant.completion);
+}
+
+void
+OramController::writebackAccess(Cycles now, BlockId block)
+{
+    writebackOne(now, block);
+}
+
+void
+OramController::writebackBatch(Cycles now, const BlockId *blocks,
+                               std::size_t n)
+{
+    // One virtual entry for the whole batch; per-request scheduling,
+    // epoch rolls and counters are unchanged (and must stay so -
+    // maybeRollEpoch reads the running counts request by request), so
+    // results are identical to n writebackAccess() calls.
+    for (std::size_t i = 0; i < n; ++i)
+        writebackOne(now, blocks[i]);
 }
 
 Cycles

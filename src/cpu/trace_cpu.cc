@@ -1,15 +1,34 @@
 #include "cpu/trace_cpu.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace proram
 {
 
+std::size_t
+batchSizeFromEnv()
+{
+    const char *env = std::getenv("PRORAM_BATCH");
+    if (!env)
+        return RequestBatch::kDefaultSize;
+    const long v = std::atol(env);
+    if (v <= 0)
+        return RequestBatch::kDefaultSize;
+    return std::min<std::size_t>(static_cast<std::size_t>(v),
+                                 RequestBatch::kCapacity);
+}
+
 TraceCpu::TraceCpu(CacheHierarchy &hierarchy, MemBackend &backend,
-                   std::uint32_t line_bytes)
+                   std::uint32_t line_bytes, std::size_t batch_size)
     : hierarchy_(hierarchy), backend_(backend),
-      lineShift_(log2Floor(line_bytes))
+      lineShift_(log2Floor(line_bytes)),
+      batchSize_(batch_size == 0
+                     ? batchSizeFromEnv()
+                     : std::min(batch_size, RequestBatch::kCapacity))
 {
     fatal_if(!isPowerOf2(line_bytes), "line size must be a power of two");
 }
@@ -19,49 +38,70 @@ TraceCpu::run(TraceGenerator &gen)
 {
     CpuRunResult res;
     Cycles cycle = 0;
-    TraceRecord rec;
+    RequestBatch batch;
 
-    while (gen.next(rec)) {
-        ++res.references;
-        cycle += rec.computeCycles;
-
-        const BlockId block = rec.addr >> lineShift_;
-        const HitLevel level = hierarchy_.lookup(block, rec.op);
-
-        switch (level) {
-          case HitLevel::L1:
-            cycle += hierarchy_.hitLatency(HitLevel::L1);
-            ++res.l1Hits;
+    for (;;) {
+        batch.size = gen.fillBatch(batch.records, batchSize_);
+        if (batch.size == 0)
             break;
 
-          case HitLevel::L2:
-            cycle += hierarchy_.hitLatency(HitLevel::L2);
-            ++res.l2Hits;
-            backend_.onDemandTouch(cycle, block);
-            break;
+        // Per-batch counters: retire the whole batch against locals,
+        // flush once. Retirement itself is record-at-a-time (the
+        // blocking core serializes misses anyway); the amortization
+        // is in decode and accounting.
+        std::uint64_t l1_hits = 0;
+        std::uint64_t l2_hits = 0;
+        std::uint64_t llc_misses = 0;
+        std::uint64_t writebacks = 0;
 
-          case HitLevel::Miss: {
-            ++res.llcMisses;
-            const Cycles issue =
-                cycle + hierarchy_.hitLatency(HitLevel::L2);
-            cycle = backend_.demandAccess(issue, block, rec.op);
-            backend_.onDemandTouch(cycle, block);
-            for (const EvictedLine &v : hierarchy_.fillFromMemory(
-                     block, rec.op == OpType::Write)) {
-                backend_.writebackAccess(cycle, v.block);
-                ++res.writebacks;
+        for (std::size_t r = 0; r < batch.size; ++r) {
+            const TraceRecord &rec = batch.records[r];
+            cycle += rec.computeCycles;
+
+            const BlockId block = rec.addr >> lineShift_;
+            const HitLevel level = hierarchy_.lookup(block, rec.op);
+
+            switch (level) {
+              case HitLevel::L1:
+                cycle += hierarchy_.hitLatency(HitLevel::L1);
+                ++l1_hits;
+                break;
+
+              case HitLevel::L2:
+                cycle += hierarchy_.hitLatency(HitLevel::L2);
+                ++l2_hits;
+                backend_.onDemandTouch(cycle, block);
+                break;
+
+              case HitLevel::Miss: {
+                ++llc_misses;
+                const Cycles issue =
+                    cycle + hierarchy_.hitLatency(HitLevel::L2);
+                cycle = backend_.demandAccess(issue, block, rec.op);
+                backend_.onDemandTouch(cycle, block);
+                for (const EvictedLine &v : hierarchy_.fillFromMemory(
+                         block, rec.op == OpType::Write)) {
+                    backend_.writebackAccess(cycle, v.block);
+                    ++writebacks;
+                }
+                break;
+              }
             }
-            break;
-          }
         }
+
+        res.references += batch.size;
+        res.l1Hits += l1_hits;
+        res.l2Hits += l2_hits;
+        res.llcMisses += llc_misses;
+        res.writebacks += writebacks;
     }
 
     // Drain: dirty lines must eventually reach memory; charging them
-    // keeps the energy metric honest across schemes.
-    for (BlockId b : hierarchy_.drainDirty()) {
-        backend_.writebackAccess(cycle, b);
-        ++res.writebacks;
-    }
+    // keeps the energy metric honest across schemes. The drain list
+    // goes down as one batch (the backend devirtualizes the loop).
+    const std::vector<BlockId> dirty = hierarchy_.drainDirty();
+    backend_.writebackBatch(cycle, dirty.data(), dirty.size());
+    res.writebacks += dirty.size();
     backend_.finalize(cycle);
 
     res.cycles = cycle;

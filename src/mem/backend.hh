@@ -7,6 +7,8 @@
 #ifndef PRORAM_MEM_BACKEND_HH
 #define PRORAM_MEM_BACKEND_HH
 
+#include <cstddef>
+
 #include "util/types.hh"
 
 namespace proram
@@ -30,6 +32,18 @@ class MemBackend
      * transfer occupies the controller.
      */
     virtual void writebackAccess(Cycles now, BlockId block) = 0;
+
+    /**
+     * Batched write-backs, semantically identical to calling
+     * writebackAccess() once per block in order. Backends override
+     * to retire the batch without per-block virtual dispatch.
+     */
+    virtual void writebackBatch(Cycles now, const BlockId *blocks,
+                                std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            writebackAccess(now, blocks[i]);
+    }
 
     /** The core demand-touched @p block in the hierarchy (cache hit
      *  or miss-return); lets prefetchers train and hit bits set. */

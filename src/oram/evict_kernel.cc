@@ -1,0 +1,288 @@
+#include "oram/evict_kernel.hh"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/logging.hh"
+
+// The build system probes for per-function target("avx2") support
+// and defines PRORAM_HAVE_AVX2_KERNEL; standalone compilation falls
+// back to sniffing the platform directly.
+#if defined(PRORAM_HAVE_AVX2_KERNEL)
+#define PRORAM_EVICT_HAVE_AVX2 PRORAM_HAVE_AVX2_KERNEL
+#elif defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PRORAM_EVICT_HAVE_AVX2 1
+#else
+#define PRORAM_EVICT_HAVE_AVX2 0
+#endif
+
+#if PRORAM_EVICT_HAVE_AVX2
+#include <immintrin.h>
+#endif
+
+namespace proram
+{
+namespace evict
+{
+namespace
+{
+
+using KernelFn = void (*)(const Leaf *, std::size_t, Leaf,
+                          std::uint32_t, std::uint32_t *);
+
+inline std::uint32_t
+classifyOne(Leaf leaf, Leaf path_leaf, std::uint32_t levels)
+{
+    const std::uint32_t diff = leaf ^ path_leaf;
+    return levels - static_cast<std::uint32_t>(std::bit_width(diff));
+}
+
+void
+classifyScalar(const Leaf *leaves, std::size_t n, Leaf path_leaf,
+               std::uint32_t levels, std::uint32_t *out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = classifyOne(leaves[i], path_leaf, levels);
+}
+
+/** Two leaves per 64-bit load+xor; the per-lane bit_width still runs
+ *  in scalar registers, so the win is halved load/xor traffic. */
+void
+classifySwar(const Leaf *leaves, std::size_t n, Leaf path_leaf,
+             std::uint32_t levels, std::uint32_t *out)
+{
+    const std::uint64_t broadcast =
+        static_cast<std::uint64_t>(path_leaf) * 0x0000000100000001ULL;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        std::uint64_t lo, hi;
+        std::memcpy(&lo, leaves + i, sizeof(lo));
+        std::memcpy(&hi, leaves + i + 2, sizeof(hi));
+        const std::uint64_t d0 = lo ^ broadcast;
+        const std::uint64_t d1 = hi ^ broadcast;
+        out[i] = levels - static_cast<std::uint32_t>(std::bit_width(
+                              static_cast<std::uint32_t>(d0)));
+        out[i + 1] =
+            levels - static_cast<std::uint32_t>(
+                         std::bit_width(static_cast<std::uint32_t>(
+                             d0 >> 32)));
+        out[i + 2] = levels - static_cast<std::uint32_t>(std::bit_width(
+                                  static_cast<std::uint32_t>(d1)));
+        out[i + 3] =
+            levels - static_cast<std::uint32_t>(
+                         std::bit_width(static_cast<std::uint32_t>(
+                             d1 >> 32)));
+    }
+    for (; i < n; ++i)
+        out[i] = classifyOne(leaves[i], path_leaf, levels);
+}
+
+#if PRORAM_EVICT_HAVE_AVX2
+
+/**
+ * Eight leaves per iteration. bit_width has no 32-bit AVX2
+ * instruction, so it is computed via the float exponent: smear the
+ * XOR down to a mask, isolate the MSB (a power of two, which
+ * converts to float exactly - including bit 31, whose signed
+ * conversion -2^31 still carries exponent 31), and read the biased
+ * exponent field. diff == 0 lanes are forced to bit_width 0.
+ */
+__attribute__((target("avx2"))) void
+classifyAvx2(const Leaf *leaves, std::size_t n, Leaf path_leaf,
+             std::uint32_t levels, std::uint32_t *out)
+{
+    const __m256i broadcast =
+        _mm256_set1_epi32(static_cast<int>(path_leaf));
+    const __m256i vlevels =
+        _mm256_set1_epi32(static_cast<int>(levels));
+    const __m256i exp_mask = _mm256_set1_epi32(0xFF);
+    const __m256i bias_m1 = _mm256_set1_epi32(126);
+    const __m256i zero = _mm256_setzero_si256();
+
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(leaves + i));
+        const __m256i diff = _mm256_xor_si256(v, broadcast);
+        __m256i s = diff;
+        s = _mm256_or_si256(s, _mm256_srli_epi32(s, 1));
+        s = _mm256_or_si256(s, _mm256_srli_epi32(s, 2));
+        s = _mm256_or_si256(s, _mm256_srli_epi32(s, 4));
+        s = _mm256_or_si256(s, _mm256_srli_epi32(s, 8));
+        s = _mm256_or_si256(s, _mm256_srli_epi32(s, 16));
+        const __m256i msb =
+            _mm256_sub_epi32(s, _mm256_srli_epi32(s, 1));
+        const __m256i bits =
+            _mm256_castps_si256(_mm256_cvtepi32_ps(msb));
+        const __m256i exponent = _mm256_and_si256(
+            _mm256_srli_epi32(bits, 23), exp_mask);
+        __m256i bw = _mm256_sub_epi32(exponent, bias_m1);
+        bw = _mm256_andnot_si256(_mm256_cmpeq_epi32(diff, zero), bw);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            _mm256_sub_epi32(vlevels, bw));
+    }
+    for (; i < n; ++i)
+        out[i] = classifyOne(leaves[i], path_leaf, levels);
+}
+
+bool
+hostHasAvx2()
+{
+    return __builtin_cpu_supports("avx2");
+}
+
+#else
+
+bool
+hostHasAvx2()
+{
+    return false;
+}
+
+#endif // PRORAM_EVICT_HAVE_AVX2
+
+bool
+swarUsable()
+{
+    // The SWAR kernel splits a 64-bit load into lanes by shift, which
+    // assumes little-endian lane order.
+    return std::endian::native == std::endian::little;
+}
+
+KernelFn
+fnFor(Kernel k)
+{
+    switch (k) {
+      case Kernel::Scalar:
+        return classifyScalar;
+      case Kernel::Swar:
+        return classifySwar;
+#if PRORAM_EVICT_HAVE_AVX2
+      case Kernel::Avx2:
+        return classifyAvx2;
+#endif
+      default:
+        return nullptr;
+    }
+}
+
+/** Best available variant, honoring $PRORAM_EVICT_KERNEL. */
+Kernel
+resolveKernel()
+{
+    if (const char *env = std::getenv("PRORAM_EVICT_KERNEL")) {
+        const std::string want(env);
+        Kernel k = Kernel::Auto;
+        if (want == "scalar")
+            k = Kernel::Scalar;
+        else if (want == "swar")
+            k = Kernel::Swar;
+        else if (want == "avx2")
+            k = Kernel::Avx2;
+        else if (!want.empty() && want != "auto")
+            fatal("unknown PRORAM_EVICT_KERNEL '", want,
+                  "' (scalar|swar|avx2|auto)");
+        if (k != Kernel::Auto) {
+            fatal_if(!kernelAvailable(k), "PRORAM_EVICT_KERNEL=", want,
+                     " not available on this host/build");
+            return k;
+        }
+    }
+    if (hostHasAvx2())
+        return Kernel::Avx2;
+    if (swarUsable())
+        return Kernel::Swar;
+    return Kernel::Scalar;
+}
+
+/** Dispatched kernel; lazily resolved, overridable by forceKernel().
+ *  Relaxed ordering is fine: every resolution writes the same value,
+ *  and kernels are pure. */
+std::atomic<Kernel> g_active{Kernel::Auto};
+
+Kernel
+activeOrResolve()
+{
+    Kernel k = g_active.load(std::memory_order_relaxed);
+    if (k == Kernel::Auto) {
+        k = resolveKernel();
+        g_active.store(k, std::memory_order_relaxed);
+    }
+    return k;
+}
+
+} // namespace
+
+bool
+kernelAvailable(Kernel k)
+{
+    switch (k) {
+      case Kernel::Auto:
+      case Kernel::Scalar:
+        return true;
+      case Kernel::Swar:
+        return swarUsable();
+      case Kernel::Avx2:
+        return hostHasAvx2();
+    }
+    return false;
+}
+
+Kernel
+activeKernel()
+{
+    return activeOrResolve();
+}
+
+const char *
+kernelName(Kernel k)
+{
+    switch (k) {
+      case Kernel::Auto:
+        return "auto";
+      case Kernel::Scalar:
+        return "scalar";
+      case Kernel::Swar:
+        return "swar";
+      case Kernel::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+void
+forceKernel(Kernel k)
+{
+    if (k != Kernel::Auto)
+        fatal_if(!kernelAvailable(k), "kernel ", kernelName(k),
+                 " not available on this host/build");
+    g_active.store(k == Kernel::Auto ? resolveKernel() : k,
+                   std::memory_order_relaxed);
+}
+
+void
+classifyLevels(const Leaf *leaves, std::size_t n, Leaf path_leaf,
+               std::uint32_t levels, std::uint32_t *out)
+{
+    fnFor(activeOrResolve())(leaves, n, path_leaf, levels, out);
+}
+
+void
+classifyLevelsWith(Kernel k, const Leaf *leaves, std::size_t n,
+                   Leaf path_leaf, std::uint32_t levels,
+                   std::uint32_t *out)
+{
+    if (k == Kernel::Auto) {
+        classifyLevels(leaves, n, path_leaf, levels, out);
+        return;
+    }
+    fatal_if(!kernelAvailable(k), "kernel ", kernelName(k),
+             " not available on this host/build");
+    fnFor(k)(leaves, n, path_leaf, levels, out);
+}
+
+} // namespace evict
+} // namespace proram

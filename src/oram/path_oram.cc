@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "oram/evict_kernel.hh"
 #include "util/logging.hh"
 
 namespace proram
@@ -9,10 +10,21 @@ namespace proram
 
 PathOram::PathOram(const OramConfig &cfg, PositionMap &pos_map)
     : cfg_(cfg), posMap_(pos_map), tree_(cfg.levels(), cfg.z),
-      stash_(cfg.stashCapacity), rng_(cfg.seed ^ 0x0aa77aa55aa33aa1ULL),
-      eligibleScratch_(tree_.levels() + 1)
+      stash_(cfg.stashCapacity), rng_(cfg.seed ^ 0x0aa77aa55aa33aa1ULL)
 {
-    poolScratch_.reserve(cfg.stashCapacity);
+    // Pre-size every scratch buffer from the tree geometry so the
+    // first accesses after construction are allocation-free too
+    // (previously the per-level vectors warmed up lazily). The slot
+    // bound matches the stash lanes' reserve plus one path's worth of
+    // readPath growth; reserveScratch() covers the (rare) overshoot.
+    const std::size_t slot_bound =
+        static_cast<std::size_t>(cfg.stashCapacity) * 2 +
+        static_cast<std::size_t>(tree_.levels() + 1) * tree_.z();
+    reserveScratch(slot_bound);
+    const std::size_t level_slots = tree_.levels() + 2;
+    histScratch_.resize(level_slots, 0);
+    levelStartScratch_.resize(level_slots, 0);
+    levelCursorScratch_.resize(level_slots, 0);
     // Every leaf remap must reach stash-resident entries' cached
     // leaves; routing through the position map's single write point
     // covers all remap sites (eviction, merge, break) at once.
@@ -22,6 +34,17 @@ PathOram::PathOram(const OramConfig &cfg, PositionMap &pos_map)
 PathOram::~PathOram()
 {
     posMap_.attachLeafCache(nullptr);
+}
+
+void
+PathOram::reserveScratch(std::size_t slots)
+{
+    if (levelScratch_.size() < slots)
+        levelScratch_.resize(slots);
+    if (sortedScratch_.size() < slots)
+        sortedScratch_.resize(slots);
+    if (poolScratch_.capacity() < slots)
+        poolScratch_.reserve(slots);
 }
 
 Leaf
@@ -55,26 +78,52 @@ PathOram::readPath(Leaf leaf)
 void
 PathOram::writePath(Leaf leaf)
 {
-    // Bucket the stash by the deepest level each block may occupy on
-    // this path, then fill buckets greedily from the leaf upward.
-    // One scan over the contiguous entry vector captures id + payload
-    // and reads the cached leaf straight off the entry (no position
-    // map lookup per block); the per-level scratch vectors keep their
-    // capacity across calls (no allocations once warmed up).
+    // Counting-sort eviction: classify every stash slot's deepest
+    // eligible level in one vectorized sweep over the contiguous leaf
+    // lane, histogram the live slots per level, then stable-scatter
+    // ids + payloads into one flat array grouped deepest level first.
+    // Insertion order within a level is preserved, so the fill loop
+    // below makes bit-identical placement decisions to the former
+    // per-level scratch-vector pushes.
     const std::uint32_t levels = tree_.levels();
-    for (auto &level_blocks : eligibleScratch_)
-        level_blocks.clear();
-    stash_.forEachResident([&](const StashEntry &e) {
-        panic_if(e.leaf == kInvalidLeaf,
-                 "stash block ", e.id, " has no leaf");
-        eligibleScratch_[tree_.commonLevel(e.leaf, leaf)]
-            .push_back({e.id, e.data});
-    });
+    const std::size_t slots = stash_.slotCount();
+    reserveScratch(slots);
+    evict::classifyLevels(stash_.leafLane(), slots, leaf, levels,
+                          levelScratch_.data());
 
+    const BlockId *ids = stash_.idLane();
+    const Leaf *leaves = stash_.leafLane();
+    const std::uint64_t *payloads = stash_.dataLane();
+    for (std::uint32_t l = 0; l <= levels; ++l)
+        histScratch_[l] = 0;
+    for (std::size_t i = 0; i < slots; ++i) {
+        if (ids[i] == kInvalidBlock)
+            continue;
+        panic_if(leaves[i] == kInvalidLeaf, "stash block ", ids[i],
+                 " has no leaf");
+        ++histScratch_[levelScratch_[i]];
+    }
+    std::uint32_t offset = 0;
+    for (std::uint32_t l = levels + 1; l-- > 0;) {
+        levelStartScratch_[l] = offset;
+        levelCursorScratch_[l] = offset;
+        offset += histScratch_[l];
+    }
+    for (std::size_t i = 0; i < slots; ++i) {
+        if (ids[i] == kInvalidBlock)
+            continue;
+        sortedScratch_[levelCursorScratch_[levelScratch_[i]]++] =
+            Evictable{ids[i], payloads[i]};
+    }
+
+    // Fill buckets greedily from the leaf upward; unplaced deeper
+    // blocks stay pooled and may still land closer to the root.
     poolScratch_.clear();
     for (std::uint32_t l = levels + 1; l-- > 0;) {
-        for (const Evictable &ev : eligibleScratch_[l])
-            poolScratch_.push_back(ev);
+        const std::uint32_t start = levelStartScratch_[l];
+        const std::uint32_t end = start + histScratch_[l];
+        for (std::uint32_t s = start; s < end; ++s)
+            poolScratch_.push_back(sortedScratch_[s]);
         const std::uint64_t node = tree_.nodeOnPath(leaf, l);
         while (!poolScratch_.empty() && tree_.freeSlots(node) != 0) {
             const Evictable ev = poolScratch_.back();

@@ -78,6 +78,9 @@ class PathOram
         std::uint64_t data;
     };
 
+    /** Grow the per-slot scratch to cover @p slots stash slots. */
+    void reserveScratch(std::size_t slots);
+
     OramConfig cfg_;
     PositionMap &posMap_;
     BinaryTree tree_;
@@ -85,9 +88,17 @@ class PathOram
     Rng rng_;
     stats::Counter pathReads_;
 
-    // writePath scratch, reused across accesses so the hot path makes
-    // no allocations once the per-level capacities have warmed up.
-    std::vector<std::vector<Evictable>> eligibleScratch_;
+    // writePath scratch, pre-sized from tree geometry at construction
+    // (see reserveScratch) so even the first paths allocate nothing.
+    /** Per-slot eviction level, filled by evict::classifyLevels. */
+    std::vector<std::uint32_t> levelScratch_;
+    /** Counting sort: per-level population / start offset / cursor. */
+    std::vector<std::uint32_t> histScratch_;
+    std::vector<std::uint32_t> levelStartScratch_;
+    std::vector<std::uint32_t> levelCursorScratch_;
+    /** Evictables grouped deepest level first, insertion order kept
+     *  within each level (the stable-scatter output). */
+    std::vector<Evictable> sortedScratch_;
     std::vector<Evictable> poolScratch_;
 };
 

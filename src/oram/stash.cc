@@ -6,7 +6,9 @@ namespace proram
 Stash::Stash(std::uint32_t capacity)
     : capacity_(capacity), index_(capacity * 2)
 {
-    entries_.reserve(capacity * 2);
+    ids_.reserve(capacity * 2);
+    leaves_.reserve(capacity * 2);
+    data_.reserve(capacity * 2);
 }
 
 bool
@@ -14,8 +16,10 @@ Stash::insert(BlockId id, std::uint64_t data, Leaf leaf)
 {
     if (index_.get(id) != FlatIndex::kNone)
         return false;
-    index_.put(id, static_cast<std::uint32_t>(entries_.size()));
-    entries_.push_back(StashEntry{id, leaf, data});
+    index_.put(id, static_cast<std::uint32_t>(ids_.size()));
+    ids_.push_back(id);
+    leaves_.push_back(leaf);
+    data_.push_back(data);
     ++live_;
     return true;
 }
@@ -26,11 +30,18 @@ Stash::contains(BlockId id) const
     return index_.get(id) != FlatIndex::kNone;
 }
 
-StashEntry *
-Stash::find(BlockId id)
+std::uint64_t *
+Stash::findData(BlockId id)
 {
     const std::uint32_t slot = index_.get(id);
-    return slot == FlatIndex::kNone ? nullptr : &entries_[slot];
+    return slot == FlatIndex::kNone ? nullptr : &data_[slot];
+}
+
+Leaf
+Stash::leafOf(BlockId id) const
+{
+    const std::uint32_t slot = index_.get(id);
+    return slot == FlatIndex::kNone ? kInvalidLeaf : leaves_[slot];
 }
 
 bool
@@ -41,8 +52,10 @@ Stash::erase(BlockId id)
         return false;
     // Mark dead in place: shuffling survivors would perturb the
     // insertion order the eviction scan (and replay determinism)
-    // depends on. Compaction below preserves relative order.
-    entries_[slot].id = kInvalidBlock;
+    // depends on. Compaction below preserves relative order. The
+    // leaf/data lanes keep their stale words - lane consumers skip
+    // dead slots by id.
+    ids_[slot] = kInvalidBlock;
     index_.erase(id);
     --live_;
     ++dead_;
@@ -56,35 +69,40 @@ Stash::updateLeaf(BlockId id, Leaf leaf)
 {
     const std::uint32_t slot = index_.get(id);
     if (slot != FlatIndex::kNone)
-        entries_[slot].leaf = leaf;
+        leaves_[slot] = leaf;
 }
 
 void
 Stash::compact()
 {
     std::size_t out = 0;
-    for (std::size_t in = 0; in < entries_.size(); ++in) {
-        if (entries_[in].id == kInvalidBlock)
+    for (std::size_t in = 0; in < ids_.size(); ++in) {
+        if (ids_[in] == kInvalidBlock)
             continue;
-        if (out != in)
-            entries_[out] = entries_[in];
-        index_.put(entries_[out].id, static_cast<std::uint32_t>(out));
+        if (out != in) {
+            ids_[out] = ids_[in];
+            leaves_[out] = leaves_[in];
+            data_[out] = data_[in];
+        }
+        index_.put(ids_[out], static_cast<std::uint32_t>(out));
         ++out;
     }
-    entries_.resize(out);
+    ids_.resize(out);
+    leaves_.resize(out);
+    data_.resize(out);
     dead_ = 0;
 }
 
 std::vector<BlockId>
 Stash::residentIds() const
 {
-    std::vector<BlockId> ids;
-    ids.reserve(live_);
-    for (const StashEntry &e : entries_) {
-        if (e.id != kInvalidBlock)
-            ids.push_back(e.id);
+    std::vector<BlockId> out;
+    out.reserve(live_);
+    for (BlockId id : ids_) {
+        if (id != kInvalidBlock)
+            out.push_back(id);
     }
-    return ids;
+    return out;
 }
 
 void

@@ -4,14 +4,17 @@
  * evicted back. Path ORAM's invariant is that a block mapped to leaf s
  * is either on path s or in the stash.
  *
- * Storage is a dense insertion-ordered flat map: entries live in one
- * contiguous vector (the eviction scan streams over it), a FlatIndex
- * maps BlockId -> vector slot, and erase marks the slot dead instead
- * of shuffling survivors so iteration order stays insertion order by
- * construction - the determinism the replay tests rely on. Each entry
- * also caches the block's mapped leaf (kept coherent by PositionMap's
- * setLeaf hook) so writePath computes commonLevel straight off the
- * entry without a position-map lookup per block per access.
+ * Storage is a dense insertion-ordered flat map in structure-of-arrays
+ * form: three parallel lanes (block ids, cached leaves, payload words)
+ * share slot numbering, a FlatIndex maps BlockId -> slot, and erase
+ * marks the slot dead instead of shuffling survivors so iteration
+ * order stays insertion order by construction - the determinism the
+ * replay tests rely on. The leaf lane is what makes the writePath
+ * eviction scan vectorizable: evict::classifyLevels streams one
+ * contiguous Leaf array with no per-entry struct stride. Cached
+ * leaves mirror the position map (kept coherent by PositionMap's
+ * setLeaf hook) so writePath never does a position-map lookup per
+ * block per access.
  */
 
 #ifndef PRORAM_ORAM_STASH_HH
@@ -27,9 +30,8 @@
 namespace proram
 {
 
-/** A stash-resident block. @c id is kInvalidBlock for dead (erased)
- *  slots awaiting compaction. @c leaf mirrors the position map's
- *  mapping for the block - see Stash::updateLeaf(). */
+/** Snapshot view of one resident stash block (assembled from the SoA
+ *  lanes; not the storage format). */
 struct StashEntry
 {
     BlockId id = kInvalidBlock;
@@ -43,8 +45,9 @@ struct StashEntry
  * eviction - the stash itself never refuses an insertion (hardware
  * would deadlock; the controller's job is to keep it small).
  *
- * Pointers returned by find() are invalidated by insert(), erase(),
- * and any call that may compact the entry vector.
+ * Pointers returned by findData() and the lane pointers are
+ * invalidated by insert(), erase(), and any call that may compact
+ * the lanes.
  */
 class Stash
 {
@@ -57,9 +60,12 @@ class Stash
 
     bool contains(BlockId id) const;
 
-    /** @return pointer to the entry or nullptr. Invalidated by any
-     *  mutating call. */
-    StashEntry *find(BlockId id);
+    /** @return pointer to the block's payload word or nullptr.
+     *  Invalidated by any mutating call. */
+    std::uint64_t *findData(BlockId id);
+
+    /** Cached leaf of @p id, or kInvalidLeaf if not resident. */
+    Leaf leafOf(BlockId id) const;
 
     /** Remove a block. @return true if it was present. */
     bool erase(BlockId id);
@@ -76,23 +82,35 @@ class Stash
     std::uint32_t capacity() const { return capacity_; }
     bool overCapacity() const { return live_ > capacity_; }
 
+    /** @name SoA lanes (the eviction engine's hot interface).
+     *  Slots [0, slotCount()) include dead entries: a slot is live iff
+     *  idLane()[slot] != kInvalidBlock, and dead slots' leaf/data
+     *  lanes hold stale values callers must ignore. Pointers are
+     *  invalidated by any mutating call. @{ */
+    std::size_t slotCount() const { return ids_.size(); }
+    const BlockId *idLane() const { return ids_.data(); }
+    const Leaf *leafLane() const { return leaves_.data(); }
+    const std::uint64_t *dataLane() const { return data_.data(); }
+    /** @} */
+
     /**
      * Visit every resident block in insertion order without
-     * snapshotting (the eviction scan's hot path). @p fn is called as
-     * fn(const StashEntry &); the stash must not be mutated during
-     * iteration.
+     * snapshotting. @p fn is called as fn(const StashEntry &) with a
+     * view assembled from the lanes; the stash must not be mutated
+     * during iteration.
      */
     template <typename Fn>
     void forEachResident(Fn &&fn) const
     {
-        for (const StashEntry &e : entries_) {
-            if (e.id != kInvalidBlock)
-                fn(e);
+        const std::size_t n = ids_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ids_[i] != kInvalidBlock)
+                fn(StashEntry{ids_[i], leaves_[i], data_[i]});
         }
     }
 
     /** Snapshot of resident ids in insertion order (invariant checks /
-     *  tests only - allocates; use forEachResident() on hot paths). */
+     *  tests only - allocates; use the lanes on hot paths). */
     std::vector<BlockId> residentIds() const;
 
     /** Record an occupancy sample (called once per ORAM access). */
@@ -105,10 +123,12 @@ class Stash
     void compact();
 
     std::uint32_t capacity_;
-    /** Insertion-ordered entries; dead slots keep id == kInvalidBlock
-     *  until compact() reclaims them. */
-    std::vector<StashEntry> entries_;
-    /** BlockId -> entries_ slot. */
+    /** Parallel SoA lanes; dead slots keep id == kInvalidBlock until
+     *  compact() reclaims them. */
+    std::vector<BlockId> ids_;
+    std::vector<Leaf> leaves_;
+    std::vector<std::uint64_t> data_;
+    /** BlockId -> slot. */
     FlatIndex index_;
     std::size_t live_ = 0;
     std::size_t dead_ = 0;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <future>
 
+#include "trace/trace_file.hh"
+
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -62,6 +64,15 @@ Experiment::runGenerator(
     const
 {
     return runWith(scheme, [](SystemConfig &) {}, make_gen);
+}
+
+SimResult
+Experiment::runReplay(MemScheme scheme,
+                      const std::vector<TraceRecord> &records) const
+{
+    return runGenerator(scheme, [&] {
+        return std::make_unique<ReplayGenerator>(records);
+    });
 }
 
 SimResult

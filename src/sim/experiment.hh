@@ -62,6 +62,15 @@ class Experiment
                  const std::function<std::unique_ptr<TraceGenerator>()>
                      &make_gen) const;
 
+    /**
+     * Run @p scheme over a pre-decoded record vector. Replay feeds
+     * the core through the batched decode fast path (contiguous
+     * copies, no per-record dispatch), so this is the cheapest way to
+     * drive one trace through many schemes.
+     */
+    SimResult runReplay(MemScheme scheme,
+                        const std::vector<TraceRecord> &records) const;
+
     /** Same, with per-run config tweaks applied before building. */
     SimResult runWith(
         MemScheme scheme,

@@ -42,11 +42,29 @@ SecureMemory::capacityBytes() const
            static_cast<std::uint64_t>(cfg_.oram.blockBytes);
 }
 
+void
+SecureMemory::flushCounts(const AccessCounts &counts)
+{
+    references_ += counts.references;
+    llcMisses_ += counts.llcMisses;
+    writebacks_ += counts.writebacks;
+}
+
 std::uint64_t
 SecureMemory::access(Addr addr, OpType op, std::uint64_t value)
 {
+    AccessCounts counts;
+    const std::uint64_t result = accessOne(addr, op, value, counts);
+    flushCounts(counts);
+    return result;
+}
+
+std::uint64_t
+SecureMemory::accessOne(Addr addr, OpType op, std::uint64_t value,
+                        AccessCounts &counts)
+{
     const BlockId block = blockOf(addr);
-    ++references_;
+    ++counts.references;
 
     const HitLevel level = hierarchy_->lookup(block, op);
     if (level != HitLevel::Miss) {
@@ -60,7 +78,7 @@ SecureMemory::access(Addr addr, OpType op, std::uint64_t value)
     }
 
     // LLC miss: a full ORAM access.
-    ++llcMisses_;
+    ++counts.llcMisses;
     std::uint64_t oram_value = 0;
     const Cycles issue = cycle_ + hierarchy_->hitLatency(HitLevel::L2);
     cycle_ = controller_->dataAccess(
@@ -84,7 +102,7 @@ SecureMemory::access(Addr addr, OpType op, std::uint64_t value)
         auto it = shadow_.find(v.block);
         controller_->writebackWithData(
             cycle_, v.block, it == shadow_.end() ? 0 : it->second);
-        ++writebacks_;
+        ++counts.writebacks;
     }
 
     auto it = shadow_.find(block);
@@ -101,6 +119,26 @@ void
 SecureMemory::write(Addr addr, std::uint64_t value)
 {
     access(addr, OpType::Write, value);
+}
+
+void
+SecureMemory::readBatch(const Addr *addrs, std::uint64_t *out,
+                        std::size_t n)
+{
+    AccessCounts counts;
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = accessOne(addrs[i], OpType::Read, 0, counts);
+    flushCounts(counts);
+}
+
+void
+SecureMemory::writeBatch(const Addr *addrs,
+                         const std::uint64_t *values, std::size_t n)
+{
+    AccessCounts counts;
+    for (std::size_t i = 0; i < n; ++i)
+        accessOne(addrs[i], OpType::Write, values[i], counts);
+    flushCounts(counts);
 }
 
 std::string

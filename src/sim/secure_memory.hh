@@ -13,6 +13,7 @@
 #ifndef PRORAM_SIM_SECURE_MEMORY_HH
 #define PRORAM_SIM_SECURE_MEMORY_HH
 
+#include <cstddef>
 #include <memory>
 #include <unordered_map>
 
@@ -42,6 +43,18 @@ class SecureMemory
     /** Write the word at byte address @p addr. */
     void write(Addr addr, std::uint64_t value);
 
+    /**
+     * Batched reads: out[i] = value at addrs[i]. Semantically
+     * identical to n read() calls in order; the run counters are
+     * aggregated once per batch instead of once per access.
+     */
+    void readBatch(const Addr *addrs, std::uint64_t *out,
+                   std::size_t n);
+
+    /** Batched writes: addrs[i] = values[i], in order. */
+    void writeBatch(const Addr *addrs, const std::uint64_t *values,
+                    std::size_t n);
+
     /** Advance the clock without memory activity (compute phase). */
     void compute(Cycles cycles) { cycle_ += cycles; }
 
@@ -61,7 +74,19 @@ class SecureMemory
     std::uint64_t capacityBytes() const;
 
   private:
+    /** Per-batch counter deltas, flushed into the members once per
+     *  read()/write() (batch of one) or per *Batch() call. */
+    struct AccessCounts
+    {
+        std::uint64_t references = 0;
+        std::uint64_t llcMisses = 0;
+        std::uint64_t writebacks = 0;
+    };
+
     std::uint64_t access(Addr addr, OpType op, std::uint64_t value);
+    std::uint64_t accessOne(Addr addr, OpType op, std::uint64_t value,
+                            AccessCounts &counts);
+    void flushCounts(const AccessCounts &counts);
     BlockId blockOf(Addr addr) const;
 
     SystemConfig cfg_;

@@ -40,7 +40,8 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
     }
 
     cpu_ = std::make_unique<TraceCpu>(*hierarchy_, *backend_,
-                                      cfg_.hierarchy.l1.lineBytes);
+                                      cfg_.hierarchy.l1.lineBytes,
+                                      cfg_.cpuBatch);
 }
 
 System::~System() = default;

@@ -41,6 +41,14 @@ struct SystemConfig
     ControllerConfig controller{};
     DramBackendConfig dram{};
 
+    /**
+     * Trace records the core decodes per batch (the drive-loop
+     * pipeline; results are bit-identical for every size). 0 = take
+     * $PRORAM_BATCH / the built-in default. Capped at
+     * RequestBatch::kCapacity.
+     */
+    std::uint32_t cpuBatch = 0;
+
     /** Static super block size n (Sec. 3.3). */
     std::uint32_t staticSbSize = 2;
     /** Dynamic scheme knobs (Sec. 4.4). */

@@ -67,6 +67,16 @@ class ProfileGenerator : public TraceGenerator
                               double scale = 1.0);
 
     bool next(TraceRecord &rec) override;
+
+    /** Batched decode with statically-dispatched next(). */
+    std::size_t fillBatch(TraceRecord *out, std::size_t max) override
+    {
+        std::size_t n = 0;
+        while (n < max && ProfileGenerator::next(out[n]))
+            ++n;
+        return n;
+    }
+
     void reset() override;
 
     const BenchmarkProfile &profile() const { return prof_; }

@@ -10,6 +10,7 @@
 #ifndef PRORAM_TRACE_GENERATOR_HH
 #define PRORAM_TRACE_GENERATOR_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/types.hh"
@@ -35,6 +36,22 @@ class TraceGenerator
 
     /** Produce the next record. @return false at end of trace. */
     virtual bool next(TraceRecord &rec) = 0;
+
+    /**
+     * Decode up to @p max records into @p out; @return the count (0 =
+     * end of trace). Must produce exactly the sequence repeated
+     * next() calls would - the batched drive loop relies on that
+     * equivalence. The default loops next(); generators override it
+     * to decode without per-record virtual dispatch (e.g. replay's
+     * contiguous copy).
+     */
+    virtual std::size_t fillBatch(TraceRecord *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 
     /** Restart the trace from the beginning (same sequence). */
     virtual void reset() = 0;

@@ -55,6 +55,16 @@ class SyntheticGenerator : public TraceGenerator
     explicit SyntheticGenerator(const SyntheticConfig &cfg);
 
     bool next(TraceRecord &rec) override;
+
+    /** Batched decode with statically-dispatched next(). */
+    std::size_t fillBatch(TraceRecord *out, std::size_t max) override
+    {
+        std::size_t n = 0;
+        while (n < max && SyntheticGenerator::next(out[n]))
+            ++n;
+        return n;
+    }
+
     void reset() override;
 
     const SyntheticConfig &config() const { return cfg_; }

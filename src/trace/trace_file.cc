@@ -34,7 +34,7 @@ writeTraceFile(TraceGenerator &gen, const std::string &path)
 }
 
 std::vector<TraceRecord>
-readTrace(std::istream &is)
+readTrace(std::istream &is, const std::string &source)
 {
     std::vector<TraceRecord> records;
     std::string line;
@@ -43,21 +43,34 @@ readTrace(std::istream &is)
         ++lineno;
         if (line.empty() || line[0] == '#')
             continue;
+        // Record index is 1-based over data lines: "record 3" is the
+        // third reference, whatever comments precede it.
+        const std::uint64_t record = records.size() + 1;
         std::istringstream ls(line);
         TraceRecord rec;
         std::uint64_t compute = 0;
         char op = '?';
         ls >> compute >> std::hex >> rec.addr >> std::dec >> op;
-        fatal_if(ls.fail(), "malformed trace line ", lineno, ": '",
-                 line, "'");
-        fatal_if(op != 'R' && op != 'W',
-                 "bad op '", op, "' on trace line ", lineno);
-        fatal_if(compute > 0xffffffffULL,
-                 "compute gap overflows 32 bits on line ", lineno);
+        fatal_if(ls.fail(), source, ": truncated or malformed record ",
+                 record, " (line ", lineno, "): '", line, "'");
+        fatal_if(op != 'R' && op != 'W', source, ": bad op '", op,
+                 "' in record ", record, " (line ", lineno,
+                 "); expected R or W");
+        std::string extra;
+        fatal_if(static_cast<bool>(ls >> extra), source,
+                 ": trailing field '", extra, "' after record ", record,
+                 " (line ", lineno, ")");
+        fatal_if(compute > 0xffffffffULL, source,
+                 ": compute gap overflows 32 bits in record ", record,
+                 " (line ", lineno, ")");
         rec.computeCycles = static_cast<std::uint32_t>(compute);
         rec.op = op == 'W' ? OpType::Write : OpType::Read;
         records.push_back(rec);
     }
+    // A record-free trace would "run" to a zero-cycle result and poison
+    // every derived metric downstream; reject it here with context.
+    fatal_if(records.empty(), source,
+             " contains no trace records (empty or comments only)");
     return records;
 }
 
@@ -66,7 +79,7 @@ readTraceFile(const std::string &path)
 {
     std::ifstream is(path);
     fatal_if(!is, "cannot open trace file '", path, "'");
-    return readTrace(is);
+    return readTrace(is, path);
 }
 
 } // namespace proram

@@ -7,11 +7,15 @@
  *
  * Format: one record per line, `<computeCycles> <hexAddr> <R|W>`;
  * lines starting with '#' are comments. Deterministic round-trip.
+ * Parsing is strict: truncated records, trailing fields, bad opcodes
+ * and record-free inputs are all rejected with the source name and
+ * the offending record index, never silently skipped or zero-filled.
  */
 
 #ifndef PRORAM_TRACE_TRACE_FILE_HH
 #define PRORAM_TRACE_TRACE_FILE_HH
 
+#include <algorithm>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -28,8 +32,12 @@ std::uint64_t writeTrace(TraceGenerator &gen, std::ostream &os);
 std::uint64_t writeTraceFile(TraceGenerator &gen,
                              const std::string &path);
 
-/** Parse a trace stream. Throws SimFatal on malformed input. */
-std::vector<TraceRecord> readTrace(std::istream &is);
+/**
+ * Parse a trace stream. Throws SimFatal on malformed, truncated or
+ * record-free input; @p source names the stream in error messages.
+ */
+std::vector<TraceRecord> readTrace(std::istream &is,
+                                   const std::string &source = "<stream>");
 
 /** Parse a trace file. Throws SimFatal if unreadable/malformed. */
 std::vector<TraceRecord> readTraceFile(const std::string &path);
@@ -49,6 +57,15 @@ class ReplayGenerator : public TraceGenerator
             return false;
         rec = records_[idx_++];
         return true;
+    }
+
+    /** Batched decode is a contiguous copy: no per-record dispatch. */
+    std::size_t fillBatch(TraceRecord *out, std::size_t max) override
+    {
+        const std::size_t n = std::min(max, records_.size() - idx_);
+        std::copy_n(records_.data() + idx_, n, out);
+        idx_ += n;
+        return n;
     }
 
     void reset() override { idx_ = 0; }

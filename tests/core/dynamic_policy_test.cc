@@ -117,11 +117,11 @@ TEST(DynamicPolicy, MergeRemapRefreshesStashCachedLeaves)
     ASSERT_TRUE(f.oram->engine().stash().contains(0));
     f.policy->onDataAccess(0, /*wb=*/false); // merges (0,1), remaps
     ASSERT_EQ(f.sbSize(0), 2u);
-    const StashEntry *e = f.oram->engine().stash().find(0);
-    ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->leaf, f.oram->posMap().leafOf(0));
-    if (const StashEntry *s = f.oram->engine().stash().find(1)) {
-        EXPECT_EQ(s->leaf, f.oram->posMap().leafOf(1));
+    const Stash &stash = f.oram->engine().stash();
+    ASSERT_TRUE(stash.contains(0));
+    EXPECT_EQ(stash.leafOf(0), f.oram->posMap().leafOf(0));
+    if (stash.contains(1)) {
+        EXPECT_EQ(stash.leafOf(1), f.oram->posMap().leafOf(1));
     }
     f.oram->engine().writePath(old_leaf);
     EXPECT_TRUE(checkIntegrity(*f.oram).ok);
@@ -146,9 +146,9 @@ TEST(DynamicPolicy, BreakRemapRefreshesStashCachedLeaves)
         if (broke) {
             // Both halves were just remapped to fresh independent
             // leaves; the resident copy's cached leaf must match.
-            const StashEntry *e = f.oram->engine().stash().find(0);
-            ASSERT_NE(e, nullptr);
-            EXPECT_EQ(e->leaf, f.oram->posMap().leafOf(0));
+            ASSERT_TRUE(f.oram->engine().stash().contains(0));
+            EXPECT_EQ(f.oram->engine().stash().leafOf(0),
+                      f.oram->posMap().leafOf(0));
         }
         f.oram->engine().writePath(leaf);
         while (f.oram->engine().stash().overCapacity())

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "oram/evict_kernel.hh"
 #include "sim/experiment.hh"
 #include "sim/system_config.hh"
 #include "trace/benchmarks.hh"
@@ -55,6 +56,19 @@ const Golden kGoldens[] = {
      4144036, 6699, 2729, 0, 0, 0, 401, 0},
 };
 
+void
+expectGolden(const Golden &g, const SimResult &r)
+{
+    EXPECT_EQ(r.cycles, g.cycles);
+    EXPECT_EQ(r.pathAccesses, g.pathAccesses);
+    EXPECT_EQ(r.posMapAccesses, g.posMapAccesses);
+    EXPECT_EQ(r.bgEvictions, g.bgEvictions);
+    EXPECT_EQ(r.prefetchHits, g.prefetchHits);
+    EXPECT_EQ(r.prefetchMisses, g.prefetchMisses);
+    EXPECT_EQ(r.merges, g.merges);
+    EXPECT_EQ(r.breaks, g.breaks);
+}
+
 TEST(GoldenStats, Fig08TinyMatchesSeedCapture)
 {
     Experiment exp(defaultSystemConfig(), /*trace_scale=*/0.02);
@@ -62,15 +76,88 @@ TEST(GoldenStats, Fig08TinyMatchesSeedCapture)
         const SimResult r =
             exp.runBenchmark(g.scheme, profileByName(g.profile));
         SCOPED_TRACE(std::string(g.profile) + "/" + r.scheme);
+        expectGolden(g, r);
+    }
+}
+
+struct PeriodicGolden
+{
+    const char *profile;
+    MemScheme scheme;
+    std::uint64_t cycles;
+    std::uint64_t pathAccesses;
+    std::uint64_t posMapAccesses;
+    std::uint64_t bgEvictions;
+    std::uint64_t periodicDummies;
+    std::uint64_t prefetchHits;
+    std::uint64_t prefetchMisses;
+    std::uint64_t merges;
+    std::uint64_t breaks;
+};
+
+// Periodic (Oint) mode: same grid with
+// controller.periodic.enabled = true at the default interval.
+// Captured from commit 9d55793 (pre-SoA), identical under the SoA
+// stash + counting-sort eviction scan.
+const PeriodicGolden kPeriodicGoldens[] = {
+    {"cholesky", MemScheme::OramBaseline,
+     3483940, 4967, 1406, 0, 73, 0, 0, 0, 0},
+    {"cholesky", MemScheme::OramStatic,
+     2732300, 4160, 1380, 10, 140, 0, 8, 0, 0},
+    {"cholesky", MemScheme::OramDynamic,
+     3483940, 4967, 1406, 0, 73, 0, 0, 868, 0},
+    {"radix", MemScheme::OramBaseline,
+     4575096, 6701, 2729, 0, 2, 0, 0, 0, 0},
+    {"radix", MemScheme::OramStatic,
+     4128919, 6295, 2590, 93, 13, 0, 27, 0, 0},
+    {"radix", MemScheme::OramDynamic,
+     4575096, 6701, 2729, 0, 2, 0, 0, 401, 0},
+};
+
+TEST(GoldenStats, Fig08TinyPeriodicModeMatchesCapture)
+{
+    Experiment exp(defaultSystemConfig(), /*trace_scale=*/0.02);
+    for (const PeriodicGolden &g : kPeriodicGoldens) {
+        const SimResult r = exp.runWith(
+            g.scheme,
+            [](SystemConfig &cfg) {
+                cfg.controller.periodic.enabled = true;
+            },
+            [&] {
+                return makeGenerator(profileByName(g.profile), 0.02);
+            });
+        SCOPED_TRACE(std::string(g.profile) + "/" + r.scheme);
         EXPECT_EQ(r.cycles, g.cycles);
         EXPECT_EQ(r.pathAccesses, g.pathAccesses);
         EXPECT_EQ(r.posMapAccesses, g.posMapAccesses);
         EXPECT_EQ(r.bgEvictions, g.bgEvictions);
+        EXPECT_EQ(r.periodicDummies, g.periodicDummies);
         EXPECT_EQ(r.prefetchHits, g.prefetchHits);
         EXPECT_EQ(r.prefetchMisses, g.prefetchMisses);
         EXPECT_EQ(r.merges, g.merges);
         EXPECT_EQ(r.breaks, g.breaks);
     }
+}
+
+TEST(GoldenStats, GoldensHoldUnderEveryEvictKernel)
+{
+    // The eviction-scan kernels must be interchangeable down to the
+    // last stat: re-run one golden cell with dispatch pinned to each
+    // variant the host can run.
+    Experiment exp(defaultSystemConfig(), /*trace_scale=*/0.02);
+    const Golden &g = kGoldens[1]; // cholesky / OramStatic
+    for (const evict::Kernel k :
+         {evict::Kernel::Scalar, evict::Kernel::Swar,
+          evict::Kernel::Avx2}) {
+        if (!evict::kernelAvailable(k))
+            continue;
+        evict::forceKernel(k);
+        const SimResult r =
+            exp.runBenchmark(g.scheme, profileByName(g.profile));
+        SCOPED_TRACE(std::string("kernel=") + evict::kernelName(k));
+        expectGolden(g, r);
+    }
+    evict::forceKernel(evict::Kernel::Auto);
 }
 
 } // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Randomized equivalence tests for the vectorized eviction-level
+ * kernels: every variant the host can run must agree bit-for-bit with
+ * the scalar reference on every input - random leaves across the full
+ * 32-bit range, dead-slot garbage (kInvalidLeaf), unaligned lengths
+ * that exercise the vector tails, and levels small enough that the
+ * subtraction wraps mod 2^32.
+ */
+
+#include "oram/evict_kernel.hh"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace proram
+{
+namespace
+{
+
+std::vector<evict::Kernel>
+availableKernels()
+{
+    std::vector<evict::Kernel> out{evict::Kernel::Scalar};
+    if (evict::kernelAvailable(evict::Kernel::Swar))
+        out.push_back(evict::Kernel::Swar);
+    if (evict::kernelAvailable(evict::Kernel::Avx2))
+        out.push_back(evict::Kernel::Avx2);
+    return out;
+}
+
+TEST(EvictKernel, ScalarMatchesCommonLevelFormula)
+{
+    // levels - bit_width(a ^ b), the BinaryTree::commonLevel contract.
+    const std::uint32_t levels = 16;
+    const Leaf leaves[] = {0, 1, 0x8000, 0xFFFF, 0x1234};
+    std::uint32_t out[5];
+    evict::classifyLevelsWith(evict::Kernel::Scalar, leaves, 5, 0x1234,
+                              levels, out);
+    EXPECT_EQ(out[4], levels);     // identical leaf: full depth
+    EXPECT_EQ(out[0], levels - 13); // diff 0x1234: bit_width 13
+    EXPECT_EQ(out[3], levels - 16); // diff 0xEDCB: bit_width 16
+}
+
+TEST(EvictKernel, AllVariantsMatchScalarOnRandomInput)
+{
+    std::mt19937_64 rng(0xC0FFEE);
+    const std::uint32_t level_grid[] = {1, 5, 16, 25, 32};
+    // Lengths straddle the SWAR (4) and AVX2 (8) strides to hit every
+    // tail-handling branch, plus n == 0.
+    const std::size_t len_grid[] = {0, 1, 3, 7, 8, 9, 15, 64, 257};
+
+    for (const std::uint32_t levels : level_grid) {
+        for (const std::size_t n : len_grid) {
+            std::vector<Leaf> leaves(n);
+            const Leaf path_leaf = static_cast<Leaf>(rng());
+            for (std::size_t i = 0; i < n; ++i) {
+                switch (rng() % 4) {
+                  case 0: // in-range leaf for this tree depth
+                    leaves[i] = static_cast<Leaf>(
+                        rng() & ((levels >= 32)
+                                     ? 0xFFFFFFFFu
+                                     : ((1u << levels) - 1)));
+                    break;
+                  case 1: // full 32-bit garbage (dead-slot lane)
+                    leaves[i] = static_cast<Leaf>(rng());
+                    break;
+                  case 2:
+                    leaves[i] = kInvalidLeaf;
+                    break;
+                  default:
+                    leaves[i] = path_leaf; // zero-diff lane
+                    break;
+                }
+            }
+            std::vector<std::uint32_t> ref(n), got(n);
+            evict::classifyLevelsWith(evict::Kernel::Scalar,
+                                      leaves.data(), n, path_leaf,
+                                      levels, ref.data());
+            for (const evict::Kernel k : availableKernels()) {
+                std::fill(got.begin(), got.end(), 0xDEAD);
+                evict::classifyLevelsWith(k, leaves.data(), n,
+                                          path_leaf, levels,
+                                          got.data());
+                ASSERT_EQ(got, ref)
+                    << "kernel=" << evict::kernelName(k)
+                    << " levels=" << levels << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(EvictKernel, DispatchResolvesToAnAvailableVariant)
+{
+    const evict::Kernel active = evict::activeKernel();
+    EXPECT_NE(active, evict::Kernel::Auto);
+    EXPECT_TRUE(evict::kernelAvailable(active));
+}
+
+TEST(EvictKernel, ForceKernelPinsAndAutoRestores)
+{
+    const evict::Kernel before = evict::activeKernel();
+    evict::forceKernel(evict::Kernel::Scalar);
+    EXPECT_EQ(evict::activeKernel(), evict::Kernel::Scalar);
+
+    // Dispatch through the pinned kernel must still be correct.
+    const Leaf leaves[] = {3, 9, 12, 40};
+    std::uint32_t out[4];
+    evict::classifyLevels(leaves, 4, 9, 10, out);
+    EXPECT_EQ(out[1], 10u);
+
+    evict::forceKernel(evict::Kernel::Auto); // re-resolve
+    EXPECT_EQ(evict::activeKernel(), before);
+}
+
+TEST(EvictKernel, ScalarAlwaysAvailableAndNamed)
+{
+    EXPECT_TRUE(evict::kernelAvailable(evict::Kernel::Scalar));
+    EXPECT_TRUE(evict::kernelAvailable(evict::Kernel::Auto));
+    EXPECT_STREQ(evict::kernelName(evict::Kernel::Scalar), "scalar");
+    EXPECT_STREQ(evict::kernelName(evict::Kernel::Swar), "swar");
+    EXPECT_STREQ(evict::kernelName(evict::Kernel::Avx2), "avx2");
+}
+
+} // namespace
+} // namespace proram

@@ -86,7 +86,8 @@ TEST(PathOram, ReadPathPreservesPayload)
     const BlockId b = 17;
     f.oram.readPath(f.posMap.leafOf(b));
     ASSERT_TRUE(f.oram.stash().contains(b));
-    EXPECT_EQ(f.oram.stash().find(b)->data, b * 3);
+    ASSERT_NE(f.oram.stash().findData(b), nullptr);
+    EXPECT_EQ(*f.oram.stash().findData(b), b * 3);
 }
 
 TEST(PathOram, ReadPathCachesCurrentLeafInStashEntry)
@@ -96,8 +97,8 @@ TEST(PathOram, ReadPathCachesCurrentLeafInStashEntry)
     const BlockId b = 23;
     const Leaf leaf = f.posMap.leafOf(b);
     f.oram.readPath(leaf);
-    ASSERT_NE(f.oram.stash().find(b), nullptr);
-    EXPECT_EQ(f.oram.stash().find(b)->leaf, leaf);
+    ASSERT_TRUE(f.oram.stash().contains(b));
+    EXPECT_EQ(f.oram.stash().leafOf(b), leaf);
 }
 
 TEST(PathOram, RemapWhileResidentRefreshesCachedLeaf)
@@ -114,8 +115,8 @@ TEST(PathOram, RemapWhileResidentRefreshesCachedLeaf)
         static_cast<Leaf>((leaf + f.oram.tree().numLeaves() / 2) %
                           f.oram.tree().numLeaves());
     f.posMap.setLeaf(b, remapped);
-    ASSERT_NE(f.oram.stash().find(b), nullptr);
-    EXPECT_EQ(f.oram.stash().find(b)->leaf, remapped);
+    ASSERT_TRUE(f.oram.stash().contains(b));
+    EXPECT_EQ(f.oram.stash().leafOf(b), remapped);
 }
 
 TEST(PathOram, RemapMidAccessStopsEvictionBelowDivergence)

@@ -204,12 +204,12 @@ TEST(PositionMap, SetLeafForwardsToAttachedLeafCache)
     pm.attachLeafCache(&stash);
     pm.setLeaf(7, 42);
     EXPECT_EQ(pm.leafOf(7), 42u);
-    EXPECT_EQ(stash.find(7)->leaf, 42u);
+    EXPECT_EQ(stash.leafOf(7), 42u);
     pm.setLeaf(8, 13); // not stash-resident: no phantom insert
     EXPECT_FALSE(stash.contains(8));
     pm.attachLeafCache(nullptr);
     pm.setLeaf(7, 5); // detached: stash copy goes stale by design
-    EXPECT_EQ(stash.find(7)->leaf, 42u);
+    EXPECT_EQ(stash.leafOf(7), 42u);
 }
 
 } // namespace

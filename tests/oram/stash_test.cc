@@ -16,12 +16,14 @@ TEST(Stash, InsertFindErase)
     Stash s(10);
     EXPECT_TRUE(s.insert(5, 99, 3));
     EXPECT_TRUE(s.contains(5));
-    ASSERT_NE(s.find(5), nullptr);
-    EXPECT_EQ(s.find(5)->data, 99u);
-    EXPECT_EQ(s.find(5)->leaf, 3u);
+    ASSERT_NE(s.findData(5), nullptr);
+    EXPECT_EQ(*s.findData(5), 99u);
+    EXPECT_EQ(s.leafOf(5), 3u);
     EXPECT_TRUE(s.erase(5));
     EXPECT_FALSE(s.contains(5));
     EXPECT_FALSE(s.erase(5));
+    EXPECT_EQ(s.findData(5), nullptr);
+    EXPECT_EQ(s.leafOf(5), kInvalidLeaf);
 }
 
 TEST(Stash, DuplicateInsertRejected)
@@ -29,8 +31,8 @@ TEST(Stash, DuplicateInsertRejected)
     Stash s(10);
     EXPECT_TRUE(s.insert(1, 1, 0));
     EXPECT_FALSE(s.insert(1, 2, 7));
-    EXPECT_EQ(s.find(1)->data, 1u);
-    EXPECT_EQ(s.find(1)->leaf, 0u);
+    EXPECT_EQ(*s.findData(1), 1u);
+    EXPECT_EQ(s.leafOf(1), 0u);
 }
 
 TEST(Stash, CapacityIsSoft)
@@ -87,11 +89,34 @@ TEST(Stash, OrderAndLookupsSurviveCompaction)
         expect.push_back(b);
     EXPECT_EQ(s.residentIds(), expect);
     for (BlockId b : expect) {
-        ASSERT_NE(s.find(b), nullptr) << "block " << b;
-        EXPECT_EQ(s.find(b)->data, b * 2);
-        EXPECT_EQ(s.find(b)->leaf, static_cast<Leaf>(b % 7));
+        ASSERT_NE(s.findData(b), nullptr) << "block " << b;
+        EXPECT_EQ(*s.findData(b), b * 2);
+        EXPECT_EQ(s.leafOf(b), static_cast<Leaf>(b % 7));
     }
     EXPECT_EQ(s.size(), expect.size());
+}
+
+TEST(Stash, SoALanesStayDenseAndAligned)
+{
+    // The SoA contract writePath depends on: leafLane()/idLane() are
+    // parallel arrays over slotCount() slots, dead slots are marked
+    // kInvalidBlock in the id lane, and compaction re-packs all lanes.
+    Stash s(8);
+    for (BlockId b = 0; b < 6; ++b)
+        s.insert(b, b + 100, static_cast<Leaf>(b));
+    s.erase(1);
+    s.erase(4);
+    ASSERT_EQ(s.slotCount(), 6u); // dead slots still present
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < s.slotCount(); ++i) {
+        if (s.idLane()[i] == kInvalidBlock)
+            continue;
+        ++live;
+        const BlockId id = s.idLane()[i];
+        EXPECT_EQ(s.leafLane()[i], static_cast<Leaf>(id));
+        EXPECT_EQ(s.dataLane()[i], id + 100);
+    }
+    EXPECT_EQ(live, s.size());
 }
 
 TEST(Stash, UpdateLeafRefreshesResidentEntryOnly)
@@ -99,7 +124,7 @@ TEST(Stash, UpdateLeafRefreshesResidentEntryOnly)
     Stash s(4);
     s.insert(6, 0, 2);
     s.updateLeaf(6, 11);
-    EXPECT_EQ(s.find(6)->leaf, 11u);
+    EXPECT_EQ(s.leafOf(6), 11u);
     s.updateLeaf(99, 5); // absent: must be a no-op, not an insert
     EXPECT_FALSE(s.contains(99));
     EXPECT_EQ(s.size(), 1u);
@@ -118,12 +143,12 @@ TEST(Stash, OccupancySampling)
     EXPECT_DOUBLE_EQ(s.occupancy().max(), 3.0);
 }
 
-TEST(Stash, MutableDataThroughFind)
+TEST(Stash, MutableDataThroughFindData)
 {
     Stash s(4);
     s.insert(7, 10, 0);
-    s.find(7)->data = 20;
-    EXPECT_EQ(s.find(7)->data, 20u);
+    *s.findData(7) = 20;
+    EXPECT_EQ(*s.findData(7), 20u);
 }
 
 } // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "trace/benchmarks.hh"
@@ -88,6 +90,104 @@ TEST(TraceFile, MalformedLinesRejected)
     EXPECT_THROW(readTrace(missing), SimFatal);
     std::istringstream garbage("hello world R\n");
     EXPECT_THROW(readTrace(garbage), SimFatal);
+    std::istringstream trailing("5 100 R extra\n");
+    EXPECT_THROW(readTrace(trailing), SimFatal);
+    std::istringstream overflow("4294967296 100 R\n");
+    EXPECT_THROW(readTrace(overflow), SimFatal);
+}
+
+TEST(TraceFile, EmptyTraceRejected)
+{
+    // A record-free trace would "run" to a zero-cycle result and
+    // poison every derived metric; it must be rejected up front.
+    std::istringstream empty("");
+    EXPECT_THROW(readTrace(empty), SimFatal);
+    std::istringstream comments_only("# header\n\n# nothing else\n");
+    EXPECT_THROW(readTrace(comments_only), SimFatal);
+}
+
+TEST(TraceFile, ErrorsNameSourceAndRecordIndex)
+{
+    // Operators debug traces by record position, so the diagnostics
+    // must carry the source name, the 1-based record index, and the
+    // physical line number.
+    std::istringstream is("# header\n1 10 R\n2 20 W\n3 30 Q\n");
+    try {
+        readTrace(is, "bad.trace");
+        FAIL() << "expected SimFatal";
+    } catch (const SimFatal &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("bad.trace"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("record 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("expected R or W"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(TraceFile, ShortReadNamesTruncatedRecord)
+{
+    // A trace cut off mid-record (e.g. a partial download) dies with
+    // the index of the truncated record, not a generic parse error.
+    std::istringstream is("1 10 R\n2 20\n");
+    try {
+        readTrace(is, "cut.trace");
+        FAIL() << "expected SimFatal";
+    } catch (const SimFatal &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("cut.trace"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("record 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("truncated or malformed"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(TraceFile, ReadTraceFileNamesPathInErrors)
+{
+    const std::string path = ::testing::TempDir() + "proram_bad.txt";
+    {
+        std::ofstream os(path);
+        os << "7 1f R\nnot-a-record\n";
+    }
+    try {
+        readTraceFile(path);
+        FAIL() << "expected SimFatal";
+    } catch (const SimFatal &e) {
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayFillBatchMatchesNext)
+{
+    SyntheticGenerator gen(tiny());
+    std::ostringstream os;
+    writeTrace(gen, os);
+    std::istringstream is(os.str());
+    const auto records = readTrace(is);
+
+    ReplayGenerator one(records);
+    ReplayGenerator batched(records);
+    TraceRecord batch[48];
+    TraceRecord single;
+    std::size_t total = 0;
+    // Odd batch size exercises the final short batch.
+    for (;;) {
+        const std::size_t n = batched.fillBatch(batch, 48);
+        if (n == 0)
+            break;
+        total += n;
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_TRUE(one.next(single));
+            EXPECT_EQ(batch[i].addr, single.addr);
+            EXPECT_EQ(batch[i].op, single.op);
+            EXPECT_EQ(batch[i].computeCycles, single.computeCycles);
+        }
+    }
+    EXPECT_FALSE(one.next(single));
+    EXPECT_EQ(total, records.size());
 }
 
 TEST(TraceFile, MissingFileRejected)
