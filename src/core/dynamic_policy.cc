@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/super_block.hh"
+#include "obs/trace.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -217,6 +218,7 @@ DynamicSuperBlockPolicy::applyBreakScheme(
     writeBreakCounter(req_half, half, initialBreakCounter(half));
     writeBreakCounter(other_half, half, initialBreakCounter(half));
     ++stats_.breaks;
+    PRORAM_TRACE_EVENT("policy", "break", "size", half);
 
     base = req_half;
     n = half;
@@ -278,6 +280,7 @@ DynamicSuperBlockPolicy::applyMergeScheme(BlockId base, std::uint32_t n)
     writeMergeCounter(pair_base, n, 0);
     writeBreakCounter(pair_base, 2 * n, initialBreakCounter(2 * n));
     ++stats_.merges;
+    PRORAM_TRACE_EVENT("policy", "merge", "size", 2 * n);
 }
 
 AccessDecision

@@ -4,6 +4,7 @@
 
 #include "core/dynamic_policy.hh"
 #include "core/static_policy.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace proram
@@ -50,6 +51,21 @@ OramController::probe(BlockId block) const
     return hierarchy_.probeLlc(block);
 }
 
+void
+OramController::attachAuditor(obs::ObliviousnessAuditor *auditor)
+{
+    auditor_ = auditor;
+    // Pos-map path accesses happen inside the unified front end; have
+    // it report their public leaves directly.
+    if (auditor) {
+        oram_.setPosMapObserver([auditor](Leaf leaf) {
+            auditor->onPath(obs::PathKind::PosMap, leaf);
+        });
+    } else {
+        oram_.setPosMapObserver({});
+    }
+}
+
 std::uint64_t
 OramController::performAccess(BlockId block, bool is_writeback,
                               OpType op,
@@ -59,14 +75,18 @@ OramController::performAccess(BlockId block, bool is_writeback,
     panic_if(!policy_, "controller used before configure*()");
     panic_if(!oram_.space().isData(block),
              "CPU-visible access to non-data block ", block);
+    PRORAM_TRACE_SCOPE_ARG("controller", "access", "block", block);
 
     // 1. Recursion: bring the pos-map chain on-chip (Sec. 2.3).
     const PosMapWalk walk = oram_.posMapWalk(block);
     std::uint64_t paths = walk.pathAccesses();
     stats_.posMapAccesses += walk.pathAccesses();
+    walkDepth_.sample(walk.pathAccesses());
 
     // 2. Read the super block's path into the stash (Sec. 2.2 step 2).
     const Leaf leaf = oram_.posMap().leafOf(block);
+    if (auditor_)
+        auditor_->onPath(obs::PathKind::Real, leaf);
     PathOram &engine = oram_.engine();
     engine.readPath(leaf);
     ++paths;
@@ -84,6 +104,7 @@ OramController::performAccess(BlockId block, bool is_writeback,
     //    (steps 4 of the paper, plus Algorithms 1-2).
     const AccessDecision decision =
         policy_->onDataAccess(block, is_writeback);
+    sbSize_.sample(oram_.posMap().entry(block).sbSize());
 
     // 5. Write-back phase (step 5).
     engine.writePath(leaf);
@@ -102,7 +123,9 @@ OramController::performAccess(BlockId block, bool is_writeback,
     std::uint64_t spent = 0;
     while (engine.stash().overCapacity() &&
            spent < ctlCfg_.maxBgEvictionsPerRequest) {
-        engine.dummyAccess();
+        const Leaf dummy_leaf = engine.dummyAccess();
+        if (auditor_)
+            auditor_->onPath(obs::PathKind::BgEvict, dummy_leaf);
         ++paths;
         ++spent;
         ++stats_.bgEvictions;
@@ -134,17 +157,28 @@ OramController::maybeRollEpoch(Cycles now)
     epochBusy_ = 0;
 }
 
+void
+OramController::drainPeriodicDummies(Cycles now)
+{
+    // Idle periodic slots that elapsed ran dummy accesses.
+    const std::uint64_t elapsed = scheduler_.drainDummies(now);
+    for (std::uint64_t i = 0; i < elapsed; ++i) {
+        const Leaf leaf = oram_.engine().dummyAccess();
+        PRORAM_TRACE_EVENT("dummy", "periodic", "leaf", leaf);
+        if (auditor_)
+            auditor_->onPath(obs::PathKind::PeriodicDummy, leaf);
+    }
+    stats_.periodicDummies += elapsed;
+    stats_.pathAccesses += elapsed;
+}
+
 Cycles
 OramController::dataAccess(Cycles now, BlockId block, OpType op,
                            std::uint64_t write_data,
                            std::uint64_t *read_out)
 {
-    // Idle periodic slots that elapsed ran dummy accesses.
-    const std::uint64_t elapsed = scheduler_.drainDummies(now);
-    for (std::uint64_t i = 0; i < elapsed; ++i)
-        oram_.engine().dummyAccess();
-    stats_.periodicDummies += elapsed;
-    stats_.pathAccesses += elapsed;
+    PRORAM_TRACE_SCOPE_ARG("controller", "dataAccess", "block", block);
+    drainPeriodicDummies(now);
 
     std::uint64_t paths =
         performAccess(block, false, op,
@@ -154,6 +188,9 @@ OramController::dataAccess(Cycles now, BlockId block, OpType op,
     stats_.pathAccesses += paths;
 
     const PeriodicGrant grant = scheduler_.schedule(now, paths);
+    if (auditor_)
+        auditor_->onGrant(grant.start, paths);
+    requestLatency_.sample(grant.completion - now);
     epochBusy_ += grant.completion - grant.start;
     busyUntil_ = grant.completion;
     maybeRollEpoch(grant.completion);
@@ -175,11 +212,8 @@ OramController::writebackOne(Cycles now, BlockId block)
 {
     // Timing-only write-back: remap the super block, preserve payload
     // (the trace CPU carries no data).
-    const std::uint64_t elapsed = scheduler_.drainDummies(now);
-    for (std::uint64_t i = 0; i < elapsed; ++i)
-        oram_.engine().dummyAccess();
-    stats_.periodicDummies += elapsed;
-    stats_.pathAccesses += elapsed;
+    PRORAM_TRACE_SCOPE_ARG("controller", "writeback", "block", block);
+    drainPeriodicDummies(now);
 
     std::uint64_t paths =
         performAccess(block, true, OpType::Write, nullptr, nullptr);
@@ -187,6 +221,9 @@ OramController::writebackOne(Cycles now, BlockId block)
     stats_.pathAccesses += paths;
 
     const PeriodicGrant grant = scheduler_.schedule(now, paths);
+    if (auditor_)
+        auditor_->onGrant(grant.start, paths);
+    requestLatency_.sample(grant.completion - now);
     epochBusy_ += grant.completion - grant.start;
     busyUntil_ = grant.completion;
     maybeRollEpoch(grant.completion);
@@ -214,11 +251,9 @@ Cycles
 OramController::writebackWithData(Cycles now, BlockId block,
                                   std::uint64_t data)
 {
-    const std::uint64_t elapsed = scheduler_.drainDummies(now);
-    for (std::uint64_t i = 0; i < elapsed; ++i)
-        oram_.engine().dummyAccess();
-    stats_.periodicDummies += elapsed;
-    stats_.pathAccesses += elapsed;
+    PRORAM_TRACE_SCOPE_ARG("controller", "writebackData", "block",
+                           block);
+    drainPeriodicDummies(now);
 
     std::uint64_t paths =
         performAccess(block, true, OpType::Write, &data, nullptr);
@@ -226,6 +261,9 @@ OramController::writebackWithData(Cycles now, BlockId block,
     stats_.pathAccesses += paths;
 
     const PeriodicGrant grant = scheduler_.schedule(now, paths);
+    if (auditor_)
+        auditor_->onGrant(grant.start, paths);
+    requestLatency_.sample(grant.completion - now);
     epochBusy_ += grant.completion - grant.start;
     busyUntil_ = grant.completion;
     maybeRollEpoch(grant.completion);
@@ -246,6 +284,8 @@ OramController::onDemandTouch(Cycles now, BlockId block)
                 hierarchy_.probeLlc(cand)) {
                 continue;
             }
+            PRORAM_TRACE_EVENT("controller", "streamPrefetch",
+                               "block", cand);
             std::uint64_t p =
                 performAccess(cand, false, OpType::Read, nullptr,
                               nullptr);
@@ -254,6 +294,8 @@ OramController::onDemandTouch(Cycles now, BlockId block)
             BlockId clean_victim = kInvalidBlock;
             hierarchy_.insertPrefetch(cand, &clean_victim);
             const PeriodicGrant g = scheduler_.schedule(t, p);
+            if (auditor_)
+                auditor_->onGrant(g.start, p);
             epochBusy_ += g.completion - g.start;
             busyUntil_ = g.completion;
             t = g.completion;
@@ -264,11 +306,7 @@ OramController::onDemandTouch(Cycles now, BlockId block)
 void
 OramController::finalize(Cycles end)
 {
-    const std::uint64_t elapsed = scheduler_.drainDummies(end);
-    for (std::uint64_t i = 0; i < elapsed; ++i)
-        oram_.engine().dummyAccess();
-    stats_.periodicDummies += elapsed;
-    stats_.pathAccesses += elapsed;
+    drainPeriodicDummies(end);
 }
 
 std::uint64_t

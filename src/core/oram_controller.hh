@@ -13,6 +13,7 @@
 
 #include "core/dynamic_policy.hh"
 #include "core/policy.hh"
+#include "obs/audit.hh"
 #include "stats/stats.hh"
 #include "mem/backend.hh"
 #include "mem/cache_hierarchy.hh"
@@ -102,6 +103,28 @@ class OramController : public MemBackend, public LlcProbe
     const ControllerStats &stats() const { return stats_; }
 
     /**
+     * Attach the obliviousness auditor: the controller reports every
+     * path access (with its public leaf) and every scheduler grant.
+     * Pure observation - attaching changes no simulated behaviour.
+     */
+    void attachAuditor(obs::ObliviousnessAuditor *auditor);
+
+    // Observability histograms (sampled unconditionally; the cost is
+    // a couple of integer ops per request).
+    /** Request latency (grant completion - arrival), in cycles. */
+    const stats::LogHistogram &requestLatencyHist() const
+    {
+        return requestLatency_;
+    }
+    /** Pos-map path accesses per demand request (recursion cost). */
+    const stats::LogHistogram &walkDepthHist() const
+    {
+        return walkDepth_;
+    }
+    /** Super-block size of each accessed data block, post-policy. */
+    const stats::LogHistogram &sbSizeHist() const { return sbSize_; }
+
+    /**
      * gem5-style named-statistics view over the controller, the
      * policy and the ORAM internals. The group holds closures into
      * this object: use it only while the controller is alive.
@@ -115,6 +138,7 @@ class OramController : public MemBackend, public LlcProbe
     UnifiedOram &oram() { return oram_; }
     const UnifiedOram &oram() const { return oram_; }
     SuperBlockPolicy &policy() { return *policy_; }
+    const PeriodicScheduler &scheduler() const { return scheduler_; }
     Cycles busyUntil() const { return busyUntil_; }
 
   private:
@@ -136,6 +160,10 @@ class OramController : public MemBackend, public LlcProbe
     /** Shared body of writebackAccess / writebackBatch. */
     void writebackOne(Cycles now, BlockId block);
 
+    /** Run the dummy accesses of idle periodic slots up to @p now,
+     *  with observability reporting. */
+    void drainPeriodicDummies(Cycles now);
+
     OramConfig oramCfg_;
     ControllerConfig ctlCfg_;
     CacheHierarchy &hierarchy_;
@@ -146,6 +174,11 @@ class OramController : public MemBackend, public LlcProbe
 
     ControllerStats stats_;
     Cycles busyUntil_ = 0;
+    obs::ObliviousnessAuditor *auditor_ = nullptr;
+
+    stats::LogHistogram requestLatency_;
+    stats::LogHistogram walkDepth_;
+    stats::LogHistogram sbSize_;
 
     // Epoch bookkeeping for adaptive thresholding.
     std::uint64_t epochRequestBase_ = 0;

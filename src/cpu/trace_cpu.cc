@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/trace.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -44,6 +45,7 @@ TraceCpu::run(TraceGenerator &gen)
         batch.size = gen.fillBatch(batch.records, batchSize_);
         if (batch.size == 0)
             break;
+        PRORAM_TRACE_SCOPE_ARG("cpu", "batch", "size", batch.size);
 
         // Per-batch counters: retire the whole batch against locals,
         // flush once. Retirement itself is record-at-a-time (the
@@ -75,6 +77,7 @@ TraceCpu::run(TraceGenerator &gen)
 
               case HitLevel::Miss: {
                 ++llc_misses;
+                PRORAM_TRACE_EVENT("cpu", "llcMiss", "block", block);
                 const Cycles issue =
                     cycle + hierarchy_.hitLatency(HitLevel::L2);
                 cycle = backend_.demandAccess(issue, block, rec.op);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace proram
@@ -24,6 +25,7 @@ DramModel::schedule(Cycles now)
     const Cycles start = std::max(now, busFreeAt_);
     busFreeAt_ = start + transferCycles_;
     ++transfers_;
+    PRORAM_TRACE_EVENT("dram", "transfer", "busStart", start);
     return start + cfg_.latency + transferCycles_;
 }
 

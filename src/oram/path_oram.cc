@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hh"
 #include "oram/evict_kernel.hh"
 #include "util/logging.hh"
 
@@ -56,6 +57,7 @@ PathOram::randomLeaf()
 void
 PathOram::readPath(Leaf leaf)
 {
+    PRORAM_TRACE_SCOPE_ARG("oram", "readPath", "leaf", leaf);
     ++pathReads_;
     const std::uint32_t z = tree_.z();
     for (std::uint32_t level = 0; level <= tree_.levels(); ++level) {
@@ -85,12 +87,17 @@ PathOram::writePath(Leaf leaf)
     // Insertion order within a level is preserved, so the fill loop
     // below makes bit-identical placement decisions to the former
     // per-level scratch-vector pushes.
+    PRORAM_TRACE_SCOPE_ARG("oram", "writePath", "leaf", leaf);
     const std::uint32_t levels = tree_.levels();
     const std::size_t slots = stash_.slotCount();
     reserveScratch(slots);
-    evict::classifyLevels(stash_.leafLane(), slots, leaf, levels,
-                          levelScratch_.data());
+    {
+        PRORAM_TRACE_SCOPE_ARG("evict", "classify", "slots", slots);
+        evict::classifyLevels(stash_.leafLane(), slots, leaf, levels,
+                              levelScratch_.data());
+    }
 
+    PRORAM_TRACE_SCOPE_ARG("evict", "scatterFill", "slots", slots);
     const BlockId *ids = stash_.idLane();
     const Leaf *leaves = stash_.leafLane();
     const std::uint64_t *payloads = stash_.dataLane();
@@ -141,6 +148,7 @@ Leaf
 PathOram::dummyAccess()
 {
     const Leaf leaf = randomLeaf();
+    PRORAM_TRACE_SCOPE_ARG("dummy", "bgEvict", "leaf", leaf);
     readPath(leaf);
     writePath(leaf);
     return leaf;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -62,7 +63,10 @@ UnifiedOram::posMapCached(BlockId id) const
 void
 UnifiedOram::fetchPosMapBlock(BlockId pm_block)
 {
+    PRORAM_TRACE_SCOPE_ARG("posmap", "fetch", "block", pm_block);
     const Leaf leaf = posMap_.leafOf(pm_block);
+    if (posMapObserver_)
+        posMapObserver_(leaf);
     oram_.readPath(leaf);
     panic_if(!oram_.stash().contains(pm_block),
              "pos-map block ", pm_block, " missing from path ", leaf);
@@ -99,13 +103,17 @@ UnifiedOram::posMapWalk(BlockId id)
     for (std::size_t i = 0; i < chain.size(); ++i) {
         if (plb_.lookup(chain[i])) {
             first_cached = i;
+            PRORAM_TRACE_EVENT("plb", "hit", "level", i);
             break;
         }
+        PRORAM_TRACE_EVENT("plb", "miss", "level", i);
     }
     for (std::size_t i = first_cached; i-- > 0;) {
         fetchPosMapBlock(chain[i]);
         walk.fetched.push_back(chain[i]);
     }
+    PRORAM_TRACE_EVENT("posmap", "walk", "depth",
+                       walk.fetched.size());
     return walk;
 }
 

@@ -10,6 +10,7 @@
 #define PRORAM_ORAM_UNIFIED_ORAM_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "oram/path_oram.hh"
@@ -55,6 +56,16 @@ class UnifiedOram
      *  on-chip), without updating any state. Testing/diagnostics. */
     bool posMapCached(BlockId id) const;
 
+    /**
+     * Observe the (public) leaf of every position-map path access,
+     * just before the path is read. Pure observation hook for the
+     * obliviousness auditor; must not touch ORAM state.
+     */
+    void setPosMapObserver(std::function<void(Leaf)> fn)
+    {
+        posMapObserver_ = std::move(fn);
+    }
+
     const OramConfig &config() const { return cfg_; }
     const BlockSpace &space() const { return space_; }
     PositionMap &posMap() { return posMap_; }
@@ -74,6 +85,8 @@ class UnifiedOram
     PathOram oram_;
     PosMapBlockCache plb_;
     bool initialized_ = false;
+    /** Auditor hook; empty (and never called) unless auditing. */
+    std::function<void(Leaf)> posMapObserver_;
     /** posMapWalk scratch (no allocation per walk once warmed up). */
     std::vector<BlockId> chainScratch_;
 };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <future>
+#include <mutex>
 
 #include "trace/trace_file.hh"
 
@@ -86,7 +88,30 @@ Experiment::runWith(
     tweak(cfg);
     System system(cfg);
     auto gen = make_gen();
-    return system.run(*gen);
+    SimResult res = system.run(*gen);
+    appendMetrics(system);
+    return res;
+}
+
+void
+Experiment::appendMetrics(System &system)
+{
+    // Opt-in machine-readable dump: one metrics JSON object per run,
+    // appended as JSON Lines. Grid cells run on pool threads, so the
+    // append is serialized; ordering across cells is scheduling-
+    // dependent, which is fine for JSONL (each line is labeled).
+    static std::mutex mtx;
+    const char *path = std::getenv("PRORAM_METRICS_FILE");
+    if (!path || path[0] == '\0')
+        return;
+    const std::string line = system.metricsJson();
+    std::lock_guard<std::mutex> lock(mtx);
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        warn("cannot open PRORAM_METRICS_FILE '", path, "'");
+        return;
+    }
+    os << line << "\n";
 }
 
 std::vector<SimResult>

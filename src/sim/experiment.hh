@@ -96,6 +96,10 @@ class Experiment
     double traceScale() const { return scale_; }
 
   private:
+    /** Append the run's metrics JSON to $PRORAM_METRICS_FILE (JSON
+     *  Lines; no-op when the variable is unset). */
+    static void appendMetrics(System &system);
+
     SystemConfig base_;
     double scale_;
 };

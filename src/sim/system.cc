@@ -1,9 +1,25 @@
 #include "sim/system.hh"
 
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace proram
 {
+
+namespace
+{
+
+bool
+auditEnvEnabled()
+{
+    const char *env = std::getenv("PRORAM_AUDIT");
+    return env && env[0] != '\0' && env[0] != '0';
+}
+
+} // namespace
 
 System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
@@ -39,6 +55,22 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
       }
     }
 
+    if (controller_ && (cfg_.audit.enabled || auditEnvEnabled())) {
+        const PeriodicScheduler &sched = controller_->scheduler();
+        const std::uint64_t num_leaves = 1ULL << cfg_.oram.levels();
+        // The dummy-fill identity (grant start = previous horizon +
+        // drained dummies * period) holds because every scheduled
+        // request drains idle slots first. The traditional
+        // prefetcher schedules its prefetch accesses without a
+        // drain, so the check is gated off for that scheme.
+        const bool check_fill =
+            sched.enabled() && cfg_.scheme != MemScheme::OramPrefetch;
+        auditor_ = std::make_unique<obs::ObliviousnessAuditor>(
+            cfg_.audit, num_leaves,
+            sched.enabled() ? sched.period() : 0, check_fill);
+        controller_->attachAuditor(auditor_.get());
+    }
+
     cpu_ = std::make_unique<TraceCpu>(*hierarchy_, *backend_,
                                       cfg_.hierarchy.l1.lineBytes,
                                       cfg_.cpuBatch);
@@ -53,6 +85,33 @@ System::dumpStats() const
     if (controller_)
         out += controller_->buildStatGroup().dump();
     return out;
+}
+
+std::string
+System::metricsJson() const
+{
+    obs::MetricsRegistry reg;
+    reg.addLabel("scheme", schemeName(cfg_.scheme));
+    reg.addGroup(hierarchy_->buildStatGroup());
+    if (controller_) {
+        reg.addGroup(controller_->buildStatGroup());
+        reg.addLogHistogram(
+            "requestLatency",
+            "cycles from request arrival to grant completion",
+            &controller_->requestLatencyHist());
+        reg.addLogHistogram(
+            "posMapWalkDepth",
+            "position-map paths fetched per demand access",
+            &controller_->walkDepthHist());
+        reg.addLogHistogram(
+            "superBlockSize",
+            "super-block size of each accessed block (post-policy)",
+            &controller_->sbSizeHist());
+        reg.addDistribution(
+            "stashOccupancy", "stash blocks after each write-back",
+            &controller_->oram().engine().stash().occupancy());
+    }
+    return reg.json();
 }
 
 SimResult
@@ -81,6 +140,13 @@ System::run(TraceGenerator &gen)
         res.breaks = ps.breaks;
         res.avgStashOccupancy =
             controller_->oram().engine().stash().occupancy().mean();
+    }
+
+    if (auditor_) {
+        const obs::AuditReport rep = auditor_->report();
+        panic_if(!rep.pass(),
+                 "obliviousness audit FAILED for scheme ",
+                 schemeName(cfg_.scheme), "\n", rep.summary());
     }
     return res;
 }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cpu/trace_cpu.hh"
+#include "obs/audit.hh"
 #include "sim/system_config.hh"
 
 namespace proram
@@ -68,10 +69,18 @@ class System
     /** gem5-stats.txt-style dump of every component's counters. */
     std::string dumpStats() const;
 
+    /**
+     * Machine-readable twin of dumpStats(): every StatGroup plus the
+     * observability histograms as one proram-metrics-v1 JSON object.
+     */
+    std::string metricsJson() const;
+
     CacheHierarchy &hierarchy() { return *hierarchy_; }
     MemBackend &backend() { return *backend_; }
     /** Non-null only for ORAM schemes. */
     OramController *controller() { return controller_; }
+    /** Non-null only when auditing an ORAM scheme (config or env). */
+    obs::ObliviousnessAuditor *auditor() { return auditor_.get(); }
     const SystemConfig &config() const { return cfg_; }
 
   private:
@@ -79,6 +88,7 @@ class System
     std::unique_ptr<CacheHierarchy> hierarchy_;
     std::unique_ptr<MemBackend> backend_;
     OramController *controller_ = nullptr;
+    std::unique_ptr<obs::ObliviousnessAuditor> auditor_;
     std::unique_ptr<TraceCpu> cpu_;
 };
 

@@ -13,6 +13,7 @@
 #include "core/oram_controller.hh"
 #include "mem/cache_hierarchy.hh"
 #include "mem/dram_backend.hh"
+#include "obs/audit.hh"
 
 namespace proram
 {
@@ -53,6 +54,13 @@ struct SystemConfig
     std::uint32_t staticSbSize = 2;
     /** Dynamic scheme knobs (Sec. 4.4). */
     DynamicPolicyConfig dynamic{};
+
+    /**
+     * Obliviousness auditor (ORAM schemes only; ignored for DRAM).
+     * Also enableable per-run with the PRORAM_AUDIT env var. A failed
+     * audit at end-of-run is a panic: the simulated hardware leaked.
+     */
+    obs::AuditConfig audit{};
 
     /**
      * Set line/block size everywhere at once (the paper couples

@@ -1,0 +1,170 @@
+#include "stats/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace proram::stats
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os) : os_(os) {}
+
+JsonWriter::~JsonWriter()
+{
+    // Unbalanced begin/end is a caller bug; surface it loudly in
+    // debug-style runs instead of emitting truncated JSON silently.
+    if (!stack_.empty())
+        warn("JsonWriter destroyed with ", stack_.size(),
+             " unclosed scope(s)");
+}
+
+void
+JsonWriter::preValue()
+{
+    panic_if(!stack_.empty() && stack_.back() == Ctx::Object &&
+                 !pendingKey_,
+             "JSON value inside an object requires a key");
+    if (needComma_ && !pendingKey_)
+        os_ << ",";
+    needComma_ = false;
+    pendingKey_ = false;
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << "{";
+    stack_.push_back(Ctx::Object);
+    needComma_ = false;
+}
+
+void
+JsonWriter::endObject()
+{
+    panic_if(stack_.empty() || stack_.back() != Ctx::Object,
+             "endObject outside an object");
+    panic_if(pendingKey_, "endObject with a dangling key");
+    stack_.pop_back();
+    os_ << "}";
+    needComma_ = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << "[";
+    stack_.push_back(Ctx::Array);
+    needComma_ = false;
+}
+
+void
+JsonWriter::endArray()
+{
+    panic_if(stack_.empty() || stack_.back() != Ctx::Array,
+             "endArray outside an array");
+    stack_.pop_back();
+    os_ << "]";
+    needComma_ = true;
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    panic_if(stack_.empty() || stack_.back() != Ctx::Object,
+             "JSON key outside an object");
+    panic_if(pendingKey_, "two keys in a row");
+    if (needComma_)
+        os_ << ",";
+    os_ << "\"" << jsonEscape(k) << "\":";
+    needComma_ = false;
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    preValue();
+    os_ << "\"" << jsonEscape(v) << "\"";
+    needComma_ = true;
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os_ << buf;
+    } else {
+        os_ << "null"; // JSON has no NaN/Inf
+    }
+    needComma_ = true;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os_ << v;
+    needComma_ = true;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os_ << v;
+    needComma_ = true;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    os_ << (v ? "true" : "false");
+    needComma_ = true;
+}
+
+} // namespace proram::stats

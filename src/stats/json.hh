@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal streaming JSON writer: just enough for the machine-readable
+ * stats/metrics dumps and the Chrome trace output. Handles comma
+ * placement and string escaping; the caller is responsible for
+ * balanced begin/end calls (checked with panics, not silently).
+ */
+
+#ifndef PRORAM_STATS_JSON_HH
+#define PRORAM_STATS_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace proram::stats
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/** Streaming writer. Values may be objects, arrays, strings, numbers
+ *  or booleans; keys are only legal directly inside an object. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(bool v);
+
+  private:
+    enum class Ctx : std::uint8_t { Object, Array };
+
+    /** Emit the separating comma / nothing, as context requires. */
+    void preValue();
+
+    std::ostream &os_;
+    std::vector<Ctx> stack_;
+    bool needComma_ = false;
+    bool pendingKey_ = false;
+};
+
+} // namespace proram::stats
+
+#endif // PRORAM_STATS_JSON_HH

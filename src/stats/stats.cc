@@ -1,9 +1,12 @@
 #include "stats/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
+#include "stats/json.hh"
 #include "util/logging.hh"
 
 namespace proram::stats
@@ -54,6 +57,72 @@ Histogram::reset()
 }
 
 void
+LogHistogram::sample(std::uint64_t v)
+{
+    if (total_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++counts_[std::bit_width(v)];
+    ++total_;
+    sum_ += static_cast<double>(v);
+}
+
+std::uint64_t
+LogHistogram::bucketLo(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+LogHistogram::bucketHi(std::size_t i)
+{
+    if (i == 0)
+        return 1;
+    if (i >= 64)
+        return std::numeric_limits<std::uint64_t>::max();
+    return std::uint64_t{1} << i;
+}
+
+std::size_t
+LogHistogram::maxBucket() const
+{
+    for (std::size_t i = kBuckets; i-- > 0;) {
+        if (counts_[i])
+            return i;
+    }
+    return 0;
+}
+
+std::uint64_t
+LogHistogram::percentileUpperBound(double p) const
+{
+    if (total_ == 0)
+        return 0;
+    const double target = p * static_cast<double>(total_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += counts_[i];
+        if (static_cast<double>(seen) >= target)
+            return bucketHi(i);
+    }
+    return bucketHi(kBuckets - 1);
+}
+
+void
+LogHistogram::reset()
+{
+    std::fill(std::begin(counts_), std::end(counts_), 0);
+    total_ = 0;
+    min_ = max_ = 0;
+    sum_ = 0.0;
+}
+
+void
 StatGroup::addScalar(const std::string &name, const std::string &desc,
                      const Counter &c)
 {
@@ -90,6 +159,17 @@ StatGroup::dump() const
            << "\n";
     }
     return os.str();
+}
+
+void
+StatGroup::dumpJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &e : entries_) {
+        w.key(e.name);
+        w.value(e.value());
+    }
+    w.endObject();
 }
 
 } // namespace proram::stats

@@ -78,6 +78,52 @@ class Histogram
     std::uint64_t total_ = 0;
 };
 
+/**
+ * Log2-bucketed histogram over unsigned samples: bucket i counts
+ * values whose bit width is i, i.e. bucket 0 holds v == 0, bucket i
+ * holds v in [2^(i-1), 2^i). Constant 65-bucket footprint covers the
+ * full uint64 range, which is what makes it safe to histogram
+ * latencies whose magnitude is unknown up front (the observability
+ * layer's latency/size distributions).
+ */
+class LogHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 65;
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t min() const { return total_ ? min_ : 0; }
+    std::uint64_t max() const { return total_ ? max_ : 0; }
+    double sum() const { return sum_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return counts_[i];
+    }
+    /** Inclusive lower edge of bucket @p i (0, 1, 2, 4, 8, ...). */
+    static std::uint64_t bucketLo(std::size_t i);
+    /** Exclusive upper edge of bucket @p i. */
+    static std::uint64_t bucketHi(std::size_t i);
+    /** Index of the last non-empty bucket (0 when empty). */
+    std::size_t maxBucket() const;
+
+    /** Smallest bucket upper edge covering fraction @p p of samples
+     *  (a coarse percentile; exact within a factor of two). */
+    std::uint64_t percentileUpperBound(double p) const;
+
+    void reset();
+
+  private:
+    std::uint64_t counts_[kBuckets] = {};
+    std::uint64_t total_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
 /** One named stat inside a group: name, description, value closure. */
 struct StatEntry
 {
@@ -109,6 +155,11 @@ class StatGroup
 
     /** Render "group.stat value # desc" lines, gem5 stats.txt style. */
     std::string dump() const;
+
+    /** Write {"stat": value, ...} into @p w (machine-readable twin
+     *  of dump(); the writer must be inside an object with the
+     *  group's key already emitted). */
+    void dumpJson(class JsonWriter &w) const;
 
   private:
     std::string name_;

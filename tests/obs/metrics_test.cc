@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Metrics-registry tests: the proram-metrics-v1 JSON document must
+ * parse, carry the registered labels/groups/histograms, and a full
+ * System run must produce the document bench/snapshot.py ingests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+#include "stats/stats.hh"
+#include "trace/benchmarks.hh"
+#include "trace/trace_file.hh"
+
+#include "mini_json.hh"
+
+namespace proram
+{
+namespace
+{
+
+using obs::MetricsRegistry;
+using test::JsonValue;
+using test::parseJson;
+
+TEST(MetricsRegistry, EmitsSchemaLabelsGroupsAndHistograms)
+{
+    stats::LogHistogram hist;
+    for (std::uint64_t v : {0ULL, 1ULL, 3ULL, 3ULL, 100ULL})
+        hist.sample(v);
+    stats::Distribution dist;
+    dist.sample(2.0);
+    dist.sample(6.0);
+
+    stats::StatGroup group("unit_group");
+    group.addValue("answer", "a fixed value", [] { return 42.0; });
+
+    MetricsRegistry reg;
+    reg.addLabel("scheme", "unit_test");
+    reg.addGroup(group);
+    reg.addLogHistogram("latency", "unit latency", &hist);
+    reg.addDistribution("occupancy", "unit occupancy", &dist);
+
+    const JsonValue doc = parseJson(reg.json());
+    EXPECT_EQ(doc.at("schema").str, obs::kMetricsSchema);
+    EXPECT_EQ(doc.at("scheme").str, "unit_test");
+    EXPECT_DOUBLE_EQ(
+        doc.at("groups").at("unit_group").at("answer").number, 42.0);
+
+    const JsonValue &lat = doc.at("histograms").at("latency");
+    EXPECT_EQ(lat.at("desc").str, "unit latency");
+    EXPECT_DOUBLE_EQ(lat.at("total").number, 5.0);
+    EXPECT_DOUBLE_EQ(lat.at("min").number, 0.0);
+    EXPECT_DOUBLE_EQ(lat.at("max").number, 100.0);
+    EXPECT_NEAR(lat.at("mean").number, 107.0 / 5.0, 1e-12);
+
+    // Buckets are emitted up to the last occupied one, each with a
+    // consistent [lo, hi) range, and their counts add up.
+    const JsonValue &buckets = lat.at("buckets");
+    ASSERT_TRUE(buckets.isArray());
+    ASSERT_FALSE(buckets.items.empty());
+    double covered = 0.0;
+    for (const JsonValue &b : buckets.items) {
+        EXPECT_LT(b.at("lo").number, b.at("hi").number);
+        covered += b.at("count").number;
+    }
+    EXPECT_DOUBLE_EQ(covered, 5.0);
+    EXPECT_GE(lat.at("p99UpperBound").number, 100.0);
+
+    const JsonValue &occ = doc.at("distributions").at("occupancy");
+    EXPECT_DOUBLE_EQ(occ.at("mean").number, 4.0);
+    EXPECT_DOUBLE_EQ(occ.at("min").number, 2.0);
+    EXPECT_DOUBLE_EQ(occ.at("max").number, 6.0);
+}
+
+TEST(MetricsRegistry, SystemRunProducesIngestibleDocument)
+{
+    SystemConfig cfg = defaultSystemConfig();
+    cfg.scheme = MemScheme::OramDynamic;
+    System system(cfg);
+    {
+        std::vector<TraceRecord> records;
+        auto gen = makeGenerator(profileByName("cholesky"), 0.02);
+        TraceRecord rec;
+        while (gen->next(rec))
+            records.push_back(rec);
+        ReplayGenerator replay(records);
+        system.run(replay);
+    }
+
+    const JsonValue doc = parseJson(system.metricsJson());
+    EXPECT_EQ(doc.at("schema").str, obs::kMetricsSchema);
+    EXPECT_EQ(doc.at("scheme").str,
+              schemeName(MemScheme::OramDynamic));
+
+    // The controller group snapshot.py keys on must be present with
+    // real counts.
+    const JsonValue &ctl = doc.at("groups").at("oram_controller");
+    EXPECT_GT(ctl.at("realRequests").number, 0.0);
+    EXPECT_GT(ctl.at("pathAccesses").number, 0.0);
+
+    // The observability histograms sampled once per request.
+    const JsonValue &lat =
+        doc.at("histograms").at("requestLatency");
+    EXPECT_GT(lat.at("total").number, 0.0);
+    EXPECT_GT(lat.at("mean").number, 0.0);
+    EXPECT_EQ(doc.at("histograms").at("posMapWalkDepth")
+                  .at("total").number,
+              ctl.at("realRequests").number +
+                  ctl.at("writebacks").number);
+
+    // traceEventCounts is always present; its content depends on
+    // whether the tracer is compiled in and enabled.
+    EXPECT_TRUE(doc.has("traceEventCounts"));
+}
+
+} // namespace
+} // namespace proram

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for the observability tests:
+ * just enough to round-trip what stats::JsonWriter and the trace sink
+ * emit (objects, arrays, strings with escapes, numbers, bools, null).
+ * Throws std::runtime_error on malformed input - a test failure, not
+ * a recovery path. Test-only; the simulator itself never parses JSON.
+ */
+
+#ifndef PRORAM_TESTS_OBS_MINI_JSON_HH
+#define PRORAM_TESTS_OBS_MINI_JSON_HH
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace proram::test
+{
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    bool has(const std::string &key) const
+    {
+        return kind == Kind::Object && fields.count(key) > 0;
+    }
+
+    const JsonValue &at(const std::string &key) const
+    {
+        if (!has(key))
+            throw std::runtime_error("missing key: " + key);
+        return fields.at(key);
+    }
+};
+
+class MiniJsonParser
+{
+  public:
+    explicit MiniJsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue parse()
+    {
+        const JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing JSON content");
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end of JSON");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) {
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "' at offset " +
+                                     std::to_string(pos_));
+        }
+        ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            parseLiteral("null");
+            return JsonValue{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (consume('}'))
+            return v;
+        do {
+            JsonValue key = parseString();
+            expect(':');
+            v.fields.emplace(key.str, parseValue());
+        } while (consume(','));
+        expect('}');
+        return v;
+    }
+
+    JsonValue parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (consume(']'))
+            return v;
+        do {
+            v.items.push_back(parseValue());
+        } while (consume(','));
+        expect(']');
+        return v;
+    }
+
+    JsonValue parseString()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        expect('"');
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    throw std::runtime_error("bad escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'b': c = '\b'; break;
+                  case 'f': c = '\f'; break;
+                  case 'n': c = '\n'; break;
+                  case 'r': c = '\r'; break;
+                  case 't': c = '\t'; break;
+                  case 'u': {
+                    // \uXXXX: decode latin-1 range only (the writer
+                    // escapes raw control bytes this way).
+                    if (pos_ + 4 > text_.size())
+                        throw std::runtime_error("bad \\u escape");
+                    const unsigned code = static_cast<unsigned>(
+                        std::stoul(text_.substr(pos_, 4), nullptr, 16));
+                    pos_ += 4;
+                    c = static_cast<char>(code & 0xff);
+                    break;
+                  }
+                  default:
+                    throw std::runtime_error("bad escape char");
+                }
+            }
+            v.str.push_back(c);
+        }
+        expect('"');
+        return v;
+    }
+
+    JsonValue parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            parseLiteral("true");
+            v.boolean = true;
+        } else {
+            parseLiteral("false");
+            v.boolean = false;
+        }
+        return v;
+    }
+
+    JsonValue parseNumber()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            throw std::runtime_error("expected number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    void parseLiteral(const char *lit)
+    {
+        skipWs();
+        for (const char *p = lit; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                throw std::runtime_error("bad literal");
+            ++pos_;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+inline JsonValue
+parseJson(const std::string &text)
+{
+    return MiniJsonParser(text).parse();
+}
+
+} // namespace proram::test
+
+#endif // PRORAM_TESTS_OBS_MINI_JSON_HH

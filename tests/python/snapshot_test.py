@@ -1,0 +1,170 @@
+"""Unit tests for bench/snapshot.py (duplicate-label handling,
+--force replacement, compare mode, metrics-JSONL ingestion).
+
+Run via ctest (snapshot_py) or directly:
+    python3 -m unittest tests/python/snapshot_test.py
+The benchmark binary is stubbed with a script that prints canned
+google-benchmark JSON, so the test needs no built tree.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SNAPSHOT_PY = REPO_ROOT / "bench" / "snapshot.py"
+
+FAKE_REPORT = {
+    "benchmarks": [
+        {
+            "name": "BM_Fast_median",
+            "run_type": "aggregate",
+            "aggregate_name": "median",
+            "real_time": 100.0,
+        },
+        {
+            "name": "BM_Slow_median",
+            "run_type": "aggregate",
+            "aggregate_name": "median",
+            "real_time": 2000.0,
+        },
+    ]
+}
+
+
+class SnapshotToolTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = pathlib.Path(self.tmp.name)
+        self.json_path = self.dir / "bench.json"
+        self.binary = self.dir / "fake_micro_ops.py"
+        self.write_binary(FAKE_REPORT)
+        self.write_doc({
+            "unit": "ns_per_iteration",
+            "snapshots": [
+                {
+                    "label": "base",
+                    "description": "seed",
+                    "micro_ops": {"BM_Fast": 100.0, "BM_Slow": 2000.0},
+                },
+            ],
+        })
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write_binary(self, report):
+        self.binary.write_text(
+            "#!%s\nimport json\nprint(json.dumps(%r))\n"
+            % (sys.executable, report))
+        self.binary.chmod(0o755)
+
+    def write_doc(self, doc):
+        self.json_path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    def read_doc(self):
+        return json.loads(self.json_path.read_text())
+
+    def run_tool(self, *args):
+        return subprocess.run(
+            [sys.executable, str(SNAPSHOT_PY), "--binary",
+             str(self.binary), "--json", str(self.json_path),
+             "--repetitions", "1", *args],
+            capture_output=True, text=True)
+
+    def test_appends_new_label(self):
+        res = self.run_tool("--label", "next", "--description", "d")
+        self.assertEqual(res.returncode, 0, res.stderr)
+        labels = [s["label"] for s in self.read_doc()["snapshots"]]
+        self.assertEqual(labels, ["base", "next"])
+
+    def test_duplicate_label_errors_without_force(self):
+        res = self.run_tool("--label", "base", "--description", "d")
+        self.assertNotEqual(res.returncode, 0)
+        self.assertIn("--force", res.stderr)
+        # The file must be untouched.
+        self.assertEqual(
+            self.read_doc()["snapshots"][0]["description"], "seed")
+
+    def test_force_replaces_in_place(self):
+        self.run_tool("--label", "tail", "--description", "t")
+        res = self.run_tool("--label", "base", "--description",
+                            "redone", "--force")
+        self.assertEqual(res.returncode, 0, res.stderr)
+        snaps = self.read_doc()["snapshots"]
+        self.assertEqual([s["label"] for s in snaps], ["base", "tail"])
+        self.assertEqual(snaps[0]["description"], "redone")
+
+    def test_compare_passes_within_threshold(self):
+        res = self.run_tool("--compare-vs", "base",
+                            "--max-regression", "0.25")
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("no regressions", res.stdout)
+
+    def test_compare_fails_on_regression(self):
+        regressed = {
+            "benchmarks": [
+                {
+                    "name": "BM_Fast_median",
+                    "run_type": "aggregate",
+                    "aggregate_name": "median",
+                    "real_time": 140.0,
+                },
+            ]
+        }
+        self.write_binary(regressed)
+        res = self.run_tool("--compare-vs", "base",
+                            "--max-regression", "0.25")
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("REGRESSED", res.stdout)
+
+    def test_compare_and_label_are_exclusive(self):
+        res = self.run_tool("--compare-vs", "base", "--label", "x",
+                            "--description", "d")
+        self.assertNotEqual(res.returncode, 0)
+
+    def test_metrics_jsonl_summary(self):
+        jsonl = self.dir / "metrics.jsonl"
+        lines = [
+            {
+                "schema": "proram-metrics-v1",
+                "scheme": "oram_dynamic",
+                "histograms": {
+                    "requestLatency": {"mean": 1000.0},
+                },
+            },
+            {
+                "schema": "proram-metrics-v1",
+                "scheme": "oram_dynamic",
+                "histograms": {
+                    "requestLatency": {"mean": 3000.0},
+                },
+            },
+        ]
+        jsonl.write_text(
+            "\n".join(json.dumps(l) for l in lines) + "\n")
+        res = self.run_tool("--label", "m", "--description", "d",
+                            "--metrics-jsonl", str(jsonl))
+        self.assertEqual(res.returncode, 0, res.stderr)
+        snaps = self.read_doc()["snapshots"]
+        metrics = snaps[-1]["metrics"]
+        self.assertEqual(metrics["runs"], 2)
+        self.assertEqual(
+            metrics["schemes"]["oram_dynamic"]["histMeans"]
+            ["requestLatency"], 2000.0)
+
+    def test_metrics_jsonl_rejects_bad_schema(self):
+        jsonl = self.dir / "metrics.jsonl"
+        jsonl.write_text(json.dumps({"schema": "other"}) + "\n")
+        res = self.run_tool("--label", "m", "--description", "d",
+                            "--metrics-jsonl", str(jsonl))
+        self.assertNotEqual(res.returncode, 0)
+        self.assertIn("schema", res.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
