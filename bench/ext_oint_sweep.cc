@@ -34,7 +34,8 @@ main()
     stats::Table t({"Oint", "oram.cycles(norm)", "oram.accesses",
                     "dyn.cycles(norm)", "dyn.accesses",
                     "dyn.vs.oram"});
-    for (Cycles oint : {100u, 400u, 1600u, 6400u}) {
+    for (Cycles oint :
+         {Cycles{100}, Cycles{400}, Cycles{1600}, Cycles{6400}}) {
         auto tweak = [&](SystemConfig &c) {
             c.controller.periodic.enabled = true;
             c.controller.periodic.oInt = oint;
@@ -43,7 +44,7 @@ main()
             exp.runWith(MemScheme::OramBaseline, tweak, gen);
         const auto dyn = exp.runWith(MemScheme::OramDynamic, tweak, gen);
         t.row()
-            .addInt(oint)
+            .addInt(oint.value())
             .add(metrics::normCompletionTime(oram_np, oram), 2)
             .addInt(oram.memAccesses)
             .add(metrics::normCompletionTime(dyn_np, dyn), 2)

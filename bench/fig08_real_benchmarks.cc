@@ -48,7 +48,8 @@ runSuite(const Experiment &exp, const char *title,
         const auto &dyn = results[p * 4 + 3];
 
         const double overhead =
-            static_cast<double>(oram.cycles) / dram.cycles;
+            static_cast<double>(oram.cycles.value()) /
+            static_cast<double>(dram.cycles.value());
         const double ss = metrics::speedup(oram, stat);
         const double ds = metrics::speedup(oram, dyn);
         stat_all.push_back(ss);

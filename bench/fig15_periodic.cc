@@ -26,7 +26,7 @@ runSuite(const Experiment &exp, const char *title,
 
     auto periodic = [](SystemConfig &c) {
         c.controller.periodic.enabled = true;
-        c.controller.periodic.oInt = 100;
+        c.controller.periodic.oInt = Cycles{100};
     };
 
     for (const auto &prof : suite) {

@@ -80,7 +80,7 @@ BM_PosMapWalk(benchmark::State &state)
     oram.initialize();
     Rng rng(2);
     for (auto _ : state) {
-        const BlockId b = rng.below(oram.space().numDataBlocks());
+        const BlockId b{rng.below(oram.space().numDataBlocks())};
         benchmark::DoNotOptimize(oram.posMapWalk(b).pathAccesses());
         while (oram.engine().stash().overCapacity())
             oram.engine().dummyAccess();
@@ -103,9 +103,9 @@ BM_ControllerAccess(benchmark::State &state)
         ctl.configureBaseline();
 
     Rng rng(3);
-    Cycles now = 0;
+    Cycles now{0};
     for (auto _ : state) {
-        const BlockId b = rng.below(1ULL << 14);
+        const BlockId b{rng.below(1ULL << 14)};
         now = ctl.demandAccess(now, b, OpType::Read);
         ctl.onDemandTouch(now, b);
         for (const auto &v : hier.fillFromMemory(b, false))
@@ -129,17 +129,18 @@ BM_StashScan(benchmark::State &state)
     oram.initialize();
     PathOram &engine = oram.engine();
     // Pull a few paths in without writing back to populate the stash.
-    for (Leaf l = 0; l < 4; ++l)
+    for (std::uint32_t l = 0; l < 4; ++l)
         engine.readPath(engine.randomLeaf());
     const BinaryTree &tree = engine.tree();
-    Leaf target = 0;
+    Leaf target{0};
     for (auto _ : state) {
         std::uint64_t acc = 0;
         engine.stash().forEachResident([&](const StashEntry &e) {
-            acc += tree.commonLevel(e.leaf, target);
+            acc += tree.commonLevel(e.leaf, target).value();
         });
         benchmark::DoNotOptimize(acc);
-        target = (target + 1) % static_cast<Leaf>(tree.numLeaves());
+        target = Leaf{static_cast<std::uint32_t>(
+            (target.value() + 1) % tree.numLeaves())};
     }
     state.SetItemsProcessed(state.iterations());
     state.counters["stashBlocks"] =
@@ -155,7 +156,7 @@ BM_PlbLookup(benchmark::State &state)
     PosMapBlockCache plb(64);
     Rng rng(5);
     for (auto _ : state) {
-        const BlockId b = rng.below(256);
+        const BlockId b{rng.below(256)};
         if (!plb.lookup(b))
             plb.insert(b);
     }
@@ -172,13 +173,14 @@ BM_TreePathTouch(benchmark::State &state)
     UnifiedOram oram(microCfg());
     oram.initialize();
     const BinaryTree &tree = oram.engine().tree();
-    Leaf leaf = 0;
+    Leaf leaf{0};
     for (auto _ : state) {
         std::uint64_t occupied = 0;
         for (std::uint32_t l = 0; l <= tree.levels(); ++l)
-            occupied += tree.occupancy(tree.nodeOnPath(leaf, l));
+            occupied += tree.occupancy(tree.nodeOnPath(leaf, Level{l}));
         benchmark::DoNotOptimize(occupied);
-        leaf = (leaf + 1) % static_cast<Leaf>(tree.numLeaves());
+        leaf = Leaf{static_cast<std::uint32_t>(
+            (leaf.value() + 1) % tree.numLeaves())};
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -201,14 +203,14 @@ BM_EvictClassify(benchmark::State &state)
     std::vector<std::uint32_t> out(kSlots);
     Rng rng(6);
     for (Leaf &l : leaves)
-        l = static_cast<Leaf>(rng.below(1ULL << kLevels));
-    Leaf path_leaf = 0;
+        l = Leaf{static_cast<std::uint32_t>(rng.below(1ULL << kLevels))};
+    Leaf path_leaf{0};
     for (auto _ : state) {
         evict::classifyLevelsWith(kernel, leaves.data(), kSlots,
                                   path_leaf, kLevels, out.data());
         benchmark::DoNotOptimize(out.data());
         benchmark::ClobberMemory();
-        path_leaf = (path_leaf + 1) & ((1u << kLevels) - 1);
+        path_leaf = Leaf{(path_leaf.value() + 1) & ((1u << kLevels) - 1)};
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations() * kSlots));
@@ -274,9 +276,9 @@ BM_TraceOverhead(benchmark::State &state)
     OramController ctl(microCfg(), ControllerConfig{}, hier);
     ctl.configureDynamic(DynamicPolicyConfig{});
     Rng rng(7);
-    Cycles now = 0;
+    Cycles now{0};
     for (auto _ : state) {
-        const BlockId b = rng.below(1ULL << 14);
+        const BlockId b{rng.below(1ULL << 14)};
         now = ctl.demandAccess(now, b, OpType::Read);
         ctl.onDemandTouch(now, b);
         for (const auto &v : hier.fillFromMemory(b, false))
@@ -306,7 +308,7 @@ BM_MergeBreakBookkeeping(benchmark::State &state)
     Rng rng(4);
     std::uint32_t v = 0;
     for (auto _ : state) {
-        const BlockId pair = rng.below((1ULL << 14) / 2) * 2;
+        const BlockId pair{rng.below((1ULL << 14) / 2) * 2};
         policy.writeMergeCounter(pair, 1, v & 3);
         benchmark::DoNotOptimize(policy.readMergeCounter(pair, 1));
         benchmark::DoNotOptimize(policy.mergeThreshold(1));

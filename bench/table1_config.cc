@@ -31,7 +31,7 @@ main()
         cfg.hierarchy.l1.lineBytes);
     t.row().add("DRAM bandwidth (GB/s)").add(o.dramBytesPerCycle, 1);
     t.row().add("Conventional DRAM latency").addInt(
-        cfg.dram.dram.latency);
+        cfg.dram.dram.latency.value());
     t.row().add("ORAM capacity (data blocks)").addInt(o.numDataBlocks);
     t.row().add("Number of ORAM hierarchies").addInt(o.hierarchies);
     t.row().add("ORAM basic block size (B)").addInt(o.blockBytes);
@@ -47,7 +47,7 @@ main()
     t.row().add("-- derived: on-chip pos-map entries").addInt(
         o.onChipPosMapEntries());
     t.row().add("-- derived: path access latency (cycles)").addInt(
-        o.pathAccessCycles());
+        o.pathAccessCycles().value());
     const double util =
         static_cast<double>(o.numTotalBlocks()) /
         (static_cast<double>(o.z) * ((2ULL << o.levels()) - 1));
@@ -58,7 +58,7 @@ main()
     full.timingLevels = 26;
     t.row()
         .add("-- 8 GB configuration path latency (cycles)")
-        .addInt(full.pathAccessCycles());
+        .addInt(full.pathAccessCycles().value());
 
     std::printf("%s\n", t.str().c_str());
     return 0;

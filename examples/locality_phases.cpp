@@ -40,7 +40,7 @@ main()
     auto report = [&](const SimResult &r) {
         std::printf("%-10s %12llu %10llu %8llu %8llu %8llu %11.1f%%\n",
                     r.scheme.c_str(),
-                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.cycles.value()),
                     static_cast<unsigned long long>(r.pathAccesses),
                     static_cast<unsigned long long>(r.merges),
                     static_cast<unsigned long long>(r.breaks),
@@ -64,7 +64,7 @@ main()
     std::printf("%-10s %12llu %10llu %8llu %8llu %8llu %11.1f%%   "
                 "(dyn with breaking disabled)\n",
                 "dyn_nb",
-                static_cast<unsigned long long>(no_break.cycles),
+                static_cast<unsigned long long>(no_break.cycles.value()),
                 static_cast<unsigned long long>(no_break.pathAccesses),
                 static_cast<unsigned long long>(no_break.merges),
                 static_cast<unsigned long long>(no_break.breaks),

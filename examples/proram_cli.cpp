@@ -136,7 +136,7 @@ cmdRun(const Args &args)
     std::printf("scheme=%s cycles=%llu references=%llu llcMisses=%llu "
                 "memAccesses=%llu\n",
                 res.scheme.c_str(),
-                static_cast<unsigned long long>(res.cycles),
+                static_cast<unsigned long long>(res.cycles.value()),
                 static_cast<unsigned long long>(res.references),
                 static_cast<unsigned long long>(res.llcMisses),
                 static_cast<unsigned long long>(res.memAccesses));

@@ -28,7 +28,7 @@ main()
                                                 1024),
                 cfg.oram.levels(), cfg.oram.z,
                 static_cast<unsigned long long>(
-                    cfg.oram.pathAccessCycles()));
+                    cfg.oram.pathAccessCycles().value()));
 
     // 2. Use it like RAM. Every miss becomes an oblivious path
     //    access; an adversary watching the memory bus sees only
@@ -50,7 +50,7 @@ main()
     const SimResult s = mem.stats();
     std::printf("\n-- run statistics --\n");
     std::printf("cycles:              %llu\n",
-                static_cast<unsigned long long>(s.cycles));
+                static_cast<unsigned long long>(s.cycles.value()));
     std::printf("LLC misses:          %llu\n",
                 static_cast<unsigned long long>(s.llcMisses));
     std::printf("ORAM path accesses:  %llu (of which pos-map: %llu, "

@@ -46,11 +46,12 @@ main(int argc, char **argv)
         const auto r = exp.runBenchmark(s, prof);
         if (s == MemScheme::OramBaseline)
             oram = r;
-        const bool have_oram = oram.cycles != 0;
+        const bool have_oram = oram.cycles != Cycles{0};
         std::printf("%-10s %14llu %9.2fx %12llu %+9.1f%%\n",
                     r.scheme.c_str(),
-                    static_cast<unsigned long long>(r.cycles),
-                    static_cast<double>(r.cycles) / dram.cycles,
+                    static_cast<unsigned long long>(r.cycles.value()),
+                    static_cast<double>(r.cycles.value()) /
+                        static_cast<double>(dram.cycles.value()),
                     static_cast<unsigned long long>(r.memAccesses),
                     have_oram ? metrics::speedup(oram, r) * 100.0
                               : 0.0);

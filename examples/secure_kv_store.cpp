@@ -63,7 +63,7 @@ struct KvStore
     }
 
     std::unique_ptr<SecureMemory> mem;
-    Cycles loadedAt = 0;
+    Cycles loadedAt{0};
 };
 
 } // namespace
@@ -102,8 +102,8 @@ main()
         const Cycles run = store.mem->now() - start;
         std::printf("%-28s %14llu %14.1f %10llu  (checksum %llu)\n",
                     schemeName(scheme),
-                    static_cast<unsigned long long>(store.loadedAt),
-                    static_cast<double>(run) / ops,
+                    static_cast<unsigned long long>(store.loadedAt.value()),
+                    static_cast<double>(run.value()) / ops,
                     static_cast<unsigned long long>(
                         store.mem->stats().pathAccesses),
                     static_cast<unsigned long long>(checksum % 997));

@@ -189,8 +189,10 @@ DynamicSuperBlockPolicy::applyBreakScheme(
     const std::uint32_t stride = cfg_.strideLog;
     const BlockId req_half = sbBaseStrided(requested, half, stride);
     const BlockId other_half = req_half == base
-                                   ? base + (static_cast<BlockId>(half)
-                                             << stride)
+                                   ? base +
+                                         (static_cast<std::uint64_t>(
+                                              half)
+                                          << stride)
                                    : base;
 
     const Leaf leaf_req = oram_.engine().randomLeaf();
@@ -200,7 +202,8 @@ DynamicSuperBlockPolicy::applyBreakScheme(
     // very access just read them in) see their cached leaf refreshed
     // before the write-back's eviction scan runs.
     for (std::uint32_t i = 0; i < half; ++i) {
-        const BlockId off = static_cast<BlockId>(i) << stride;
+        const std::uint64_t off = static_cast<std::uint64_t>(i)
+                                  << stride;
         oram_.posMap().setLeaf(req_half + off, leaf_req);
         PosEntry &a = oram_.posMap().entry(req_half + off);
         a.sbSizeLog = half_log;

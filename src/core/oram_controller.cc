@@ -145,16 +145,18 @@ OramController::maybeRollEpoch(Cycles now)
     const std::uint64_t epoch_bg = stats_.bgEvictions - epochBgBase_;
     const double eviction_rate =
         static_cast<double>(epoch_bg) / epoch_requests;
-    const Cycles wall = now > epochStart_ ? now - epochStart_ : 1;
-    const double access_rate = std::min(
-        1.0, static_cast<double>(epochBusy_) / wall);
+    const Cycles wall =
+        now > epochStart_ ? now - epochStart_ : Cycles{1};
+    const double access_rate =
+        std::min(1.0, static_cast<double>(epochBusy_.value()) /
+                          static_cast<double>(wall.value()));
 
     policy_->onEpoch(eviction_rate, access_rate);
 
     epochRequestBase_ = requests;
     epochBgBase_ = stats_.bgEvictions;
     epochStart_ = now;
-    epochBusy_ = 0;
+    epochBusy_ = Cycles{0};
 }
 
 void
@@ -190,7 +192,7 @@ OramController::dataAccess(Cycles now, BlockId block, OpType op,
     const PeriodicGrant grant = scheduler_.schedule(now, paths);
     if (auditor_)
         auditor_->onGrant(grant.start, paths);
-    requestLatency_.sample(grant.completion - now);
+    requestLatency_.sample((grant.completion - now).value());
     epochBusy_ += grant.completion - grant.start;
     busyUntil_ = grant.completion;
     maybeRollEpoch(grant.completion);
@@ -223,7 +225,7 @@ OramController::writebackOne(Cycles now, BlockId block)
     const PeriodicGrant grant = scheduler_.schedule(now, paths);
     if (auditor_)
         auditor_->onGrant(grant.start, paths);
-    requestLatency_.sample(grant.completion - now);
+    requestLatency_.sample((grant.completion - now).value());
     epochBusy_ += grant.completion - grant.start;
     busyUntil_ = grant.completion;
     maybeRollEpoch(grant.completion);
@@ -263,7 +265,7 @@ OramController::writebackWithData(Cycles now, BlockId block,
     const PeriodicGrant grant = scheduler_.schedule(now, paths);
     if (auditor_)
         auditor_->onGrant(grant.start, paths);
-    requestLatency_.sample(grant.completion - now);
+    requestLatency_.sample((grant.completion - now).value());
     epochBusy_ += grant.completion - grant.start;
     busyUntil_ = grant.completion;
     maybeRollEpoch(grant.completion);
@@ -280,7 +282,7 @@ OramController::onDemandTouch(Cycles now, BlockId block)
     if (prefetcher_) {
         Cycles t = std::max(now, busyUntil_);
         for (BlockId cand : prefetcher_->observe(block)) {
-            if (cand >= oram_.space().numDataBlocks() ||
+            if (cand.value() >= oram_.space().numDataBlocks() ||
                 hierarchy_.probeLlc(cand)) {
                 continue;
             }

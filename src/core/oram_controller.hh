@@ -173,7 +173,7 @@ class OramController : public MemBackend, public LlcProbe
     std::unique_ptr<StreamPrefetcher> prefetcher_;
 
     ControllerStats stats_;
-    Cycles busyUntil_ = 0;
+    Cycles busyUntil_{0};
     obs::ObliviousnessAuditor *auditor_ = nullptr;
 
     stats::LogHistogram requestLatency_;
@@ -183,8 +183,8 @@ class OramController : public MemBackend, public LlcProbe
     // Epoch bookkeeping for adaptive thresholding.
     std::uint64_t epochRequestBase_ = 0;
     std::uint64_t epochBgBase_ = 0;
-    Cycles epochStart_ = 0;
-    Cycles epochBusy_ = 0;
+    Cycles epochStart_{0};
+    Cycles epochBusy_{0};
 };
 
 } // namespace proram

@@ -6,27 +6,32 @@
 namespace proram
 {
 
+// Super-block geometry is bit-field math on the *address-space*
+// layout of block ids, so these helpers are the one sanctioned place
+// that unwraps BlockId to its raw representation; everything else in
+// the core manipulates groups through them.
+
 BlockId
 sbBase(BlockId id, std::uint32_t size)
 {
     panic_if(!isPowerOf2(size), "super block size must be 2^k");
-    return alignDown(id, size);
+    return BlockId{alignDown(id.value(), size)};
 }
 
 BlockId
 sbNeighborBase(BlockId base, std::uint32_t size)
 {
     panic_if(!isPowerOf2(size), "super block size must be 2^k");
-    panic_if(base % size != 0, "misaligned super block base");
-    return base ^ size;
+    panic_if(base.value() % size != 0, "misaligned super block base");
+    return BlockId{base.value() ^ size};
 }
 
 bool
 areNeighbors(BlockId a, BlockId b, std::uint32_t size)
 {
-    if (a % size != 0 || b % size != 0)
+    if (a.value() % size != 0 || b.value() % size != 0)
         return false;
-    return (a ^ b) == size;
+    return (a.value() ^ b.value()) == size;
 }
 
 std::vector<BlockId>
@@ -44,7 +49,8 @@ mergeWithinBounds(BlockId base, std::uint32_t size,
                   std::uint64_t num_data_blocks,
                   std::uint32_t pos_map_fanout)
 {
-    const BlockId pair_base = alignDown(base, 2ULL * size);
+    const std::uint64_t pair_base =
+        alignDown(base.value(), 2ULL * size);
     if (pair_base + 2ULL * size > num_data_blocks)
         return false;
     // All 2*size mappings must live in one Pos-Map block; since the
@@ -59,7 +65,7 @@ sbBaseStrided(BlockId id, std::uint32_t size, std::uint32_t stride_log)
     // Clear bits [stride_log, stride_log + log2(size)).
     const std::uint64_t field =
         (static_cast<std::uint64_t>(size) - 1) << stride_log;
-    return id & ~field;
+    return BlockId{id.value() & ~field};
 }
 
 BlockId
@@ -69,7 +75,8 @@ sbNeighborBaseStrided(BlockId base, std::uint32_t size,
     panic_if(!isPowerOf2(size), "super block size must be 2^k");
     panic_if(base != sbBaseStrided(base, size, stride_log),
              "misaligned strided super block base");
-    return base ^ (static_cast<BlockId>(size) << stride_log);
+    return BlockId{base.value() ^
+                   (static_cast<std::uint64_t>(size) << stride_log)};
 }
 
 std::vector<BlockId>
@@ -79,7 +86,7 @@ sbMembersStrided(BlockId base, std::uint32_t size,
     std::vector<BlockId> out;
     out.reserve(size);
     for (std::uint32_t i = 0; i < size; ++i)
-        out.push_back(base + (static_cast<BlockId>(i) << stride_log));
+        out.push_back(sbMemberAt(base, i, stride_log));
     return out;
 }
 
@@ -94,7 +101,7 @@ mergeWithinBoundsStrided(BlockId base, std::uint32_t size,
     const BlockId pair_base = sbBaseStrided(base, 2 * size, stride_log);
     const BlockId last =
         pair_base + ((2ULL * size - 1) << stride_log);
-    if (last >= num_data_blocks)
+    if (last.value() >= num_data_blocks)
         return false;
     return merged_span <= pos_map_fanout;
 }

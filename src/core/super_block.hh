@@ -70,7 +70,7 @@ std::vector<BlockId> sbMembersStrided(BlockId base, std::uint32_t size,
 inline BlockId
 sbMemberAt(BlockId base, std::uint32_t i, std::uint32_t stride_log)
 {
-    return base + (static_cast<BlockId>(i) << stride_log);
+    return base + (static_cast<std::uint64_t>(i) << stride_log);
 }
 
 /** Bounds/fanout check for merging two size-@p size strided groups. */

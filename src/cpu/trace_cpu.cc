@@ -38,7 +38,7 @@ CpuRunResult
 TraceCpu::run(TraceGenerator &gen)
 {
     CpuRunResult res;
-    Cycles cycle = 0;
+    Cycles cycle{0};
     RequestBatch batch;
 
     for (;;) {
@@ -58,9 +58,9 @@ TraceCpu::run(TraceGenerator &gen)
 
         for (std::size_t r = 0; r < batch.size; ++r) {
             const TraceRecord &rec = batch.records[r];
-            cycle += rec.computeCycles;
+            cycle += Cycles{rec.computeCycles};
 
-            const BlockId block = rec.addr >> lineShift_;
+            const BlockId block{rec.addr >> lineShift_};
             const HitLevel level = hierarchy_.lookup(block, rec.op);
 
             switch (level) {

@@ -27,7 +27,7 @@ namespace proram
 /** Per-run results (inputs to every figure's metric). */
 struct CpuRunResult
 {
-    Cycles cycles = 0;
+    Cycles cycles{0};
     std::uint64_t references = 0;
     std::uint64_t l1Hits = 0;
     std::uint64_t l2Hits = 0;

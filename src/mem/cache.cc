@@ -25,7 +25,7 @@ SetAssocCache::SetAssocCache(const CacheConfig &cfg) : cfg_(cfg)
 std::uint64_t
 SetAssocCache::setIndex(BlockId block) const
 {
-    return block & (numSets_ - 1);
+    return block.value() & (numSets_ - 1);
 }
 
 SetAssocCache::Line *

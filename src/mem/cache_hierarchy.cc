@@ -100,7 +100,7 @@ CacheHierarchy::hitLatency(HitLevel level) const
       case HitLevel::L2:
         return cfg_.l1Latency + cfg_.l2Latency;
       case HitLevel::Miss:
-        return 0;
+        return Cycles{0};
     }
     panic("unreachable hit level");
 }

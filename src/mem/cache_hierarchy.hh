@@ -25,8 +25,8 @@ struct HierarchyConfig
 {
     CacheConfig l1{32 * 1024, 4, 128};
     CacheConfig l2{512 * 1024, 8, 128};
-    Cycles l1Latency = 1;
-    Cycles l2Latency = 10;
+    Cycles l1Latency{1};
+    Cycles l2Latency{10};
 };
 
 /**

@@ -13,10 +13,10 @@ DramModel::DramModel(const DramConfig &cfg) : cfg_(cfg)
 {
     fatal_if(cfg.bytesPerCycle <= 0.0, "DRAM bandwidth must be positive");
     fatal_if(cfg.lineBytes == 0, "DRAM line size must be positive");
-    transferCycles_ = static_cast<Cycles>(
-        std::ceil(cfg.lineBytes / cfg.bytesPerCycle));
-    if (transferCycles_ == 0)
-        transferCycles_ = 1;
+    transferCycles_ = Cycles{static_cast<std::uint64_t>(
+        std::ceil(cfg.lineBytes / cfg.bytesPerCycle))};
+    if (transferCycles_ == Cycles{0})
+        transferCycles_ = Cycles{1};
 }
 
 Cycles

@@ -22,7 +22,7 @@ namespace proram
 struct DramConfig
 {
     /** Fixed access latency in cycles (row access + controller). */
-    Cycles latency = 100;
+    Cycles latency{100};
     /** Bus bandwidth in bytes per core cycle (16 GB/s @ 1 GHz = 16). */
     double bytesPerCycle = 16.0;
     /** Transfer granularity = cache line size in bytes. */
@@ -59,7 +59,7 @@ class DramModel
   private:
     DramConfig cfg_;
     Cycles transferCycles_;
-    Cycles busFreeAt_ = 0;
+    Cycles busFreeAt_{0};
     stats::Counter transfers_;
 };
 

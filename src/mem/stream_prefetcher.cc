@@ -22,7 +22,7 @@ StreamPrefetcher::findStream(BlockId block, int *direction_out)
             *direction_out = +1;
             return &s;
         }
-        if (s.lastBlock != 0 && block == s.lastBlock - 1) {
+        if (s.lastBlock != BlockId{0} && block == s.lastBlock - 1) {
             *direction_out = -1;
             return &s;
         }
@@ -86,15 +86,15 @@ StreamPrefetcher::observe(BlockId block)
     const std::int64_t dir = s->direction;
     for (std::uint32_t i = 0; i < cfg_.degree; ++i) {
         const std::int64_t ahead =
-            dir * (static_cast<std::int64_t>(s->frontier) -
-                   static_cast<std::int64_t>(block));
+            dir * (static_cast<std::int64_t>(s->frontier.value()) -
+                   static_cast<std::int64_t>(block.value()));
         if (ahead >= static_cast<std::int64_t>(cfg_.distance))
             break;
         const std::int64_t next =
-            static_cast<std::int64_t>(s->frontier) + dir;
+            static_cast<std::int64_t>(s->frontier.value()) + dir;
         if (next < 0)
             break;
-        s->frontier = static_cast<BlockId>(next);
+        s->frontier = BlockId{static_cast<std::uint64_t>(next)};
         out.push_back(s->frontier);
         ++issued_;
     }

@@ -109,7 +109,7 @@ ObliviousnessAuditor::ObliviousnessAuditor(const AuditConfig &cfg,
                                            Cycles period,
                                            bool check_dummy_fill)
     : cfg_(cfg), numLeaves_(num_leaves), period_(period),
-      checkDummyFill_(check_dummy_fill && period > 0),
+      checkDummyFill_(check_dummy_fill && period > Cycles{0}),
       allBuckets_(cfg.leafBuckets, 0), realBuckets_(cfg.leafBuckets, 0)
 {
     fatal_if(num_leaves == 0, "auditor needs a non-empty tree");
@@ -119,10 +119,11 @@ ObliviousnessAuditor::ObliviousnessAuditor(const AuditConfig &cfg,
 std::size_t
 ObliviousnessAuditor::bucketOf(Leaf leaf) const
 {
-    panic_if(leaf >= numLeaves_, "audited leaf ", leaf,
+    panic_if(leaf.value() >= numLeaves_, "audited leaf ", leaf,
              " outside tree with ", numLeaves_, " leaves");
-    return static_cast<std::size_t>(static_cast<std::uint64_t>(leaf) *
-                                    cfg_.leafBuckets / numLeaves_);
+    return static_cast<std::size_t>(
+        static_cast<std::uint64_t>(leaf.value()) * cfg_.leafBuckets /
+        numLeaves_);
 }
 
 double
@@ -158,7 +159,7 @@ void
 ObliviousnessAuditor::onGrant(Cycles start, std::uint64_t paths)
 {
     ++grants_;
-    if (period_ > 0 && start % period_ != 0)
+    if (period_ > Cycles{0} && start % period_ != Cycles{0})
         ++timingViolations_;
     if (pathsSinceGrant_ != paths)
         ++accountingViolations_;
@@ -226,7 +227,7 @@ ObliviousnessAuditor::report() const
     {
         AuditCheck c;
         c.name = "oint-timing";
-        c.evaluated = period_ > 0 && grants_ > 0;
+        c.evaluated = period_ > Cycles{0} && grants_ > 0;
         c.statistic = static_cast<double>(timingViolations_);
         c.threshold = 0.0;
         c.pass = timingViolations_ == 0;

@@ -135,7 +135,8 @@ class ObliviousnessAuditor
      *        this off for that scheme)
      */
     ObliviousnessAuditor(const AuditConfig &cfg,
-                         std::uint64_t num_leaves, Cycles period = 0,
+                         std::uint64_t num_leaves,
+                         Cycles period = Cycles{0},
                          bool check_dummy_fill = false);
 
     /** Observe one path access (public: leaf + kind + order). */
@@ -187,7 +188,7 @@ class ObliviousnessAuditor
     std::uint64_t accountingViolations_ = 0;
     std::uint64_t pathsSinceGrant_ = 0;
     std::uint64_t dummiesSinceGrant_ = 0;
-    Cycles expectedNextStart_ = 0;
+    Cycles expectedNextStart_{0};
 };
 
 /**

@@ -117,7 +117,8 @@ TraceSink::setCapacity(std::size_t events)
     // Round up to a power of two so the ring index is one AND.
     while ((cap & (cap - 1)) != 0)
         ++cap;
-    ring_.assign(cap, TraceEvent{});
+    ring_ = std::make_unique<Slot[]>(cap);
+    capacity_ = cap;
     mask_ = cap - 1;
     next_.store(0, std::memory_order_relaxed);
 }
@@ -126,6 +127,10 @@ void
 TraceSink::clear()
 {
     next_.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+        ring_[i].ev = TraceEvent{};
+        ring_[i].seq.store(0, std::memory_order_relaxed);
+    }
     for (std::size_t i = 0; i < kMaxCategories; ++i)
         catCounts_[i].store(0, std::memory_order_relaxed);
 }
@@ -159,6 +164,43 @@ TraceSink::categorySlot(const char *cat)
     return kMaxCategories - 1; // overflow bucket
 }
 
+/*
+ * Memory-order notes (validated by the TSan CI job running the
+ * TraceConcurrency suite through util::ThreadPool):
+ *
+ *  - `detail::traceEnabled` (macros' fast path) and the enable flips
+ *    in setEnabled() are relaxed: the flag carries no payload, so a
+ *    recorder observing a stale value merely records (or skips) one
+ *    extra event at the flip boundary - never anything torn.
+ *
+ *  - `next_` is claimed with a relaxed fetch_add: the ticket values
+ *    are unique by virtue of the RMW itself; no other memory hangs
+ *    off the claim, so no ordering is needed at the claim point.
+ *
+ *  - Each slot's `seq` word is a per-slot seqlock. A writer may only
+ *    touch the payload between winning the CAS (even -> odd,
+ *    acq_rel: acquire pairs with the previous owner's release so the
+ *    old payload writes are ordered before ours; release publishes
+ *    the odd marker) and the closing release store (odd -> even,
+ *    publishing the payload). Two tickets a full lap apart that race
+ *    for the same physical slot are serialized by the CAS - the
+ *    loser (or anyone finding `seq` odd) drops its payload write
+ *    instead of tearing the slot. That loss is bounded to the
+ *    pathological wrap-collision case and only affects which events
+ *    the ring retains, never the counters.
+ *
+ *  - `catCounts_` are relaxed fetch_adds: monotonic totals with no
+ *    ordering obligations; they count every record() attempt, so
+ *    categoryCounts() stays exact even when a wrap collision drops a
+ *    payload. `catNames_` publication is acquire/acq_rel so a reader
+ *    that sees a slot's name also sees it fully registered.
+ *
+ *  - writeJson() loads `next_` acquire (pairing with the writers'
+ *    closing release stores) and re-checks each slot's `seq` around
+ *    the payload read, skipping slots mid-write or whose generation
+ *    changed. The documented contract is still to dump quiesced; the
+ *    seq check is belt-and-braces for unquiesced dumps.
+ */
 void
 TraceSink::record(const char *cat, const char *name, char phase,
                   std::uint64_t ts_ns, std::uint64_t dur_ns,
@@ -166,15 +208,25 @@ TraceSink::record(const char *cat, const char *name, char phase,
 {
     const std::uint64_t idx =
         next_.fetch_add(1, std::memory_order_relaxed);
-    TraceEvent &slot = ring_[idx & mask_];
-    slot.cat = cat;
-    slot.name = name;
-    slot.argName = arg_name;
-    slot.arg = arg;
-    slot.tsNs = ts_ns;
-    slot.durNs = dur_ns;
-    slot.tid = thisThreadTid();
-    slot.phase = phase;
+    Slot &slot = ring_[idx & mask_];
+    std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+    const bool own =
+        (seq & 1) == 0 &&
+        slot.seq.compare_exchange_strong(seq, seq + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+    if (own) {
+        TraceEvent &ev = slot.ev;
+        ev.cat = cat;
+        ev.name = name;
+        ev.argName = arg_name;
+        ev.arg = arg;
+        ev.tsNs = ts_ns;
+        ev.durNs = dur_ns;
+        ev.tid = thisThreadTid();
+        ev.phase = phase;
+        slot.seq.store(seq + 2, std::memory_order_release);
+    }
     catCounts_[categorySlot(cat)].fetch_add(
         1, std::memory_order_relaxed);
 }
@@ -183,14 +235,14 @@ std::size_t
 TraceSink::size() const
 {
     return static_cast<std::size_t>(std::min<std::uint64_t>(
-        next_.load(std::memory_order_relaxed), ring_.size()));
+        next_.load(std::memory_order_relaxed), capacity_));
 }
 
 std::uint64_t
 TraceSink::dropped() const
 {
     const std::uint64_t n = next_.load(std::memory_order_relaxed);
-    return n > ring_.size() ? n - ring_.size() : 0;
+    return n > capacity_ ? n - capacity_ : 0;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>
@@ -218,16 +270,24 @@ TraceSink::writeJson(std::ostream &os) const
     // Oldest surviving event first (ring order).
     const std::uint64_t first = total > held ? total - held : 0;
 
-    std::vector<const TraceEvent *> events;
+    std::vector<TraceEvent> events;
     events.reserve(held);
     for (std::uint64_t i = first; i < total; ++i) {
-        const TraceEvent &e = ring_[i & mask_];
+        const Slot &slot = ring_[i & mask_];
+        // Seqlock read: skip slots a writer owns or rewrote mid-copy.
+        const std::uint64_t before =
+            slot.seq.load(std::memory_order_acquire);
+        if (before & 1)
+            continue;
+        TraceEvent e = slot.ev;
+        if (slot.seq.load(std::memory_order_acquire) != before)
+            continue;
         if (e.cat && e.name)
-            events.push_back(&e);
+            events.push_back(e);
     }
     std::stable_sort(events.begin(), events.end(),
-                     [](const TraceEvent *a, const TraceEvent *b) {
-                         return a->tsNs < b->tsNs;
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.tsNs < b.tsNs;
                      });
 
     stats::JsonWriter w(os);
@@ -243,21 +303,21 @@ TraceSink::writeJson(std::ostream &os) const
     w.endObject();
     w.key("traceEvents");
     w.beginArray();
-    for (const TraceEvent *e : events) {
+    for (const TraceEvent &e : events) {
         w.beginObject();
         w.key("name");
-        w.value(e->name);
+        w.value(e.name);
         w.key("cat");
-        w.value(e->cat);
+        w.value(e.cat);
         w.key("ph");
-        w.value(std::string_view(&e->phase, 1));
+        w.value(std::string_view(&e.phase, 1));
         // Chrome expects microseconds; emit fractional us to keep ns
         // resolution.
         w.key("ts");
-        w.value(static_cast<double>(e->tsNs) / 1000.0);
-        if (e->phase == 'X') {
+        w.value(static_cast<double>(e.tsNs) / 1000.0);
+        if (e.phase == 'X') {
             w.key("dur");
-            w.value(static_cast<double>(e->durNs) / 1000.0);
+            w.value(static_cast<double>(e.durNs) / 1000.0);
         } else {
             w.key("s");
             w.value("t");
@@ -265,12 +325,12 @@ TraceSink::writeJson(std::ostream &os) const
         w.key("pid");
         w.value(std::uint64_t{0});
         w.key("tid");
-        w.value(static_cast<std::uint64_t>(e->tid));
-        if (e->argName) {
+        w.value(static_cast<std::uint64_t>(e.tid));
+        if (e.argName) {
             w.key("args");
             w.beginObject();
-            w.key(e->argName);
-            w.value(e->arg);
+            w.key(e.argName);
+            w.value(e.arg);
             w.endObject();
         }
         w.endObject();

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -104,7 +105,7 @@ class TraceSink
 
     /** Events currently held (<= capacity). */
     std::size_t size() const;
-    std::size_t capacity() const { return ring_.size(); }
+    std::size_t capacity() const { return capacity_; }
     /** Events overwritten because the ring wrapped. */
     std::uint64_t dropped() const;
 
@@ -117,9 +118,9 @@ class TraceSink
     /**
      * Serialize held events as a Chrome trace_event JSON object
      * ({"traceEvents": [...], ...}), oldest first. Call with
-     * recording disabled or quiesced: concurrent record() calls can
-     * tear individual slots (the dump itself never crashes, but a
-     * torn event may be garbage).
+     * recording disabled or quiesced; as a belt-and-braces measure
+     * the dump also skips any slot whose seqlock word shows a write
+     * in progress or a generation change mid-read.
      */
     void writeJson(std::ostream &os) const;
     std::string json() const;
@@ -135,7 +136,20 @@ class TraceSink
      *  append-only (categories are a fixed set of literals). */
     std::size_t categorySlot(const char *cat);
 
-    std::vector<TraceEvent> ring_;
+    /** One ring slot guarded by a seqlock word: even = stable
+     *  generation, odd = a writer owns the payload. Writers acquire
+     *  exclusivity with a single CAS; a full-lap collision (two
+     *  tickets `capacity` apart racing for the same slot) makes the
+     *  loser drop its payload write rather than tear the event. See
+     *  the memory-order notes above record() in trace.cc. */
+    struct Slot
+    {
+        std::atomic<std::uint64_t> seq{0};
+        TraceEvent ev;
+    };
+
+    std::unique_ptr<Slot[]> ring_;
+    std::size_t capacity_ = 0;
     std::size_t mask_ = 0;
     std::atomic<std::uint64_t> next_{0};
     std::uint64_t epochNs_ = 0;
@@ -208,6 +222,19 @@ traceInstant(const char *cat, const char *name, const char *arg_name,
     sink.record(cat, name, 'i', sink.nowNs(), 0, arg_name, arg);
 }
 
+/** Normalize a trace argument to the ring's u64 payload slot:
+ *  unwraps the strong domain types (util/types.hh), casts plain
+ *  integrals and enums. */
+template <typename T>
+constexpr std::uint64_t
+traceArg(T v)
+{
+    if constexpr (requires { v.value(); })
+        return static_cast<std::uint64_t>(v.value());
+    else
+        return static_cast<std::uint64_t>(v);
+}
+
 } // namespace proram::obs
 
 #if PRORAM_TRACE_ENABLED
@@ -225,12 +252,12 @@ traceInstant(const char *cat, const char *name, const char *arg_name,
     ::proram::obs::TraceScope PRORAM_TRACE_CAT(proram_trace_scope_,      \
                                                __LINE__)(               \
         cat, name, arg_name,                                            \
-        static_cast<std::uint64_t>(arg))
+        ::proram::obs::traceArg(arg))
 
 /** One instant ('i') event with a named integer argument. */
 #define PRORAM_TRACE_EVENT(cat, name, arg_name, arg)                     \
     ::proram::obs::traceInstant(cat, name, arg_name,                     \
-                                static_cast<std::uint64_t>(arg))
+                                ::proram::obs::traceArg(arg))
 
 #else // !PRORAM_TRACE_ENABLED
 

@@ -43,7 +43,7 @@ struct OramConfig
     /** DRAM bus bandwidth in bytes per cycle (16 GB/s @ 1 GHz). */
     double dramBytesPerCycle = 16.0;
     /** Fixed per-path overhead: DRAM latency + decrypt pipeline. */
-    Cycles pathOverheadCycles = 100;
+    Cycles pathOverheadCycles{100};
 
     /**
      * If nonzero, bill path latency as if the tree had this many

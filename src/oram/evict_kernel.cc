@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <type_traits>
 
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 // The build system probes for per-function target("avx2") support
@@ -33,6 +35,11 @@ namespace
 using KernelFn = void (*)(const Leaf *, std::size_t, Leaf,
                           std::uint32_t, std::uint32_t *);
 
+// The SWAR / AVX2 kernels stream the stash's Leaf lane as raw 32-bit
+// words; the strong wrapper must stay layout-identical to its rep.
+static_assert(sizeof(Leaf) == sizeof(std::uint32_t) &&
+              std::is_trivially_copyable_v<Leaf>);
+
 inline std::uint32_t
 classifyOne(Leaf leaf, Leaf path_leaf, std::uint32_t levels)
 {
@@ -40,7 +47,7 @@ classifyOne(Leaf leaf, Leaf path_leaf, std::uint32_t levels)
     return levels - static_cast<std::uint32_t>(std::bit_width(diff));
 }
 
-void
+PRORAM_OBLIVIOUS PRORAM_HOT void
 classifyScalar(const Leaf *leaves, std::size_t n, Leaf path_leaf,
                std::uint32_t levels, std::uint32_t *out)
 {
@@ -50,12 +57,13 @@ classifyScalar(const Leaf *leaves, std::size_t n, Leaf path_leaf,
 
 /** Two leaves per 64-bit load+xor; the per-lane bit_width still runs
  *  in scalar registers, so the win is halved load/xor traffic. */
-void
+PRORAM_OBLIVIOUS PRORAM_HOT void
 classifySwar(const Leaf *leaves, std::size_t n, Leaf path_leaf,
              std::uint32_t levels, std::uint32_t *out)
 {
     const std::uint64_t broadcast =
-        static_cast<std::uint64_t>(path_leaf) * 0x0000000100000001ULL;
+        static_cast<std::uint64_t>(path_leaf.value()) *
+        0x0000000100000001ULL;
     std::size_t i = 0;
     for (; i + 4 <= n; i += 4) {
         std::uint64_t lo, hi;
@@ -95,7 +103,7 @@ classifyAvx2(const Leaf *leaves, std::size_t n, Leaf path_leaf,
              std::uint32_t levels, std::uint32_t *out)
 {
     const __m256i broadcast =
-        _mm256_set1_epi32(static_cast<int>(path_leaf));
+        _mm256_set1_epi32(static_cast<int>(path_leaf.value()));
     const __m256i vlevels =
         _mm256_set1_epi32(static_cast<int>(levels));
     const __m256i exp_mask = _mm256_set1_epi32(0xFF);
@@ -263,7 +271,7 @@ forceKernel(Kernel k)
                    std::memory_order_relaxed);
 }
 
-void
+PRORAM_OBLIVIOUS PRORAM_HOT void
 classifyLevels(const Leaf *leaves, std::size_t n, Leaf path_leaf,
                std::uint32_t levels, std::uint32_t *out)
 {

@@ -1,7 +1,7 @@
 #include "oram/integrity.hh"
 
 #include <sstream>
-#include <unordered_map>
+#include <vector>
 
 #include "util/bits.hh"
 
@@ -32,22 +32,24 @@ checkIntegrity(const UnifiedOram &oram)
 
     // Pass 1: locate every tree copy; detect duplicates and misplaced
     // blocks. A block at bucket `node`, level `l` must satisfy
-    // node == nodeOnPath(leaf(id), l).
-    std::unordered_map<BlockId, int> copies;
-    for (std::uint64_t node = 0; node < tree.numBuckets(); ++node) {
+    // node == nodeOnPath(leaf(id), l). The copy counts live in a
+    // dense per-id table (ids are contiguous in [0, total)); pass 3
+    // walks the whole range anyway.
+    std::vector<int> copies(total, 0);
+    for (TreeIdx node{0}; node.value() < tree.numBuckets(); ++node) {
         // Recover the level of this heap node.
-        std::uint32_t level = log2Floor(node + 1);
+        const Level level{log2Floor(node.value() + 1)};
         for (std::uint32_t i = 0; i < tree.z(); ++i) {
             const BlockId id = tree.slotId(node, i);
             if (id == kInvalidBlock)
                 continue;
-            if (id >= total) {
+            if (id.value() >= total) {
                 report.fail(str("tree slot holds out-of-range id", id));
                 continue;
             }
-            ++copies[id];
+            ++copies[id.value()];
             const Leaf leaf = pos.leafOf(id);
-            if (leaf == kInvalidLeaf || leaf >= tree.numLeaves()) {
+            if (leaf == kInvalidLeaf || leaf.value() >= tree.numLeaves()) {
                 report.fail(str("tree block has invalid leaf", id));
                 continue;
             }
@@ -58,17 +60,16 @@ checkIntegrity(const UnifiedOram &oram)
 
     // Pass 2: stash copies.
     for (BlockId id : oram.engine().stash().residentIds()) {
-        if (id >= total) {
+        if (id.value() >= total) {
             report.fail(str("stash holds out-of-range id", id));
             continue;
         }
-        ++copies[id];
+        ++copies[id.value()];
     }
 
     // Pass 3: exactly-once existence.
-    for (BlockId id = 0; id < total; ++id) {
-        auto it = copies.find(id);
-        const int n = it == copies.end() ? 0 : it->second;
+    for (BlockId id{0}; id.value() < total; ++id) {
+        const int n = copies[id.value()];
         if (n == 0)
             report.fail(str("block lost (no copy anywhere)", id));
         else if (n > 1)
@@ -76,7 +77,7 @@ checkIntegrity(const UnifiedOram &oram)
     }
 
     // Pass 4: super-block geometry and co-location.
-    for (BlockId id = 0; id < total; ++id) {
+    for (BlockId id{0}; id.value() < total; ++id) {
         const PosEntry &e = pos.entry(id);
         const std::uint32_t size = e.sbSize();
         if (!space.isData(id)) {
@@ -97,11 +98,11 @@ checkIntegrity(const UnifiedOram &oram)
         // stride_log is 0, strided otherwise (Sec. 6.2 extension).
         const std::uint64_t field =
             (static_cast<std::uint64_t>(size) - 1) << stride_log;
-        const BlockId base = id & ~field;
+        const BlockId base{id.value() & ~field};
         for (std::uint32_t i = 0; i < size; ++i) {
             const BlockId m =
-                base + (static_cast<BlockId>(i) << stride_log);
-            if (m >= space.numDataBlocks()) {
+                base + (static_cast<std::uint64_t>(i) << stride_log);
+            if (m.value() >= space.numDataBlocks()) {
                 report.fail(str("super block spills past data space", id));
                 break;
             }

@@ -4,6 +4,7 @@
 
 #include "obs/trace.hh"
 #include "oram/evict_kernel.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace proram
@@ -48,20 +49,21 @@ PathOram::reserveScratch(std::size_t slots)
         poolScratch_.reserve(slots);
 }
 
-Leaf
+PRORAM_HOT Leaf
 PathOram::randomLeaf()
 {
-    return static_cast<Leaf>(rng_.below(tree_.numLeaves()));
+    return Leaf{
+        static_cast<std::uint32_t>(rng_.below(tree_.numLeaves()))};
 }
 
-void
+PRORAM_OBLIVIOUS PRORAM_HOT void
 PathOram::readPath(Leaf leaf)
 {
     PRORAM_TRACE_SCOPE_ARG("oram", "readPath", "leaf", leaf);
     ++pathReads_;
     const std::uint32_t z = tree_.z();
-    for (std::uint32_t level = 0; level <= tree_.levels(); ++level) {
-        const std::uint64_t node = tree_.nodeOnPath(leaf, level);
+    for (Level level{0}; level <= tree_.leafLevel(); ++level) {
+        const TreeIdx node = tree_.nodeOnPath(leaf, level);
         if (tree_.occupancy(node) == 0)
             continue;
         for (std::uint32_t i = 0; i < z; ++i) {
@@ -77,7 +79,7 @@ PathOram::readPath(Leaf leaf)
     }
 }
 
-void
+PRORAM_OBLIVIOUS PRORAM_HOT void
 PathOram::writePath(Leaf leaf)
 {
     // Counting-sort eviction: classify every stash slot's deepest
@@ -129,9 +131,12 @@ PathOram::writePath(Leaf leaf)
     for (std::uint32_t l = levels + 1; l-- > 0;) {
         const std::uint32_t start = levelStartScratch_[l];
         const std::uint32_t end = start + histScratch_[l];
-        for (std::uint32_t s = start; s < end; ++s)
+        for (std::uint32_t s = start; s < end; ++s) {
+            // PRORAM_LINT_ALLOW(hot-alloc): capacity pre-reserved by
+            // reserveScratch; push_back never grows in steady state.
             poolScratch_.push_back(sortedScratch_[s]);
-        const std::uint64_t node = tree_.nodeOnPath(leaf, l);
+        }
+        const TreeIdx node = tree_.nodeOnPath(leaf, Level{l});
         while (!poolScratch_.empty() && tree_.freeSlots(node) != 0) {
             const Evictable ev = poolScratch_.back();
             poolScratch_.pop_back();
@@ -144,7 +149,7 @@ PathOram::writePath(Leaf leaf)
     stash_.sampleOccupancy();
 }
 
-Leaf
+PRORAM_OBLIVIOUS Leaf
 PathOram::dummyAccess()
 {
     const Leaf leaf = randomLeaf();
@@ -160,7 +165,7 @@ PathOram::placeInitial(BlockId id, std::uint64_t data)
     const Leaf leaf = posMap_.leafOf(id);
     panic_if(leaf == kInvalidLeaf, "placeInitial before leaf assignment");
     for (std::uint32_t l = tree_.levels() + 1; l-- > 0;) {
-        if (tree_.tryPlace(tree_.nodeOnPath(leaf, l), id, data))
+        if (tree_.tryPlace(tree_.nodeOnPath(leaf, Level{l}), id, data))
             return;
     }
     stash_.insert(id, data, leaf);

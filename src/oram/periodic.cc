@@ -12,7 +12,8 @@ PeriodicScheduler::PeriodicScheduler(const PeriodicConfig &cfg,
     : cfg_(cfg), pathCycles_(path_cycles),
       period_(path_cycles + cfg.oInt)
 {
-    fatal_if(path_cycles == 0, "path access cannot take zero cycles");
+    fatal_if(path_cycles == Cycles{0},
+             "path access cannot take zero cycles");
 }
 
 PeriodicGrant

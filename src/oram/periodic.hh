@@ -19,16 +19,16 @@ struct PeriodicConfig
 {
     bool enabled = false;
     /** Public interval between consecutive ORAM accesses (cycles). */
-    Cycles oInt = 100;
+    Cycles oInt{100};
 };
 
 /** Result of scheduling one logical request. */
 struct PeriodicGrant
 {
     /** Cycle the first path access starts. */
-    Cycles start = 0;
+    Cycles start{0};
     /** Cycle the last path access completes (data available). */
-    Cycles completion = 0;
+    Cycles completion{0};
     /** Dummy accesses that elapsed while the ORAM sat idle. */
     std::uint64_t elapsedDummies = 0;
 };
@@ -63,7 +63,7 @@ class PeriodicScheduler
     Cycles pathCycles_;
     Cycles period_;
     /** Next slot boundary (periodic) / controller-free time. */
-    Cycles nextFree_ = 0;
+    Cycles nextFree_{0};
     std::uint64_t dummies_ = 0;
 };
 

@@ -10,21 +10,21 @@ BlockSpace::BlockSpace(const OramConfig &cfg)
     : numData_(cfg.numDataBlocks), fanout_(cfg.posMapFanout())
 {
     std::uint64_t count = numData_;
-    BlockId base = numData_;
+    BlockId base{numData_};
     for (std::uint32_t l = 0; l < cfg.posMapLevels(); ++l) {
         count = divCeil(count, fanout_);
         levelBase_.push_back(base);
         levelCount_.push_back(count);
         base += count;
     }
-    total_ = base;
+    total_ = base.value();
 }
 
 std::uint32_t
 BlockSpace::levelOf(BlockId id) const
 {
-    panic_if(id >= total_, "block id ", id, " out of range");
-    if (id < numData_)
+    panic_if(id.value() >= total_, "block id ", id, " out of range");
+    if (id.value() < numData_)
         return 0;
     for (std::uint32_t l = 0; l < levelBase_.size(); ++l) {
         if (id < levelBase_[l] + levelCount_[l])
@@ -39,7 +39,7 @@ BlockSpace::posMapBlockOf(BlockId id) const
     const std::uint32_t level = levelOf(id);
     // Index of this block within its own level.
     const std::uint64_t index =
-        level == 0 ? id : id - levelBase_[level - 1];
+        level == 0 ? id.value() : id - levelBase_[level - 1];
     if (level >= levelBase_.size()) {
         // The covering table is on-chip.
         return kInvalidBlock;
@@ -66,21 +66,24 @@ BlockSpace::levelCount(std::uint32_t level) const
 PositionMap::PositionMap(std::uint64_t num_blocks, Leaf num_leaves)
     : entries_(num_blocks), numLeaves_(num_leaves)
 {
-    fatal_if(num_leaves == 0, "position map needs at least one leaf");
+    fatal_if(num_leaves == Leaf{0},
+             "position map needs at least one leaf");
 }
 
 PosEntry &
 PositionMap::entry(BlockId id)
 {
-    panic_if(id >= entries_.size(), "pos-map index ", id, " out of range");
-    return entries_[id];
+    panic_if(id.value() >= entries_.size(), "pos-map index ", id,
+             " out of range");
+    return entries_[id.value()];
 }
 
 const PosEntry &
 PositionMap::entry(BlockId id) const
 {
-    panic_if(id >= entries_.size(), "pos-map index ", id, " out of range");
-    return entries_[id];
+    panic_if(id.value() >= entries_.size(), "pos-map index ", id,
+             " out of range");
+    return entries_[id.value()];
 }
 
 PosMapBlockCache::PosMapBlockCache(std::uint32_t entries)
@@ -119,7 +122,7 @@ PosMapBlockCache::linkFront(std::uint32_t slot)
 bool
 PosMapBlockCache::lookup(BlockId pm_block)
 {
-    const std::uint32_t slot = index_.get(pm_block);
+    const std::uint32_t slot = index_.get(pm_block.value());
     if (slot == FlatIndex::kNone) {
         ++misses_;
         return false;
@@ -135,7 +138,7 @@ PosMapBlockCache::lookup(BlockId pm_block)
 void
 PosMapBlockCache::insert(BlockId pm_block)
 {
-    std::uint32_t slot = index_.get(pm_block);
+    std::uint32_t slot = index_.get(pm_block.value());
     if (slot != FlatIndex::kNone) {
         if (head_ != slot) {
             unlink(slot);
@@ -147,18 +150,18 @@ PosMapBlockCache::insert(BlockId pm_block)
         slot = used_++;
     } else {
         slot = tail_;
-        index_.erase(nodes_[slot].id);
+        index_.erase(nodes_[slot].id.value());
         unlink(slot);
     }
     nodes_[slot].id = pm_block;
     linkFront(slot);
-    index_.put(pm_block, slot);
+    index_.put(pm_block.value(), slot);
 }
 
 bool
 PosMapBlockCache::contains(BlockId pm_block) const
 {
-    return index_.get(pm_block) != FlatIndex::kNone;
+    return index_.get(pm_block.value()) != FlatIndex::kNone;
 }
 
 } // namespace proram

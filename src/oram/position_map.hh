@@ -71,7 +71,7 @@ class BlockSpace
     }
     std::uint32_t fanout() const { return fanout_; }
 
-    bool isData(BlockId id) const { return id < numData_; }
+    bool isData(BlockId id) const { return id.value() < numData_; }
 
     /**
      * The position-map block holding @p id's entry, or kInvalidBlock

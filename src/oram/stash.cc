@@ -1,5 +1,7 @@
 #include "oram/stash.hh"
 
+#include "util/annotations.hh"
+
 namespace proram
 {
 
@@ -11,43 +13,47 @@ Stash::Stash(std::uint32_t capacity)
     data_.reserve(capacity * 2);
 }
 
-bool
+PRORAM_HOT bool
 Stash::insert(BlockId id, std::uint64_t data, Leaf leaf)
 {
-    if (index_.get(id) != FlatIndex::kNone)
+    if (index_.get(id.value()) != FlatIndex::kNone)
         return false;
-    index_.put(id, static_cast<std::uint32_t>(ids_.size()));
+    index_.put(id.value(), static_cast<std::uint32_t>(ids_.size()));
+    // PRORAM_LINT_ALLOW(hot-alloc): lanes reserve 2x capacity up
+    // front; these appends only reallocate past double overflow.
     ids_.push_back(id);
+    // PRORAM_LINT_ALLOW(hot-alloc): see above
     leaves_.push_back(leaf);
+    // PRORAM_LINT_ALLOW(hot-alloc): see above
     data_.push_back(data);
     ++live_;
     return true;
 }
 
-bool
+PRORAM_HOT bool
 Stash::contains(BlockId id) const
 {
-    return index_.get(id) != FlatIndex::kNone;
+    return index_.get(id.value()) != FlatIndex::kNone;
 }
 
-std::uint64_t *
+PRORAM_HOT std::uint64_t *
 Stash::findData(BlockId id)
 {
-    const std::uint32_t slot = index_.get(id);
+    const std::uint32_t slot = index_.get(id.value());
     return slot == FlatIndex::kNone ? nullptr : &data_[slot];
 }
 
-Leaf
+PRORAM_HOT Leaf
 Stash::leafOf(BlockId id) const
 {
-    const std::uint32_t slot = index_.get(id);
+    const std::uint32_t slot = index_.get(id.value());
     return slot == FlatIndex::kNone ? kInvalidLeaf : leaves_[slot];
 }
 
-bool
+PRORAM_HOT bool
 Stash::erase(BlockId id)
 {
-    const std::uint32_t slot = index_.get(id);
+    const std::uint32_t slot = index_.get(id.value());
     if (slot == FlatIndex::kNone)
         return false;
     // Mark dead in place: shuffling survivors would perturb the
@@ -56,7 +62,7 @@ Stash::erase(BlockId id)
     // leaf/data lanes keep their stale words - lane consumers skip
     // dead slots by id.
     ids_[slot] = kInvalidBlock;
-    index_.erase(id);
+    index_.erase(id.value());
     --live_;
     ++dead_;
     if (dead_ >= 16 && dead_ >= live_)
@@ -64,10 +70,10 @@ Stash::erase(BlockId id)
     return true;
 }
 
-void
+PRORAM_HOT void
 Stash::updateLeaf(BlockId id, Leaf leaf)
 {
-    const std::uint32_t slot = index_.get(id);
+    const std::uint32_t slot = index_.get(id.value());
     if (slot != FlatIndex::kNone)
         leaves_[slot] = leaf;
 }
@@ -84,7 +90,7 @@ Stash::compact()
             leaves_[out] = leaves_[in];
             data_[out] = data_[in];
         }
-        index_.put(ids_[out], static_cast<std::uint32_t>(out));
+        index_.put(ids_[out].value(), static_cast<std::uint32_t>(out));
         ++out;
     }
     ids_.resize(out);

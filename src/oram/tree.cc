@@ -28,54 +28,57 @@ BinaryTree::BinaryTree(std::uint32_t levels, std::uint32_t z)
     free_.assign(numBuckets_, z_);
 }
 
-std::uint64_t
-BinaryTree::nodeOnPath(Leaf leaf, std::uint32_t level) const
+TreeIdx
+BinaryTree::nodeOnPath(Leaf leaf, Level level) const
 {
-    panic_if(leaf >= numLeaves(), "leaf ", leaf, " out of range");
-    panic_if(level > levels_, "level ", level, " out of range");
+    panic_if(leaf.value() >= numLeaves(), "leaf ", leaf,
+             " out of range");
+    panic_if(level.value() > levels_, "level ", level, " out of range");
     // Heap level l spans indices [2^l - 1, 2^(l+1) - 2] and the path
     // node within it is indexed by the top `level` bits of the leaf
     // label, so the bit-by-bit walk collapses to one shift-and-add.
-    return ((1ULL << level) - 1) +
-           (static_cast<std::uint64_t>(leaf) >> (levels_ - level));
+    return TreeIdx{((1ULL << level.value()) - 1) +
+                   (static_cast<std::uint64_t>(leaf.value()) >>
+                    (levels_ - level.value()))};
 }
 
 bool
-BinaryTree::tryPlace(std::uint64_t node, BlockId id, std::uint64_t data)
+BinaryTree::tryPlace(TreeIdx node, BlockId id, std::uint64_t data)
 {
-    if (free_[node] == 0)
+    if (free_[node.value()] == 0)
         return false;
-    const std::uint64_t base = node * z_;
+    const std::uint64_t base = node.value() * z_;
     for (std::uint32_t i = 0; i < z_; ++i) {
         if (ids_[base + i] == kInvalidBlock) {
             ids_[base + i] = id;
             data_[base + i] = data;
-            --free_[node];
+            --free_[node.value()];
             return true;
         }
     }
-    panic("bucket free-slot count ", free_[node], " but no dummy slot");
+    panic("bucket free-slot count ", free_[node.value()],
+          " but no dummy slot");
 }
 
 void
-BinaryTree::clearSlot(std::uint64_t node, std::uint32_t i)
+BinaryTree::clearSlot(TreeIdx node, std::uint32_t i)
 {
-    const std::uint64_t at = node * z_ + i;
+    const std::uint64_t at = node.value() * z_ + i;
     if (ids_[at] != kInvalidBlock)
-        ++free_[node];
+        ++free_[node.value()];
     ids_[at] = kInvalidBlock;
     data_[at] = 0;
 }
 
-std::uint32_t
+Level
 BinaryTree::commonLevel(Leaf a, Leaf b) const
 {
     // Paths diverge at the highest differing leaf bit: the shared
     // depth is levels_ minus the XOR's bit width (equal labels share
     // the whole path).
-    const std::uint64_t diff =
-        static_cast<std::uint64_t>(a) ^ static_cast<std::uint64_t>(b);
-    return levels_ - static_cast<std::uint32_t>(std::bit_width(diff));
+    const std::uint32_t diff = a ^ b;
+    return Level{levels_ -
+                 static_cast<std::uint32_t>(std::bit_width(diff))};
 }
 
 std::uint64_t

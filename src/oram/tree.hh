@@ -6,7 +6,10 @@
  * Node numbering is heap order: node 0 is the root; node n has children
  * 2n+1 / 2n+2. Leaf label s in [0, 2^L) names the leaf reached by
  * following s's bits from the root; path s is the L+1 buckets from the
- * root to that leaf.
+ * root to that leaf. Node indices are the *public* coordinates of the
+ * protocol (the server sees every bucket touched), so they carry their
+ * own strong type (TreeIdx) distinct from the secret leaf labels that
+ * select them - confusing the two is a compile error.
  *
  * Memory layout (DESIGN.md "Memory layout"): bucket b slot i lives at
  * arena offset b*Z+i. Block ids and payload words are split into two
@@ -75,13 +78,12 @@ class BucketRef
 
   private:
     friend class BinaryTree;
-    BucketRef(BinaryTree *tree, std::uint64_t node)
-        : tree_(tree), node_(node)
+    BucketRef(BinaryTree *tree, TreeIdx node) : tree_(tree), node_(node)
     {
     }
 
     BinaryTree *tree_;
-    std::uint64_t node_;
+    TreeIdx node_;
 };
 
 /**
@@ -96,64 +98,63 @@ class BinaryTree
     BinaryTree(std::uint32_t levels, std::uint32_t z);
 
     std::uint32_t levels() const { return levels_; }
+    /** One past the deepest level: Level{0} .. leafLevel(). */
+    Level leafLevel() const { return Level{levels_}; }
     std::uint64_t numLeaves() const { return 1ULL << levels_; }
     std::uint64_t numBuckets() const { return numBuckets_; }
     std::uint32_t z() const { return z_; }
 
     /** Heap index of the bucket at @p level on path @p leaf. */
-    std::uint64_t nodeOnPath(Leaf leaf, std::uint32_t level) const;
+    TreeIdx nodeOnPath(Leaf leaf, Level level) const;
 
     /** View of bucket @p node. */
-    BucketRef bucket(std::uint64_t node)
-    {
-        return BucketRef(this, node);
-    }
-    BucketRef bucket(std::uint64_t node) const
+    BucketRef bucket(TreeIdx node) { return BucketRef(this, node); }
+    BucketRef bucket(TreeIdx node) const
     {
         return BucketRef(const_cast<BinaryTree *>(this), node);
     }
 
     /** @name Arena hot-path accessors (bucket b slot i at b*Z+i). @{ */
-    BlockId slotId(std::uint64_t node, std::uint32_t i) const
+    BlockId slotId(TreeIdx node, std::uint32_t i) const
     {
-        return ids_[node * z_ + i];
+        return ids_[node.value() * z_ + i];
     }
-    std::uint64_t slotData(std::uint64_t node, std::uint32_t i) const
+    std::uint64_t slotData(TreeIdx node, std::uint32_t i) const
     {
-        return data_[node * z_ + i];
+        return data_[node.value() * z_ + i];
     }
     /** First slot offset of @p node in the id/payload arrays. */
-    std::uint64_t slotBase(std::uint64_t node) const
+    std::uint64_t slotBase(TreeIdx node) const
     {
-        return node * z_;
+        return node.value() * z_;
     }
     const BlockId *idArena() const { return ids_.data(); }
     const std::uint64_t *dataArena() const { return data_.data(); }
 
     /** Free slots of @p node (O(1)). */
-    std::uint32_t freeSlots(std::uint64_t node) const
+    std::uint32_t freeSlots(TreeIdx node) const
     {
-        return free_[node];
+        return free_[node.value()];
     }
     /** Real blocks in @p node from the free count (O(1)). */
-    std::uint32_t occupancy(std::uint64_t node) const
+    std::uint32_t occupancy(TreeIdx node) const
     {
-        return z_ - free_[node];
+        return z_ - free_[node.value()];
     }
 
     /** Place a block in the first dummy slot of @p node; false if the
      *  bucket is full (O(1) in that case). */
-    bool tryPlace(std::uint64_t node, BlockId id, std::uint64_t data);
+    bool tryPlace(TreeIdx node, BlockId id, std::uint64_t data);
 
     /** Evict slot @p i of @p node back to dummy. */
-    void clearSlot(std::uint64_t node, std::uint32_t i);
+    void clearSlot(TreeIdx node, std::uint32_t i);
     /** @} */
 
     /**
      * Deepest level at which paths @p a and @p b share a bucket
      * (their lowest common ancestor's level).
      */
-    std::uint32_t commonLevel(Leaf a, Leaf b) const;
+    Level commonLevel(Leaf a, Leaf b) const;
 
     /** Total real blocks stored in the tree, by scanning the arena
      *  (O(slots); tests only - reflects raw-slot corruption). */

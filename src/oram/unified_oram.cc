@@ -35,11 +35,11 @@ UnifiedOram::initialize(std::uint32_t static_sb_size)
     // Direct PosEntry::leaf writes are safe only here: the stash is
     // empty until placeInitial below, so there are no cached leaves to
     // keep coherent yet. Everywhere else leaves go through setLeaf().
-    for (BlockId id = 0; id < total; ++id) {
+    for (BlockId id{0}; id.value() < total; ++id) {
         PosEntry &e = posMap_.entry(id);
-        if (id < num_data && static_sb_size > 1) {
+        if (id.value() < num_data && static_sb_size > 1) {
             // Super block members share the leaf of their base block.
-            const BlockId base = alignDown(id, static_sb_size);
+            const BlockId base{alignDown(id.value(), static_sb_size)};
             e.leaf = (id == base) ? oram_.randomLeaf()
                                   : posMap_.leafOf(base);
             e.sbSizeLog = sb_log;
@@ -48,7 +48,7 @@ UnifiedOram::initialize(std::uint32_t static_sb_size)
             e.sbSizeLog = 0;
         }
     }
-    for (BlockId id = 0; id < total; ++id)
+    for (BlockId id{0}; id.value() < total; ++id)
         oram_.placeInitial(id, 0);
     initialized_ = true;
 }

@@ -20,9 +20,9 @@ namespace metrics
 double
 speedup(const SimResult &base, const SimResult &x)
 {
-    panic_if(x.cycles == 0, "zero-cycle run");
-    return static_cast<double>(base.cycles) /
-               static_cast<double>(x.cycles) -
+    panic_if(x.cycles == Cycles{0}, "zero-cycle run");
+    return static_cast<double>(base.cycles.value()) /
+               static_cast<double>(x.cycles.value()) -
            1.0;
 }
 
@@ -37,9 +37,9 @@ normMemAccesses(const SimResult &base, const SimResult &x)
 double
 normCompletionTime(const SimResult &base, const SimResult &x)
 {
-    panic_if(base.cycles == 0, "zero-cycle baseline");
-    return static_cast<double>(x.cycles) /
-           static_cast<double>(base.cycles);
+    panic_if(base.cycles == Cycles{0}, "zero-cycle baseline");
+    return static_cast<double>(x.cycles.value()) /
+           static_cast<double>(base.cycles.value());
 }
 
 } // namespace metrics

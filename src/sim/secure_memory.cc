@@ -29,8 +29,8 @@ SecureMemory::~SecureMemory() = default;
 BlockId
 SecureMemory::blockOf(Addr addr) const
 {
-    const BlockId block = addr >> lineShift_;
-    fatal_if(block >= cfg_.oram.numDataBlocks,
+    const BlockId block{addr >> lineShift_};
+    fatal_if(block.value() >= cfg_.oram.numDataBlocks,
              "address ", addr, " beyond ORAM capacity");
     return block;
 }

@@ -95,7 +95,7 @@ class SecureMemory
     /** Logical value of every written block (reference semantics;
      *  also cross-checked against the ORAM's functional payload). */
     std::unordered_map<BlockId, std::uint64_t> shadow_;
-    Cycles cycle_ = 0;
+    Cycles cycle_{0};
     std::uint64_t references_ = 0;
     std::uint64_t llcMisses_ = 0;
     std::uint64_t writebacks_ = 0;

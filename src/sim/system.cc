@@ -67,7 +67,7 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
             sched.enabled() && cfg_.scheme != MemScheme::OramPrefetch;
         auditor_ = std::make_unique<obs::ObliviousnessAuditor>(
             cfg_.audit, num_leaves,
-            sched.enabled() ? sched.period() : 0, check_fill);
+            sched.enabled() ? sched.period() : Cycles{0}, check_fill);
         controller_->attachAuditor(auditor_.get());
     }
 

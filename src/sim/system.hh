@@ -21,7 +21,7 @@ namespace proram
 struct SimResult
 {
     std::string scheme;
-    Cycles cycles = 0;
+    Cycles cycles{0};
     std::uint64_t references = 0;
     std::uint64_t llcMisses = 0;
     std::uint64_t writebacks = 0;

@@ -75,7 +75,7 @@ defaultSystemConfig()
     cfg.oram.stashCapacity = 100;
     cfg.oram.hierarchies = 4;
     cfg.oram.dramBytesPerCycle = 16.0;
-    cfg.dram.dram.latency = 100;
+    cfg.dram.dram.latency = Cycles{100};
     cfg.dram.dram.bytesPerCycle = 16.0;
     cfg.dram.dram.lineBytes = 128;
     cfg.staticSbSize = 2;

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Strong integer wrapper underlying the project's domain types
+ * (util/types.hh): explicit construction, `.value()` to unwrap, and
+ * arithmetic only where it is meaningful for the tagged quantity.
+ *
+ * Rationale (ISSUE 5 / DESIGN.md "Static analysis"): PrORAM's
+ * obliviousness argument keeps several integer namespaces that must
+ * never mix - leaf labels, logical block ids, heap node indices, tree
+ * levels, simulated cycles. With raw `using` aliases the compiler
+ * happily adds a leaf to a node index; with these wrappers that is a
+ * compile error, and the obliviousness linter can key its
+ * data-dependence tracking on the wrapper types instead of on every
+ * `uint64_t` in the program.
+ *
+ * Capabilities are opt-in per tag via the `Ops` bitmask:
+ *  - kOpCounter:  ++ / -- (ordinals that are iterated).
+ *  - kOpAdditive: T + T -> T, T - T -> T, += , -= (true quantities,
+ *                 e.g. cycle counts).
+ *  - kOpOffset:   T + integral -> T, T - integral -> T (ordinals with
+ *                 meaningful displacement, e.g. block ids in a
+ *                 super-block group).
+ *  - kOpDistance: T - T -> Rep (distance between two ordinals; never
+ *                 combined with kOpAdditive).
+ *  - kOpScale:    T * integral -> T (quantities only).
+ *  - kOpBitXor:   T ^ T -> Rep (leaf-label path agreement masks).
+ *
+ * Everything else - implicit conversion in either direction, mixed-tag
+ * arithmetic, T + T on ordinals - does not compile.
+ */
+
+#ifndef PRORAM_UTIL_STRONG_TYPE_HH
+#define PRORAM_UTIL_STRONG_TYPE_HH
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
+
+namespace proram
+{
+namespace util
+{
+
+inline constexpr unsigned kOpCounter = 1u << 0;
+inline constexpr unsigned kOpAdditive = 1u << 1;
+inline constexpr unsigned kOpOffset = 1u << 2;
+inline constexpr unsigned kOpDistance = 1u << 3;
+inline constexpr unsigned kOpScale = 1u << 4;
+inline constexpr unsigned kOpBitXor = 1u << 5;
+
+/**
+ * Tagged integer. @tparam RepT underlying representation,
+ * @tparam TagT an empty struct naming the domain, @tparam Ops the
+ * kOp* capability mask.
+ */
+template <typename RepT, typename TagT, unsigned Ops = 0>
+class Strong
+{
+    static_assert(std::is_integral_v<RepT> && std::is_unsigned_v<RepT>,
+                  "Strong<> wraps unsigned integral representations");
+    static_assert(!((Ops & kOpAdditive) && (Ops & kOpDistance)),
+                  "additive types already define T - T -> T");
+
+  public:
+    using Rep = RepT;
+    using Tag = TagT;
+
+    constexpr Strong() = default;
+    constexpr explicit Strong(Rep v) : v_(v) {}
+
+    /** The wrapped representation; the only way out of the type. */
+    constexpr Rep value() const { return v_; }
+
+    friend constexpr bool operator==(Strong a, Strong b)
+    {
+        return a.v_ == b.v_;
+    }
+    friend constexpr auto operator<=>(Strong a, Strong b)
+    {
+        return a.v_ <=> b.v_;
+    }
+
+    // kOpCounter ----------------------------------------------------
+    constexpr Strong &operator++() requires((Ops & kOpCounter) != 0)
+    {
+        ++v_;
+        return *this;
+    }
+    constexpr Strong operator++(int) requires((Ops & kOpCounter) != 0)
+    {
+        Strong t = *this;
+        ++v_;
+        return t;
+    }
+    constexpr Strong &operator--() requires((Ops & kOpCounter) != 0)
+    {
+        --v_;
+        return *this;
+    }
+    constexpr Strong operator--(int) requires((Ops & kOpCounter) != 0)
+    {
+        Strong t = *this;
+        --v_;
+        return t;
+    }
+
+    // kOpAdditive ---------------------------------------------------
+    friend constexpr Strong
+    operator+(Strong a, Strong b) requires((Ops & kOpAdditive) != 0)
+    {
+        return Strong(static_cast<Rep>(a.v_ + b.v_));
+    }
+    friend constexpr Strong
+    operator-(Strong a, Strong b) requires((Ops & kOpAdditive) != 0)
+    {
+        return Strong(static_cast<Rep>(a.v_ - b.v_));
+    }
+    constexpr Strong &
+    operator+=(Strong b) requires((Ops & kOpAdditive) != 0)
+    {
+        v_ = static_cast<Rep>(v_ + b.v_);
+        return *this;
+    }
+    constexpr Strong &
+    operator-=(Strong b) requires((Ops & kOpAdditive) != 0)
+    {
+        v_ = static_cast<Rep>(v_ - b.v_);
+        return *this;
+    }
+
+    /** Phase within a period (quantities only). */
+    friend constexpr Strong
+    operator%(Strong a, Strong b) requires((Ops & kOpAdditive) != 0)
+    {
+        return Strong(static_cast<Rep>(a.v_ % b.v_));
+    }
+
+    // kOpOffset / kOpDistance ---------------------------------------
+    template <std::integral I>
+    friend constexpr Strong
+    operator+(Strong a, I d) requires((Ops & kOpOffset) != 0)
+    {
+        return Strong(static_cast<Rep>(a.v_ + static_cast<Rep>(d)));
+    }
+    template <std::integral I>
+    friend constexpr Strong
+    operator-(Strong a, I d) requires((Ops & kOpOffset) != 0)
+    {
+        return Strong(static_cast<Rep>(a.v_ - static_cast<Rep>(d)));
+    }
+    friend constexpr Rep
+    operator-(Strong a, Strong b) requires((Ops & kOpDistance) != 0)
+    {
+        return static_cast<Rep>(a.v_ - b.v_);
+    }
+    template <std::integral I>
+    constexpr Strong &operator+=(I d) requires((Ops & kOpOffset) != 0)
+    {
+        v_ = static_cast<Rep>(v_ + static_cast<Rep>(d));
+        return *this;
+    }
+    template <std::integral I>
+    constexpr Strong &operator-=(I d) requires((Ops & kOpOffset) != 0)
+    {
+        v_ = static_cast<Rep>(v_ - static_cast<Rep>(d));
+        return *this;
+    }
+
+    // kOpScale ------------------------------------------------------
+    template <std::integral I>
+    friend constexpr Strong
+    operator*(Strong a, I d) requires((Ops & kOpScale) != 0)
+    {
+        return Strong(static_cast<Rep>(a.v_ * static_cast<Rep>(d)));
+    }
+    template <std::integral I>
+    friend constexpr Strong
+    operator*(I d, Strong a) requires((Ops & kOpScale) != 0)
+    {
+        return Strong(static_cast<Rep>(a.v_ * static_cast<Rep>(d)));
+    }
+
+    // kOpBitXor -----------------------------------------------------
+    friend constexpr Rep
+    operator^(Strong a, Strong b) requires((Ops & kOpBitXor) != 0)
+    {
+        return static_cast<Rep>(a.v_ ^ b.v_);
+    }
+
+    /** Diagnostics only (panic/format/gtest); prints the raw value. */
+    friend std::ostream &operator<<(std::ostream &os, Strong s)
+    {
+        return os << s.v_;
+    }
+
+  private:
+    Rep v_{};
+};
+
+/** std::hash support for strong types (tests / cold-path sets). */
+template <typename S>
+struct StrongHash
+{
+    std::size_t operator()(S s) const noexcept
+    {
+        return std::hash<typename S::Rep>{}(s.value());
+    }
+};
+
+} // namespace util
+} // namespace proram
+
+#endif // PRORAM_UTIL_STRONG_TYPE_HH

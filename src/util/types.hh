@@ -1,6 +1,13 @@
 /**
  * @file
- * Fundamental scalar types shared across the PrORAM simulator.
+ * Fundamental domain types shared across the PrORAM simulator.
+ *
+ * All five are distinct strong types (util/strong_type.hh): explicit
+ * construction, `.value()` to unwrap, and only the arithmetic that is
+ * meaningful for the quantity. Mixing them (leaf vs. tree index, id
+ * vs. address, level vs. cycle count) is a compile error, and the
+ * obliviousness linter (tools/lint/oblivious_lint.py) keys its
+ * secret-data-dependence tracking on these wrappers.
  */
 
 #ifndef PRORAM_UTIL_TYPES_HH
@@ -9,31 +16,121 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/strong_type.hh"
+
 namespace proram
 {
 
-/** Simulated cycle count (1 GHz core by default, so cycles == ns). */
-using Cycles = std::uint64_t;
+namespace tags
+{
+struct Cycles;
+struct BlockId;
+struct Leaf;
+struct TreeIdx;
+struct Level;
+} // namespace tags
 
-/** Byte address in the program (virtual) address space. */
+/** Simulated cycle count (1 GHz core by default, so cycles == ns).
+ *  A true quantity: additive with itself, scalable by a count. */
+using Cycles = util::Strong<std::uint64_t, tags::Cycles,
+                            util::kOpAdditive | util::kOpScale |
+                                util::kOpCounter>;
+
+/** Byte address in the program (virtual) address space. Kept raw:
+ *  addresses enter from traces and leave to caches as plain numbers,
+ *  and never mix with the secret-labelled ORAM namespaces below. */
 using Addr = std::uint64_t;
 
-/** Logical ORAM block identifier (program address / block size). */
-using BlockId = std::uint64_t;
+/** Logical ORAM block identifier (program address / block size).
+ *  An ordinal: members of a super-block group are reached by integer
+ *  offsets from the base id, and id - id is a group-relative index. */
+using BlockId = util::Strong<std::uint64_t, tags::BlockId,
+                             util::kOpOffset | util::kOpDistance |
+                                 util::kOpCounter>;
 
-/** Leaf label in the Path ORAM binary tree, in [0, 2^L). */
-using Leaf = std::uint32_t;
+/** Leaf label in the Path ORAM binary tree, in [0, 2^L). Secret.
+ *  No arithmetic except xor, which yields the path-agreement mask
+ *  consumed by bit_width (BinaryTree::commonLevel). */
+using Leaf = util::Strong<std::uint32_t, tags::Leaf,
+                          util::kOpBitXor | util::kOpCounter>;
+
+/** Heap-order node index in the bucket tree, in [0, 2^(L+1)-1).
+ *  Public (which bucket), unlike the leaf label that selected it. */
+using TreeIdx = util::Strong<std::uint64_t, tags::TreeIdx,
+                             util::kOpOffset | util::kOpDistance |
+                                 util::kOpCounter>;
+
+/** Level in the bucket tree: root is Level{0}, leaves Level{L}. */
+using Level = util::Strong<std::uint32_t, tags::Level,
+                           util::kOpOffset | util::kOpDistance |
+                               util::kOpCounter>;
 
 /** Sentinel for "no block" (dummy slot, invalid id). */
-inline constexpr BlockId kInvalidBlock =
-    std::numeric_limits<BlockId>::max();
+inline constexpr BlockId kInvalidBlock{
+    std::numeric_limits<std::uint64_t>::max()};
 
 /** Sentinel for "no leaf assigned". */
-inline constexpr Leaf kInvalidLeaf = std::numeric_limits<Leaf>::max();
+inline constexpr Leaf kInvalidLeaf{
+    std::numeric_limits<std::uint32_t>::max()};
 
 /** Kind of memory operation flowing through the hierarchy. */
 enum class OpType : std::uint8_t { Read, Write };
 
+/** Literal suffixes for the strong types: `7_id`, `3_leaf`, `100_cyc`,
+ *  `5_node`, `2_lvl`. Opt-in via `using namespace proram::literals;`
+ *  (tests and examples; production code mostly carries values, not
+ *  literals). */
+namespace literals
+{
+
+constexpr BlockId operator""_id(unsigned long long v)
+{
+    return BlockId{static_cast<std::uint64_t>(v)};
+}
+constexpr Leaf operator""_leaf(unsigned long long v)
+{
+    return Leaf{static_cast<std::uint32_t>(v)};
+}
+constexpr Cycles operator""_cyc(unsigned long long v)
+{
+    return Cycles{static_cast<std::uint64_t>(v)};
+}
+constexpr TreeIdx operator""_node(unsigned long long v)
+{
+    return TreeIdx{static_cast<std::uint64_t>(v)};
+}
+constexpr Level operator""_lvl(unsigned long long v)
+{
+    return Level{static_cast<std::uint32_t>(v)};
+}
+
+} // namespace literals
+
 } // namespace proram
+
+template <>
+struct std::hash<proram::Cycles>
+    : proram::util::StrongHash<proram::Cycles>
+{
+};
+template <>
+struct std::hash<proram::BlockId>
+    : proram::util::StrongHash<proram::BlockId>
+{
+};
+template <>
+struct std::hash<proram::Leaf> : proram::util::StrongHash<proram::Leaf>
+{
+};
+template <>
+struct std::hash<proram::TreeIdx>
+    : proram::util::StrongHash<proram::TreeIdx>
+{
+};
+template <>
+struct std::hash<proram::Level>
+    : proram::util::StrongHash<proram::Level>
+{
+};
 
 #endif // PRORAM_UTIL_TYPES_HH

@@ -16,6 +16,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 struct FakeLlc : LlcProbe
 {
     bool probe(BlockId b) const override { return resident.count(b); }
@@ -77,17 +79,17 @@ TEST(DynamicPolicy, ConfigValidation)
 TEST(DynamicPolicy, AllBlocksStartAsSingletons)
 {
     Fixture f;
-    for (BlockId b = 0; b < 32; ++b)
-        EXPECT_EQ(f.sbSize(b), 1u);
+    for (std::uint64_t b = 0; b < 32; ++b)
+        EXPECT_EQ(f.sbSize(BlockId{b}), 1u);
 }
 
 TEST(DynamicPolicy, NoMergeWithoutNeighborInLlc)
 {
     Fixture f;
-    f.access(0);
-    f.access(0);
-    f.access(0);
-    EXPECT_EQ(f.sbSize(0), 1u);
+    f.access(0_id);
+    f.access(0_id);
+    f.access(0_id);
+    EXPECT_EQ(f.sbSize(0_id), 1u);
     EXPECT_EQ(f.policy->policyStats().merges, 0u);
 }
 
@@ -95,11 +97,11 @@ TEST(DynamicPolicy, MergeAfterObservedLocality)
 {
     Fixture f;
     // Neighbour 1 is LLC-resident whenever 0 is accessed: locality.
-    f.llc.resident = {1};
-    f.access(0); // merge counter 0 -> 1 >= threshold(1)=1 -> merge
-    EXPECT_EQ(f.sbSize(0), 2u);
-    EXPECT_EQ(f.sbSize(1), 2u);
-    EXPECT_EQ(f.oram->posMap().leafOf(0), f.oram->posMap().leafOf(1));
+    f.llc.resident = {1_id};
+    f.access(0_id); // merge counter 0 -> 1 >= threshold(1)=1 -> merge
+    EXPECT_EQ(f.sbSize(0_id), 2u);
+    EXPECT_EQ(f.sbSize(1_id), 2u);
+    EXPECT_EQ(f.oram->posMap().leafOf(0_id), f.oram->posMap().leafOf(1_id));
     EXPECT_EQ(f.policy->policyStats().merges, 1u);
     EXPECT_TRUE(checkIntegrity(*f.oram).ok);
 }
@@ -110,18 +112,18 @@ TEST(DynamicPolicy, MergeRemapRefreshesStashCachedLeaves)
     // stash's cached leaf copies must see the new mapping so this
     // same access's write-back evicts along the right path.
     Fixture f;
-    f.llc.resident = {1};
-    f.oram->posMapWalk(0);
-    const Leaf old_leaf = f.oram->posMap().leafOf(0);
+    f.llc.resident = {1_id};
+    f.oram->posMapWalk(0_id);
+    const Leaf old_leaf = f.oram->posMap().leafOf(0_id);
     f.oram->engine().readPath(old_leaf);
-    ASSERT_TRUE(f.oram->engine().stash().contains(0));
-    f.policy->onDataAccess(0, /*wb=*/false); // merges (0,1), remaps
-    ASSERT_EQ(f.sbSize(0), 2u);
+    ASSERT_TRUE(f.oram->engine().stash().contains(0_id));
+    f.policy->onDataAccess(0_id, /*wb=*/false); // merges (0,1), remaps
+    ASSERT_EQ(f.sbSize(0_id), 2u);
     const Stash &stash = f.oram->engine().stash();
-    ASSERT_TRUE(stash.contains(0));
-    EXPECT_EQ(stash.leafOf(0), f.oram->posMap().leafOf(0));
-    if (stash.contains(1)) {
-        EXPECT_EQ(stash.leafOf(1), f.oram->posMap().leafOf(1));
+    ASSERT_TRUE(stash.contains(0_id));
+    EXPECT_EQ(stash.leafOf(0_id), f.oram->posMap().leafOf(0_id));
+    if (stash.contains(1_id)) {
+        EXPECT_EQ(stash.leafOf(1_id), f.oram->posMap().leafOf(1_id));
     }
     f.oram->engine().writePath(old_leaf);
     EXPECT_TRUE(checkIntegrity(*f.oram).ok);
@@ -132,23 +134,23 @@ TEST(DynamicPolicy, BreakRemapRefreshesStashCachedLeaves)
     DynamicPolicyConfig p;
     p.breakMode = DynamicPolicyConfig::BreakMode::Static;
     Fixture f(p);
-    f.llc.resident = {1};
-    f.access(0); // merge
-    ASSERT_EQ(f.sbSize(0), 2u);
+    f.llc.resident = {1_id};
+    f.access(0_id); // merge
+    ASSERT_EQ(f.sbSize(0_id), 2u);
     f.llc.resident.clear();
     bool broke = false;
     for (int i = 0; i < 8 && !broke; ++i) {
-        f.oram->posMapWalk(0);
-        const Leaf leaf = f.oram->posMap().leafOf(0);
+        f.oram->posMapWalk(0_id);
+        const Leaf leaf = f.oram->posMap().leafOf(0_id);
         f.oram->engine().readPath(leaf);
-        f.policy->onDataAccess(0, /*wb=*/false);
-        broke = f.sbSize(0) == 1;
+        f.policy->onDataAccess(0_id, /*wb=*/false);
+        broke = f.sbSize(0_id) == 1;
         if (broke) {
             // Both halves were just remapped to fresh independent
             // leaves; the resident copy's cached leaf must match.
-            ASSERT_TRUE(f.oram->engine().stash().contains(0));
-            EXPECT_EQ(f.oram->engine().stash().leafOf(0),
-                      f.oram->posMap().leafOf(0));
+            ASSERT_TRUE(f.oram->engine().stash().contains(0_id));
+            EXPECT_EQ(f.oram->engine().stash().leafOf(0_id),
+                      f.oram->posMap().leafOf(0_id));
         }
         f.oram->engine().writePath(leaf);
         while (f.oram->engine().stash().overCapacity())
@@ -161,43 +163,43 @@ TEST(DynamicPolicy, BreakRemapRefreshesStashCachedLeaves)
 TEST(DynamicPolicy, MergeCounterDecrementsOnNoLocality)
 {
     Fixture f;
-    f.llc.resident = {1};
+    f.llc.resident = {1_id};
     // Raise the threshold so one observation is not enough.
     f.policy->onEpoch(/*ev=*/0.5, /*acc=*/1.0); // adaptive > 0
     const double thr = f.policy->mergeThreshold(1);
     ASSERT_GT(thr, 1.0);
-    f.access(0);
-    EXPECT_EQ(f.sbSize(0), 1u);
-    const auto c1 = f.policy->readMergeCounter(0, 1);
+    f.access(0_id);
+    EXPECT_EQ(f.sbSize(0_id), 1u);
+    const auto c1 = f.policy->readMergeCounter(0_id, 1);
     EXPECT_EQ(c1, 1u);
     // Now neighbour absent: counter decrements.
     f.llc.resident.clear();
-    f.access(0);
-    EXPECT_EQ(f.policy->readMergeCounter(0, 1), 0u);
+    f.access(0_id);
+    EXPECT_EQ(f.policy->readMergeCounter(0_id, 1), 0u);
 }
 
 TEST(DynamicPolicy, MergedGroupPrefetchesSibling)
 {
     Fixture f;
-    f.llc.resident = {1};
-    f.access(0);           // merged
+    f.llc.resident = {1_id};
+    f.access(0_id);           // merged
     f.llc.resident.clear(); // sibling no longer cached
-    auto d = f.access(0);
-    EXPECT_EQ(d.prefetches, std::vector<BlockId>{1});
-    EXPECT_TRUE(f.oram->posMap().entry(1).prefetchBit);
+    auto d = f.access(0_id);
+    EXPECT_EQ(d.prefetches, std::vector<BlockId>{1_id});
+    EXPECT_TRUE(f.oram->posMap().entry(1_id).prefetchBit);
 }
 
 TEST(DynamicPolicy, PrefetchHitFeedsBreakCounterUp)
 {
     Fixture f;
-    f.llc.resident = {1};
-    f.access(0); // merge
+    f.llc.resident = {1_id};
+    f.access(0_id); // merge
     f.llc.resident.clear();
-    f.access(0); // prefetch 1
-    f.policy->onDemandTouch(1);
-    f.access(0); // consume: hit
+    f.access(0_id); // prefetch 1
+    f.policy->onDemandTouch(1_id);
+    f.access(0_id); // consume: hit
     EXPECT_EQ(f.policy->policyStats().prefetchHits, 1u);
-    EXPECT_EQ(f.sbSize(0), 2u) << "hit must not break the super block";
+    EXPECT_EQ(f.sbSize(0_id), 2u) << "hit must not break the super block";
 }
 
 TEST(DynamicPolicy, RepeatedMissesBreakSuperBlock)
@@ -205,16 +207,16 @@ TEST(DynamicPolicy, RepeatedMissesBreakSuperBlock)
     DynamicPolicyConfig p;
     p.breakMode = DynamicPolicyConfig::BreakMode::Static;
     Fixture f(p);
-    f.llc.resident = {1};
-    f.access(0); // merge
+    f.llc.resident = {1_id};
+    f.access(0_id); // merge
     f.llc.resident.clear();
     // Break counter init = 3 (2 bits). Each access prefetches 1,
     // never used -> next access decrements. 3 misses drop it to 0,
     // the 4th pushes below the static threshold -> break.
     int broke_at = -1;
     for (int i = 0; i < 8; ++i) {
-        f.access(0);
-        if (f.sbSize(0) == 1) {
+        f.access(0_id);
+        if (f.sbSize(0_id) == 1) {
             broke_at = i;
             break;
         }
@@ -223,7 +225,7 @@ TEST(DynamicPolicy, RepeatedMissesBreakSuperBlock)
     EXPECT_NE(broke_at, -1) << "super block never broke";
     EXPECT_EQ(f.policy->policyStats().breaks, 1u);
     // Halves mapped independently.
-    EXPECT_EQ(f.sbSize(1), 1u);
+    EXPECT_EQ(f.sbSize(1_id), 1u);
     EXPECT_TRUE(checkIntegrity(*f.oram).ok);
 }
 
@@ -232,12 +234,12 @@ TEST(DynamicPolicy, BreakModeNoneNeverBreaks)
     DynamicPolicyConfig p;
     p.breakMode = DynamicPolicyConfig::BreakMode::None;
     Fixture f(p);
-    f.llc.resident = {1};
-    f.access(0);
+    f.llc.resident = {1_id};
+    f.access(0_id);
     f.llc.resident.clear();
     for (int i = 0; i < 20; ++i)
-        f.access(0);
-    EXPECT_EQ(f.sbSize(0), 2u);
+        f.access(0_id);
+    EXPECT_EQ(f.sbSize(0_id), 2u);
     EXPECT_EQ(f.policy->policyStats().breaks, 0u);
 }
 
@@ -246,13 +248,13 @@ TEST(DynamicPolicy, MaxSbSizeCapsGrowth)
     DynamicPolicyConfig p;
     p.maxSbSize = 2;
     Fixture f(p);
-    f.llc.resident = {0, 1, 2, 3};
+    f.llc.resident = {0_id, 1_id, 2_id, 3_id};
     for (int i = 0; i < 10; ++i) {
-        f.access(0);
-        f.access(2);
+        f.access(0_id);
+        f.access(2_id);
     }
-    EXPECT_EQ(f.sbSize(0), 2u);
-    EXPECT_EQ(f.sbSize(2), 2u);
+    EXPECT_EQ(f.sbSize(0_id), 2u);
+    EXPECT_EQ(f.sbSize(2_id), 2u);
     // Pair (0,1) and (2,3) must NOT merge into a size-4 group.
     EXPECT_EQ(f.policy->policyStats().merges, 2u);
 }
@@ -262,14 +264,15 @@ TEST(DynamicPolicy, GrowsToSize4WhenAllowed)
     DynamicPolicyConfig p;
     p.maxSbSize = 4;
     Fixture f(p);
-    f.llc.resident = {0, 1, 2, 3};
-    for (int i = 0; i < 12 && f.sbSize(0) < 4; ++i) {
-        f.access(0);
-        f.access(2);
+    f.llc.resident = {0_id, 1_id, 2_id, 3_id};
+    for (int i = 0; i < 12 && f.sbSize(0_id) < 4; ++i) {
+        f.access(0_id);
+        f.access(2_id);
     }
-    EXPECT_EQ(f.sbSize(0), 4u);
-    for (BlockId m = 0; m < 4; ++m)
-        EXPECT_EQ(f.oram->posMap().leafOf(m), f.oram->posMap().leafOf(0));
+    EXPECT_EQ(f.sbSize(0_id), 4u);
+    for (std::uint64_t m = 0; m < 4; ++m)
+        EXPECT_EQ(f.oram->posMap().leafOf(BlockId{m}),
+                  f.oram->posMap().leafOf(0_id));
     EXPECT_TRUE(checkIntegrity(*f.oram).ok);
 }
 
@@ -277,28 +280,28 @@ TEST(DynamicPolicy, CounterBitSlicingRoundTrips)
 {
     Fixture f;
     for (std::uint32_t v : {0u, 1u, 2u, 3u}) {
-        f.policy->writeMergeCounter(8, 1, v);
-        EXPECT_EQ(f.policy->readMergeCounter(8, 1), v);
+        f.policy->writeMergeCounter(8_id, 1, v);
+        EXPECT_EQ(f.policy->readMergeCounter(8_id, 1), v);
     }
     for (std::uint32_t v : {0u, 5u, 15u}) {
-        f.policy->writeMergeCounter(8, 2, v);
-        EXPECT_EQ(f.policy->readMergeCounter(8, 2), v);
+        f.policy->writeMergeCounter(8_id, 2, v);
+        EXPECT_EQ(f.policy->readMergeCounter(8_id, 2), v);
     }
     for (std::uint32_t v : {0u, 1u, 2u, 3u}) {
-        f.policy->writeBreakCounter(12, 2, v);
-        EXPECT_EQ(f.policy->readBreakCounter(12, 2), v);
+        f.policy->writeBreakCounter(12_id, 2, v);
+        EXPECT_EQ(f.policy->readBreakCounter(12_id, 2), v);
     }
 }
 
 TEST(DynamicPolicy, CounterBitsLiveInPosMapEntries)
 {
     Fixture f;
-    f.policy->writeMergeCounter(0, 1, 0b10);
-    EXPECT_TRUE(f.oram->posMap().entry(0).mergeBit);
-    EXPECT_FALSE(f.oram->posMap().entry(1).mergeBit);
-    f.policy->writeBreakCounter(0, 2, 0b01);
-    EXPECT_FALSE(f.oram->posMap().entry(0).breakBit);
-    EXPECT_TRUE(f.oram->posMap().entry(1).breakBit);
+    f.policy->writeMergeCounter(0_id, 1, 0b10);
+    EXPECT_TRUE(f.oram->posMap().entry(0_id).mergeBit);
+    EXPECT_FALSE(f.oram->posMap().entry(1_id).mergeBit);
+    f.policy->writeBreakCounter(0_id, 2, 0b01);
+    EXPECT_FALSE(f.oram->posMap().entry(0_id).breakBit);
+    EXPECT_TRUE(f.oram->posMap().entry(1_id).breakBit);
 }
 
 TEST(DynamicPolicy, StaticVsAdaptiveThresholds)
@@ -337,19 +340,19 @@ TEST(DynamicPolicy, PrefetchHitRateLowersThreshold)
 {
     Fixture hi, lo;
     // hi: all prefetch hits; lo: all misses.
-    hi.llc.resident = {1};
-    hi.access(0);
+    hi.llc.resident = {1_id};
+    hi.access(0_id);
     hi.llc.resident.clear();
-    hi.access(0);
-    hi.policy->onDemandTouch(1);
-    hi.access(0);
+    hi.access(0_id);
+    hi.policy->onDemandTouch(1_id);
+    hi.access(0_id);
     hi.policy->onEpoch(0.3, 0.8);
 
-    lo.llc.resident = {1};
-    lo.access(0);
+    lo.llc.resident = {1_id};
+    lo.access(0_id);
     lo.llc.resident.clear();
-    lo.access(0);
-    lo.access(0);
+    lo.access(0_id);
+    lo.access(0_id);
     lo.policy->onEpoch(0.3, 0.8);
 
     EXPECT_LT(hi.policy->adaptiveThreshold(2, 1.0),
@@ -375,11 +378,11 @@ TEST(DynamicPolicy, InitialBreakCounterClamped)
 TEST(DynamicPolicy, WritebackIsRemapOnly)
 {
     Fixture f;
-    f.llc.resident = {1};
-    auto d = f.access(0, /*wb=*/true);
+    f.llc.resident = {1_id};
+    auto d = f.access(0_id, /*wb=*/true);
     EXPECT_TRUE(d.prefetches.empty());
-    EXPECT_EQ(f.sbSize(0), 1u) << "write-backs must not merge";
-    EXPECT_EQ(f.policy->readMergeCounter(0, 1), 0u);
+    EXPECT_EQ(f.sbSize(0_id), 1u) << "write-backs must not merge";
+    EXPECT_EQ(f.policy->readMergeCounter(0_id, 1), 0u);
 }
 
 TEST(DynamicPolicy, BrokenHalvesDoNotInstantlyRemerge)
@@ -387,14 +390,14 @@ TEST(DynamicPolicy, BrokenHalvesDoNotInstantlyRemerge)
     DynamicPolicyConfig p;
     p.breakMode = DynamicPolicyConfig::BreakMode::Static;
     Fixture f(p);
-    f.llc.resident = {1};
-    f.access(0);
+    f.llc.resident = {1_id};
+    f.access(0_id);
     f.llc.resident.clear();
-    for (int i = 0; i < 8 && f.sbSize(0) == 2; ++i)
-        f.access(0);
-    ASSERT_EQ(f.sbSize(0), 1u);
+    for (int i = 0; i < 8 && f.sbSize(0_id) == 2; ++i)
+        f.access(0_id);
+    ASSERT_EQ(f.sbSize(0_id), 1u);
     // Merge bits were cleared on break.
-    EXPECT_EQ(f.policy->readMergeCounter(0, 1), 0u);
+    EXPECT_EQ(f.policy->readMergeCounter(0_id, 1), 0u);
 }
 
 TEST(DynamicPolicy, MergeRequiresCoherentNeighbor)
@@ -405,15 +408,15 @@ TEST(DynamicPolicy, MergeRequiresCoherentNeighbor)
     // Merge (0,1) but leave (2,3) as singletons; then demand locality
     // between pair (0,1) and its size-2 neighbour (2,3): merging must
     // be refused while (2,3) is incoherent (different leaves).
-    f.llc.resident = {1};
-    f.access(0);
-    ASSERT_EQ(f.sbSize(0), 2u);
+    f.llc.resident = {1_id};
+    f.access(0_id);
+    ASSERT_EQ(f.sbSize(0_id), 2u);
     // Keep 1 resident too so the (0,1) break counter never decays
     // (a sibling in the LLC is not re-prefetched).
-    f.llc.resident = {1, 2, 3};
+    f.llc.resident = {1_id, 2_id, 3_id};
     for (int i = 0; i < 5; ++i)
-        f.access(0);
-    EXPECT_EQ(f.sbSize(0), 2u);
+        f.access(0_id);
+    EXPECT_EQ(f.sbSize(0_id), 2u);
     EXPECT_TRUE(checkIntegrity(*f.oram).ok);
 }
 
@@ -425,7 +428,7 @@ TEST(DynamicPolicy, IntegrityUnderRandomChurn)
     Fixture f(p);
     Rng rng(17);
     for (int i = 0; i < 600; ++i) {
-        const BlockId b = rng.below(256);
+        const BlockId b{rng.below(256)};
         // Randomly toggle neighbour residency to exercise both paths.
         f.llc.resident.clear();
         if (rng.chance(0.5)) {
@@ -436,7 +439,7 @@ TEST(DynamicPolicy, IntegrityUnderRandomChurn)
         }
         f.access(b, rng.chance(0.2));
         if (rng.chance(0.3))
-            f.policy->onDemandTouch(rng.below(256));
+            f.policy->onDemandTouch(BlockId{rng.below(256)});
         if (i % 100 == 99)
             f.policy->onEpoch(rng.real() * 0.3, rng.real());
     }
@@ -452,14 +455,14 @@ TEST(DynamicPolicyStrided, MergesStridePairs)
     DynamicPolicyConfig p;
     p.strideLog = 2; // pair (b, b+4)
     Fixture f(p);
-    f.llc.resident = {4};
-    f.access(0); // neighbour of 0 at stride 4 is block 4 -> merge
-    EXPECT_EQ(f.sbSize(0), 2u);
-    EXPECT_EQ(f.sbSize(4), 2u);
-    EXPECT_EQ(f.oram->posMap().entry(0).sbStrideLog, 2u);
-    EXPECT_EQ(f.oram->posMap().leafOf(0), f.oram->posMap().leafOf(4));
+    f.llc.resident = {4_id};
+    f.access(0_id); // neighbour of 0 at stride 4 is block 4 -> merge
+    EXPECT_EQ(f.sbSize(0_id), 2u);
+    EXPECT_EQ(f.sbSize(4_id), 2u);
+    EXPECT_EQ(f.oram->posMap().entry(0_id).sbStrideLog, 2u);
+    EXPECT_EQ(f.oram->posMap().leafOf(0_id), f.oram->posMap().leafOf(4_id));
     // The contiguous neighbour is untouched.
-    EXPECT_EQ(f.sbSize(1), 1u);
+    EXPECT_EQ(f.sbSize(1_id), 1u);
     EXPECT_TRUE(checkIntegrity(*f.oram).ok);
 }
 
@@ -468,10 +471,10 @@ TEST(DynamicPolicyStrided, ContiguousResidencyDoesNotMerge)
     DynamicPolicyConfig p;
     p.strideLog = 2;
     Fixture f(p);
-    f.llc.resident = {1}; // contiguous neighbour, wrong stride
+    f.llc.resident = {1_id}; // contiguous neighbour, wrong stride
     for (int i = 0; i < 4; ++i)
-        f.access(0);
-    EXPECT_EQ(f.sbSize(0), 1u);
+        f.access(0_id);
+    EXPECT_EQ(f.sbSize(0_id), 1u);
 }
 
 TEST(DynamicPolicyStrided, StridedGroupPrefetchesStrideSibling)
@@ -479,12 +482,12 @@ TEST(DynamicPolicyStrided, StridedGroupPrefetchesStrideSibling)
     DynamicPolicyConfig p;
     p.strideLog = 3;
     Fixture f(p);
-    f.llc.resident = {8};
-    f.access(0);
-    ASSERT_EQ(f.sbSize(0), 2u);
+    f.llc.resident = {8_id};
+    f.access(0_id);
+    ASSERT_EQ(f.sbSize(0_id), 2u);
     f.llc.resident.clear();
-    auto d = f.access(0);
-    EXPECT_EQ(d.prefetches, std::vector<BlockId>{8});
+    auto d = f.access(0_id);
+    EXPECT_EQ(d.prefetches, std::vector<BlockId>{8_id});
 }
 
 TEST(DynamicPolicyStrided, BreakRestoresStridedSingletons)
@@ -493,14 +496,14 @@ TEST(DynamicPolicyStrided, BreakRestoresStridedSingletons)
     p.strideLog = 2;
     p.breakMode = DynamicPolicyConfig::BreakMode::Static;
     Fixture f(p);
-    f.llc.resident = {4};
-    f.access(0);
-    ASSERT_EQ(f.sbSize(0), 2u);
+    f.llc.resident = {4_id};
+    f.access(0_id);
+    ASSERT_EQ(f.sbSize(0_id), 2u);
     f.llc.resident.clear();
-    for (int i = 0; i < 8 && f.sbSize(0) == 2; ++i)
-        f.access(0);
-    EXPECT_EQ(f.sbSize(0), 1u);
-    EXPECT_EQ(f.sbSize(4), 1u);
+    for (int i = 0; i < 8 && f.sbSize(0_id) == 2; ++i)
+        f.access(0_id);
+    EXPECT_EQ(f.sbSize(0_id), 1u);
+    EXPECT_EQ(f.sbSize(4_id), 1u);
     EXPECT_TRUE(checkIntegrity(*f.oram).ok);
 }
 
@@ -527,7 +530,7 @@ TEST(DynamicPolicyStrided, ChurnKeepsIntegrity)
     Fixture f(p);
     Rng rng(29);
     for (int i = 0; i < 500; ++i) {
-        const BlockId b = rng.below(512);
+        const BlockId b{rng.below(512)};
         f.llc.resident.clear();
         if (rng.chance(0.5)) {
             const std::uint32_t n = f.sbSize(b);

@@ -14,6 +14,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 OramConfig
 ctlCfg()
 {
@@ -56,13 +58,13 @@ TEST(Controller, UseBeforeConfigurePanics)
 {
     CacheHierarchy hier(hierCfg());
     OramController ctl(ctlCfg(), ControllerConfig{}, hier);
-    EXPECT_THROW(ctl.demandAccess(0, 0, OpType::Read), SimPanic);
+    EXPECT_THROW(ctl.demandAccess(Cycles{0}, 0_id, OpType::Read), SimPanic);
 }
 
 TEST(Controller, DemandAccessCostsAtLeastOnePath)
 {
     Fixture f;
-    const Cycles done = f.ctl.demandAccess(0, 5, OpType::Read);
+    const Cycles done = f.ctl.demandAccess(Cycles{0}, 5_id, OpType::Read);
     // Cold PLB: 3 pos-map paths + 1 data path.
     const Cycles path = ctlCfg().pathAccessCycles();
     EXPECT_GE(done, path);
@@ -73,10 +75,10 @@ TEST(Controller, DemandAccessCostsAtLeastOnePath)
 TEST(Controller, WarmPosMapCostsOnePath)
 {
     Fixture f;
-    f.ctl.demandAccess(0, 5, OpType::Read);
+    f.ctl.demandAccess(Cycles{0}, 5_id, OpType::Read);
     const auto before = f.ctl.stats().pathAccesses;
     const Cycles t0 = f.ctl.busyUntil();
-    const Cycles done = f.ctl.demandAccess(t0, 6, OpType::Read);
+    const Cycles done = f.ctl.demandAccess(t0, 6_id, OpType::Read);
     EXPECT_EQ(f.ctl.stats().pathAccesses - before, 1u);
     EXPECT_EQ(done - t0, ctlCfg().pathAccessCycles());
 }
@@ -84,28 +86,28 @@ TEST(Controller, WarmPosMapCostsOnePath)
 TEST(Controller, AccessesSerialize)
 {
     Fixture f;
-    const Cycles c1 = f.ctl.demandAccess(0, 1, OpType::Read);
+    const Cycles c1 = f.ctl.demandAccess(Cycles{0}, 1_id, OpType::Read);
     // Issued while busy: starts after c1.
-    const Cycles c2 = f.ctl.demandAccess(10, 33 * 32, OpType::Read);
+    const Cycles c2 = f.ctl.demandAccess(Cycles{10}, BlockId{33 * 32}, OpType::Read);
     EXPECT_GE(c2, c1 + ctlCfg().pathAccessCycles());
 }
 
 TEST(Controller, ReadYourWrites)
 {
     Fixture f;
-    Cycles t = 0;
-    t = f.ctl.dataAccess(t, 9, OpType::Write, 1234, nullptr);
+    Cycles t{0};
+    t = f.ctl.dataAccess(t, 9_id, OpType::Write, 1234, nullptr);
     std::uint64_t v = 0;
-    f.ctl.dataAccess(t, 9, OpType::Read, 0, &v);
+    f.ctl.dataAccess(t, 9_id, OpType::Read, 0, &v);
     EXPECT_EQ(v, 1234u);
 }
 
 TEST(Controller, WritebackWithDataPersists)
 {
     Fixture f;
-    Cycles t = f.ctl.writebackWithData(0, 4, 777);
+    Cycles t = f.ctl.writebackWithData(Cycles{0}, 4_id, 777);
     std::uint64_t v = 0;
-    f.ctl.dataAccess(t, 4, OpType::Read, 0, &v);
+    f.ctl.dataAccess(t, 4_id, OpType::Read, 0, &v);
     EXPECT_EQ(v, 777u);
     EXPECT_EQ(f.ctl.stats().writebacks, 1u);
 }
@@ -113,29 +115,29 @@ TEST(Controller, WritebackWithDataPersists)
 TEST(Controller, NonDataBlockAccessPanics)
 {
     Fixture f;
-    const BlockId pm = ctlCfg().numDataBlocks + 1;
-    EXPECT_THROW(f.ctl.demandAccess(0, pm, OpType::Read), SimPanic);
+    const BlockId pm{ctlCfg().numDataBlocks + 1};
+    EXPECT_THROW(f.ctl.demandAccess(Cycles{0}, pm, OpType::Read), SimPanic);
 }
 
 TEST(Controller, StaticSchemePrefetchesIntoLlc)
 {
     Fixture f(MemScheme::OramStatic);
-    f.ctl.demandAccess(0, 10, OpType::Read); // super block {10, 11}
-    EXPECT_TRUE(f.hier.probeLlc(11));
-    EXPECT_FALSE(f.hier.probeLlc(12));
+    f.ctl.demandAccess(Cycles{0}, 10_id, OpType::Read); // super block {10, 11}
+    EXPECT_TRUE(f.hier.probeLlc(11_id));
+    EXPECT_FALSE(f.hier.probeLlc(12_id));
 }
 
 TEST(Controller, DynamicSchemeLearnsFromLlc)
 {
     Fixture f(MemScheme::OramDynamic);
-    Cycles t = 0;
+    Cycles t{0};
     // Access 20 then 21: when 21 is accessed, 20 sits in the LLC,
     // so the pair merges; later accesses prefetch the sibling.
-    t = f.ctl.demandAccess(t, 20, OpType::Read);
-    f.hier.fillFromMemory(20, false);
-    t = f.ctl.demandAccess(t, 21, OpType::Read);
-    f.hier.fillFromMemory(21, false);
-    EXPECT_EQ(f.ctl.oram().posMap().entry(20).sbSize(), 2u);
+    t = f.ctl.demandAccess(t, 20_id, OpType::Read);
+    f.hier.fillFromMemory(20_id, false);
+    t = f.ctl.demandAccess(t, 21_id, OpType::Read);
+    f.hier.fillFromMemory(21_id, false);
+    EXPECT_EQ(f.ctl.oram().posMap().entry(20_id).sbSize(), 2u);
     EXPECT_EQ(f.ctl.policyStats().merges, 1u);
 }
 
@@ -145,9 +147,9 @@ TEST(Controller, BackgroundEvictionKeepsStashBounded)
     ocfg.stashCapacity = 12;
     Fixture f(MemScheme::OramStatic, ControllerConfig{}, ocfg);
     Rng rng(3);
-    Cycles t = 0;
+    Cycles t{0};
     for (int i = 0; i < 300; ++i) {
-        t = f.ctl.demandAccess(t, rng.below(4096), OpType::Read);
+        t = f.ctl.demandAccess(t, BlockId{rng.below(4096)}, OpType::Read);
         EXPECT_LE(f.ctl.oram().engine().stash().size(), 12u);
     }
     EXPECT_GT(f.ctl.stats().bgEvictions, 0u);
@@ -159,9 +161,9 @@ TEST(Controller, EpochRollsEveryNRequests)
     ccfg.epochRequests = 10;
     Fixture f(MemScheme::OramDynamic, ccfg);
     Rng rng(4);
-    Cycles t = 0;
+    Cycles t{0};
     for (int i = 0; i < 25; ++i)
-        t = f.ctl.demandAccess(t, rng.below(4096), OpType::Read);
+        t = f.ctl.demandAccess(t, BlockId{rng.below(4096)}, OpType::Read);
     // No direct observable beyond "no crash" plus thresholds update;
     // sanity: the run completed and stats accumulated.
     EXPECT_EQ(f.ctl.stats().realRequests, 25u);
@@ -171,14 +173,14 @@ TEST(Controller, PeriodicModeCountsDummies)
 {
     ControllerConfig ccfg;
     ccfg.periodic.enabled = true;
-    ccfg.periodic.oInt = 100;
+    ccfg.periodic.oInt = Cycles{100};
     Fixture f(MemScheme::OramBaseline, ccfg);
-    Cycles t = f.ctl.demandAccess(0, 1, OpType::Read);
+    Cycles t = f.ctl.demandAccess(Cycles{0}, 1_id, OpType::Read);
     // Long idle gap: dummies must fill it.
-    t += 50000;
-    f.ctl.demandAccess(t, 2, OpType::Read);
+    t += Cycles{50000};
+    f.ctl.demandAccess(t, 2_id, OpType::Read);
     EXPECT_GT(f.ctl.stats().periodicDummies, 0u);
-    f.ctl.finalize(t + 100000);
+    f.ctl.finalize(t + Cycles{100000});
     EXPECT_GT(f.ctl.stats().periodicDummies, 10u);
 }
 
@@ -186,10 +188,10 @@ TEST(Controller, PeriodicDummiesAreFunctional)
 {
     ControllerConfig ccfg;
     ccfg.periodic.enabled = true;
-    ccfg.periodic.oInt = 100;
+    ccfg.periodic.oInt = Cycles{100};
     Fixture f(MemScheme::OramBaseline, ccfg);
-    Cycles t = f.ctl.demandAccess(0, 1, OpType::Read);
-    f.ctl.finalize(t + 200000);
+    Cycles t = f.ctl.demandAccess(Cycles{0}, 1_id, OpType::Read);
+    f.ctl.finalize(t + Cycles{200000});
     // Dummy accesses really read paths.
     EXPECT_EQ(f.ctl.oram().engine().pathReads(),
               f.ctl.stats().pathAccesses);
@@ -201,8 +203,9 @@ TEST(Controller, TraditionalPrefetcherIssuesOramAccesses)
     ControllerConfig ccfg;
     ccfg.traditionalPrefetcher = true;
     Fixture f(MemScheme::OramBaseline, ccfg);
-    Cycles t = 0;
-    for (BlockId b = 100; b < 110; ++b) {
+    Cycles t{0};
+    for (std::uint64_t i = 100; i < 110; ++i) {
+        const BlockId b{i};
         t = f.ctl.demandAccess(t, b, OpType::Read);
         f.hier.fillFromMemory(b, false);
         f.ctl.onDemandTouch(t, b);
@@ -214,9 +217,9 @@ TEST(Controller, MemAccessCountEqualsPathAccesses)
 {
     Fixture f(MemScheme::OramDynamic);
     Rng rng(6);
-    Cycles t = 0;
+    Cycles t{0};
     for (int i = 0; i < 100; ++i)
-        t = f.ctl.demandAccess(t, rng.below(4096), OpType::Read);
+        t = f.ctl.demandAccess(t, BlockId{rng.below(4096)}, OpType::Read);
     EXPECT_EQ(f.ctl.memAccessCount(), f.ctl.stats().pathAccesses);
     EXPECT_EQ(f.ctl.oram().engine().pathReads(),
               f.ctl.stats().pathAccesses);
@@ -236,9 +239,9 @@ TEST(Controller, BgEvictionBudgetBoundsPathologicalConfigs)
     CacheHierarchy hier(hierCfg());
     OramController ctl(ocfg, ccfg, hier);
     ctl.configureStatic(8);
-    Cycles t = 0;
+    Cycles t{0};
     for (int i = 0; i < 20; ++i)
-        t = ctl.demandAccess(t, static_cast<BlockId>(i) * 64,
+        t = ctl.demandAccess(t, BlockId{static_cast<std::uint64_t>(i) * 64},
                              OpType::Read);
     EXPECT_GE(ctl.stats().bgEvictions, 8u * 10);
     EXPECT_LE(ctl.stats().bgEvictions, 8u * 20 + 20);
@@ -249,21 +252,21 @@ TEST(Controller, PrefetchDropUndoesMarking)
     // Fill the tiny LLC with dirty lines so the prefetch insertion of
     // a merged sibling is refused; its prefetch bit must be cleared.
     Fixture f(MemScheme::OramDynamic);
-    Cycles t = 0;
+    Cycles t{0};
     // Merge pair (20, 21).
-    t = f.ctl.demandAccess(t, 20, OpType::Read);
-    f.hier.fillFromMemory(20, false);
-    t = f.ctl.demandAccess(t, 21, OpType::Read);
-    f.hier.fillFromMemory(21, false);
-    ASSERT_EQ(f.ctl.oram().posMap().entry(20).sbSize(), 2u);
+    t = f.ctl.demandAccess(t, 20_id, OpType::Read);
+    f.hier.fillFromMemory(20_id, false);
+    t = f.ctl.demandAccess(t, 21_id, OpType::Read);
+    f.hier.fillFromMemory(21_id, false);
+    ASSERT_EQ(f.ctl.oram().posMap().entry(20_id).sbSize(), 2u);
     // Dirty every LLC set.
-    for (BlockId b = 1000; b < 1000 + 64; ++b)
-        f.hier.fillFromMemory(b, true);
+    for (std::uint64_t b = 1000; b < 1000 + 64; ++b)
+        f.hier.fillFromMemory(BlockId{b}, true);
     // Re-access 20: sibling 21 prefetch insertion hits a dirty
     // victim everywhere -> dropped -> bit cleared.
-    t = f.ctl.demandAccess(t, 20, OpType::Read);
-    EXPECT_FALSE(f.hier.probeLlc(21));
-    EXPECT_FALSE(f.ctl.oram().posMap().entry(21).prefetchBit);
+    t = f.ctl.demandAccess(t, 20_id, OpType::Read);
+    EXPECT_FALSE(f.hier.probeLlc(21_id));
+    EXPECT_FALSE(f.ctl.oram().posMap().entry(21_id).prefetchBit);
 }
 
 TEST(Controller, IntegrityAfterMixedWorkload)
@@ -273,9 +276,9 @@ TEST(Controller, IntegrityAfterMixedWorkload)
           MemScheme::OramDynamic}) {
         Fixture f(scheme);
         Rng rng(scheme == MemScheme::OramStatic ? 1 : 2);
-        Cycles t = 0;
+        Cycles t{0};
         for (int i = 0; i < 250; ++i) {
-            const BlockId b = rng.below(4096);
+            const BlockId b{rng.below(4096)};
             const OpType op =
                 rng.chance(0.3) ? OpType::Write : OpType::Read;
             t = f.ctl.demandAccess(t, b, op);

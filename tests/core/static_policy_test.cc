@@ -15,6 +15,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 /** LLC stand-in with an explicit resident set. */
 struct FakeLlc : LlcProbe
 {
@@ -66,28 +68,28 @@ TEST(StaticPolicy, RejectsBadSizes)
 TEST(StaticPolicy, AccessPrefetchesAllSiblings)
 {
     Fixture f(4);
-    auto d = f.access(5); // super block {4,5,6,7}
+    auto d = f.access(5_id); // super block {4,5,6,7}
     std::set<BlockId> got(d.prefetches.begin(), d.prefetches.end());
-    EXPECT_EQ(got, (std::set<BlockId>{4, 6, 7}));
+    EXPECT_EQ(got, (std::set<BlockId>{4_id, 6_id, 7_id}));
 }
 
 TEST(StaticPolicy, LlcResidentSiblingsNotReprefetched)
 {
     Fixture f(4);
-    f.llc.resident = {4, 6};
-    auto d = f.access(5);
+    f.llc.resident = {4_id, 6_id};
+    auto d = f.access(5_id);
     std::set<BlockId> got(d.prefetches.begin(), d.prefetches.end());
-    EXPECT_EQ(got, (std::set<BlockId>{7}));
+    EXPECT_EQ(got, (std::set<BlockId>{7_id}));
 }
 
 TEST(StaticPolicy, WholeGroupRemappedTogether)
 {
     Fixture f(4);
-    const Leaf before = f.oram->posMap().leafOf(4);
-    f.access(6);
-    const Leaf after = f.oram->posMap().leafOf(4);
-    for (BlockId m = 4; m < 8; ++m)
-        EXPECT_EQ(f.oram->posMap().leafOf(m), after);
+    const Leaf before = f.oram->posMap().leafOf(4_id);
+    f.access(6_id);
+    const Leaf after = f.oram->posMap().leafOf(4_id);
+    for (std::uint64_t m = 4; m < 8; ++m)
+        EXPECT_EQ(f.oram->posMap().leafOf(BlockId{m}), after);
     // Fresh leaf with overwhelming probability; at minimum the
     // geometry stays intact.
     (void)before;
@@ -97,10 +99,10 @@ TEST(StaticPolicy, WholeGroupRemappedTogether)
 TEST(StaticPolicy, GroupSizeNeverChanges)
 {
     Fixture f(2);
-    for (BlockId b = 0; b < 64; ++b)
-        f.access(b);
-    for (BlockId b = 0; b < 64; ++b)
-        EXPECT_EQ(f.oram->posMap().entry(b).sbSize(), 2u);
+    for (std::uint64_t b = 0; b < 64; ++b)
+        f.access(BlockId{b});
+    for (std::uint64_t b = 0; b < 64; ++b)
+        EXPECT_EQ(f.oram->posMap().entry(BlockId{b}).sbSize(), 2u);
     EXPECT_EQ(f.policy->policyStats().merges, 0u);
     EXPECT_EQ(f.policy->policyStats().breaks, 0u);
 }
@@ -108,42 +110,42 @@ TEST(StaticPolicy, GroupSizeNeverChanges)
 TEST(StaticPolicy, WritebackDoesNotPrefetch)
 {
     Fixture f(4);
-    auto d = f.access(5, /*wb=*/true);
+    auto d = f.access(5_id, /*wb=*/true);
     EXPECT_TRUE(d.prefetches.empty());
     // But the group is still co-remapped.
-    const Leaf leaf = f.oram->posMap().leafOf(4);
-    for (BlockId m = 4; m < 8; ++m)
-        EXPECT_EQ(f.oram->posMap().leafOf(m), leaf);
+    const Leaf leaf = f.oram->posMap().leafOf(4_id);
+    for (std::uint64_t m = 4; m < 8; ++m)
+        EXPECT_EQ(f.oram->posMap().leafOf(BlockId{m}), leaf);
 }
 
 TEST(StaticPolicy, PrefetchBitsSetOnSiblings)
 {
     Fixture f(2);
-    f.access(0);
-    EXPECT_TRUE(f.oram->posMap().entry(1).prefetchBit);
-    EXPECT_FALSE(f.oram->posMap().entry(1).hitBit);
-    EXPECT_FALSE(f.oram->posMap().entry(0).prefetchBit);
+    f.access(0_id);
+    EXPECT_TRUE(f.oram->posMap().entry(1_id).prefetchBit);
+    EXPECT_FALSE(f.oram->posMap().entry(1_id).hitBit);
+    EXPECT_FALSE(f.oram->posMap().entry(0_id).prefetchBit);
 }
 
 TEST(StaticPolicy, HitAndMissAccounting)
 {
     Fixture f(2);
-    f.access(0); // prefetches 1
-    f.policy->onDemandTouch(1); // prefetch used
-    f.access(0); // bits consumed: one hit
+    f.access(0_id); // prefetches 1
+    f.policy->onDemandTouch(1_id); // prefetch used
+    f.access(0_id); // bits consumed: one hit
     EXPECT_EQ(f.policy->policyStats().prefetchHits, 1u);
 
-    f.access(2); // prefetches 3, never touched
-    f.access(2); // consumed: one miss
+    f.access(2_id); // prefetches 3, never touched
+    f.access(2_id); // consumed: one miss
     EXPECT_EQ(f.policy->policyStats().prefetchMisses, 1u);
 }
 
 TEST(StaticPolicy, Size1DegeneratesToBaseline)
 {
     Fixture f(1);
-    auto d = f.access(9);
+    auto d = f.access(9_id);
     EXPECT_TRUE(d.prefetches.empty());
-    EXPECT_EQ(f.oram->posMap().entry(9).sbSize(), 1u);
+    EXPECT_EQ(f.oram->posMap().entry(9_id).sbSize(), 1u);
 }
 
 TEST(StaticPolicy, IntegrityAfterManyAccesses)
@@ -151,7 +153,7 @@ TEST(StaticPolicy, IntegrityAfterManyAccesses)
     Fixture f(4);
     Rng rng(3);
     for (int i = 0; i < 400; ++i)
-        f.access(rng.below(f.cfg.numDataBlocks));
+        f.access(BlockId{rng.below(f.cfg.numDataBlocks)});
     const auto rep = checkIntegrity(*f.oram);
     EXPECT_TRUE(rep.ok) << (rep.violations.empty()
                                 ? ""

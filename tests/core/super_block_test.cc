@@ -11,126 +11,131 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 TEST(SuperBlock, BaseAlignment)
 {
-    EXPECT_EQ(sbBase(0, 2), 0u);
-    EXPECT_EQ(sbBase(1, 2), 0u);
-    EXPECT_EQ(sbBase(2, 2), 2u);
-    EXPECT_EQ(sbBase(7, 4), 4u);
-    EXPECT_EQ(sbBase(7, 1), 7u);
+    EXPECT_EQ(sbBase(0_id, 2), 0_id);
+    EXPECT_EQ(sbBase(1_id, 2), 0_id);
+    EXPECT_EQ(sbBase(2_id, 2), 2_id);
+    EXPECT_EQ(sbBase(7_id, 4), 4_id);
+    EXPECT_EQ(sbBase(7_id, 1), 7_id);
 }
 
 TEST(SuperBlock, NonPow2SizePanics)
 {
-    EXPECT_THROW(sbBase(0, 3), SimPanic);
-    EXPECT_THROW(sbNeighborBase(0, 6), SimPanic);
+    EXPECT_THROW(sbBase(0_id, 3), SimPanic);
+    EXPECT_THROW(sbNeighborBase(0_id, 6), SimPanic);
 }
 
 TEST(SuperBlock, NeighborBaseXors)
 {
     // Fig. 3: (0x00,0x01) and (0x02,0x03) are neighbours.
-    EXPECT_EQ(sbNeighborBase(0, 2), 2u);
-    EXPECT_EQ(sbNeighborBase(2, 2), 0u);
-    EXPECT_EQ(sbNeighborBase(4, 4), 0u);
-    EXPECT_EQ(sbNeighborBase(0, 4), 4u);
-    EXPECT_EQ(sbNeighborBase(5, 1), 4u);
+    EXPECT_EQ(sbNeighborBase(0_id, 2), 2_id);
+    EXPECT_EQ(sbNeighborBase(2_id, 2), 0_id);
+    EXPECT_EQ(sbNeighborBase(4_id, 4), 0_id);
+    EXPECT_EQ(sbNeighborBase(0_id, 4), 4_id);
+    EXPECT_EQ(sbNeighborBase(5_id, 1), 4_id);
 }
 
 TEST(SuperBlock, MisalignedNeighborPanics)
 {
-    EXPECT_THROW(sbNeighborBase(1, 2), SimPanic);
+    EXPECT_THROW(sbNeighborBase(1_id, 2), SimPanic);
 }
 
 TEST(SuperBlock, AreNeighborsMatchesPaperExamples)
 {
     // Block 0x02 is a neighbour of 0x03 (size 1).
-    EXPECT_TRUE(areNeighbors(2, 3, 1));
+    EXPECT_TRUE(areNeighbors(2_id, 3_id, 1));
     // (0x00,0x01) is a neighbour of (0x02,0x03).
-    EXPECT_TRUE(areNeighbors(0, 2, 2));
+    EXPECT_TRUE(areNeighbors(0_id, 2_id, 2));
     // (0x02,0x03) is NOT a neighbour of (0x04,0x05).
-    EXPECT_FALSE(areNeighbors(2, 4, 2));
+    EXPECT_FALSE(areNeighbors(2_id, 4_id, 2));
     // 0x03 and 0x04 are not neighbours at size 1 either.
-    EXPECT_FALSE(areNeighbors(3, 4, 1));
+    EXPECT_FALSE(areNeighbors(3_id, 4_id, 1));
     // Misaligned inputs are never neighbours.
-    EXPECT_FALSE(areNeighbors(1, 2, 2));
+    EXPECT_FALSE(areNeighbors(1_id, 2_id, 2));
 }
 
 TEST(SuperBlock, MembersEnumerate)
 {
-    EXPECT_EQ(sbMembers(4, 1), (std::vector<BlockId>{4}));
-    EXPECT_EQ(sbMembers(4, 4), (std::vector<BlockId>{4, 5, 6, 7}));
+    EXPECT_EQ(sbMembers(4_id, 1), (std::vector<BlockId>{4_id}));
+    EXPECT_EQ(sbMembers(4_id, 4), (std::vector<BlockId>{4_id, 5_id, 6_id, 7_id}));
 }
 
 TEST(SuperBlock, MergeWithinBoundsChecksDataSpace)
 {
     // 100 data blocks: pair (96..99 size 4 -> 8-aligned pair 96..103)
     // spills past the end.
-    EXPECT_FALSE(mergeWithinBounds(96, 4, 100, 32));
-    EXPECT_TRUE(mergeWithinBounds(96, 2, 100, 32));
+    EXPECT_FALSE(mergeWithinBounds(96_id, 4, 100, 32));
+    EXPECT_TRUE(mergeWithinBounds(96_id, 2, 100, 32));
 }
 
 TEST(SuperBlock, MergeWithinBoundsChecksFanout)
 {
     // Merging size-16 blocks creates size 32 == fanout: allowed.
-    EXPECT_TRUE(mergeWithinBounds(0, 16, 1024, 32));
+    EXPECT_TRUE(mergeWithinBounds(0_id, 16, 1024, 32));
     // Creating size 64 > fanout 32: forbidden (Sec. 4.1).
-    EXPECT_FALSE(mergeWithinBounds(0, 32, 1024, 32));
+    EXPECT_FALSE(mergeWithinBounds(0_id, 32, 1024, 32));
 }
 
 TEST(SuperBlock, NeighborhoodIsInvolution)
 {
     for (std::uint32_t size : {1u, 2u, 4u, 8u}) {
-        for (BlockId base = 0; base < 64; base += size)
+        for (std::uint64_t b = 0; b < 64; b += size) {
+            const BlockId base{b};
             EXPECT_EQ(sbNeighborBase(sbNeighborBase(base, size), size),
                       base);
+        }
     }
 }
 
 
 TEST(SuperBlockStrided, Stride0MatchesClassic)
 {
-    for (BlockId id : {0ULL, 5ULL, 13ULL, 100ULL}) {
+    for (BlockId id : {0_id, 5_id, 13_id, 100_id}) {
         for (std::uint32_t size : {1u, 2u, 4u}) {
             EXPECT_EQ(sbBaseStrided(id, size, 0), sbBase(id, size));
             EXPECT_EQ(sbMembersStrided(sbBase(id, size), size, 0),
                       sbMembers(sbBase(id, size), size));
         }
     }
-    EXPECT_EQ(sbNeighborBaseStrided(4, 4, 0), sbNeighborBase(4, 4));
+    EXPECT_EQ(sbNeighborBaseStrided(4_id, 4, 0), sbNeighborBase(4_id, 4));
 }
 
 TEST(SuperBlockStrided, BaseClearsStrideField)
 {
     // size 2, stride 4 (log 2): members {b, b+4}; bit 2 selects.
-    EXPECT_EQ(sbBaseStrided(0, 2, 2), 0u);
-    EXPECT_EQ(sbBaseStrided(4, 2, 2), 0u);
-    EXPECT_EQ(sbBaseStrided(5, 2, 2), 1u);
-    EXPECT_EQ(sbBaseStrided(7, 2, 2), 3u);
+    EXPECT_EQ(sbBaseStrided(0_id, 2, 2), 0_id);
+    EXPECT_EQ(sbBaseStrided(4_id, 2, 2), 0_id);
+    EXPECT_EQ(sbBaseStrided(5_id, 2, 2), 1_id);
+    EXPECT_EQ(sbBaseStrided(7_id, 2, 2), 3_id);
     // size 4, stride 2 (log 1): bits 1..2 cleared.
-    EXPECT_EQ(sbBaseStrided(6, 4, 1), 0u);
-    EXPECT_EQ(sbBaseStrided(9, 4, 1), 9u & ~6u);
+    EXPECT_EQ(sbBaseStrided(6_id, 4, 1), 0_id);
+    EXPECT_EQ(sbBaseStrided(9_id, 4, 1), BlockId{9u & ~6u});
 }
 
 TEST(SuperBlockStrided, MembersAreStrideSpaced)
 {
-    EXPECT_EQ(sbMembersStrided(1, 2, 2),
-              (std::vector<BlockId>{1, 5}));
-    EXPECT_EQ(sbMembersStrided(0, 4, 1),
-              (std::vector<BlockId>{0, 2, 4, 6}));
+    EXPECT_EQ(sbMembersStrided(1_id, 2, 2),
+              (std::vector<BlockId>{1_id, 5_id}));
+    EXPECT_EQ(sbMembersStrided(0_id, 4, 1),
+              (std::vector<BlockId>{0_id, 2_id, 4_id, 6_id}));
 }
 
 TEST(SuperBlockStrided, NeighborFlipsNextBit)
 {
     // Pair {1,5} (size 2 stride 4): neighbour is {9,13}.
-    EXPECT_EQ(sbNeighborBaseStrided(1, 2, 2), 9u);
-    EXPECT_EQ(sbNeighborBaseStrided(9, 2, 2), 1u);
+    EXPECT_EQ(sbNeighborBaseStrided(1_id, 2, 2), 9_id);
+    EXPECT_EQ(sbNeighborBaseStrided(9_id, 2, 2), 1_id);
 }
 
 TEST(SuperBlockStrided, NeighborhoodIsInvolution)
 {
     for (std::uint32_t s : {0u, 1u, 2u, 3u}) {
         for (std::uint32_t size : {1u, 2u, 4u}) {
-            for (BlockId id = 0; id < 64; ++id) {
+            for (std::uint64_t i = 0; i < 64; ++i) {
+                const BlockId id{i};
                 const BlockId base = sbBaseStrided(id, size, s);
                 EXPECT_EQ(sbNeighborBaseStrided(
                               sbNeighborBaseStrided(base, size, s),
@@ -144,11 +149,11 @@ TEST(SuperBlockStrided, NeighborhoodIsInvolution)
 TEST(SuperBlockStrided, MergeBoundsUseSpan)
 {
     // size 8 stride 4: merged span = 16*4 = 64 > fanout 32.
-    EXPECT_FALSE(mergeWithinBoundsStrided(0, 8, 2, 1 << 20, 32));
+    EXPECT_FALSE(mergeWithinBoundsStrided(0_id, 8, 2, 1 << 20, 32));
     // size 4 stride 2: span 16 <= 32, inside data space.
-    EXPECT_TRUE(mergeWithinBoundsStrided(0, 4, 1, 1 << 20, 32));
+    EXPECT_TRUE(mergeWithinBoundsStrided(0_id, 4, 1, 1 << 20, 32));
     // Last member past the data space.
-    EXPECT_FALSE(mergeWithinBoundsStrided(96, 2, 2, 100, 32));
+    EXPECT_FALSE(mergeWithinBoundsStrided(96_id, 2, 2, 100, 32));
 }
 
 } // namespace

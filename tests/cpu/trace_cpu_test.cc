@@ -52,7 +52,7 @@ struct FixedBackend : MemBackend
         return demands.size() + writebacks.size();
     }
 
-    Cycles latency = 500;
+    Cycles latency{500};
     std::vector<BlockId> demands;
     std::vector<BlockId> writebacks;
     std::vector<BlockId> touches;
@@ -64,8 +64,8 @@ smallHier()
     HierarchyConfig h;
     h.l1 = CacheConfig{2 * 128, 1, 128};
     h.l2 = CacheConfig{8 * 128, 2, 128};
-    h.l1Latency = 1;
-    h.l2Latency = 10;
+    h.l1Latency = Cycles{1};
+    h.l2Latency = Cycles{10};
     return h;
 }
 
@@ -83,9 +83,9 @@ TEST(TraceCpu, MissCostsBackendLatency)
     ScriptedTrace t({rec(0)});
     auto res = cpu.run(t);
     // compute 0 + L2 lookup 11 + 500 backend.
-    EXPECT_EQ(res.cycles, 511u);
+    EXPECT_EQ(res.cycles, Cycles{511});
     EXPECT_EQ(res.llcMisses, 1u);
-    EXPECT_EQ(be.demands, std::vector<BlockId>{0});
+    EXPECT_EQ(be.demands, std::vector<BlockId>{BlockId{0}});
 }
 
 TEST(TraceCpu, HitsAreCheap)
@@ -98,7 +98,7 @@ TEST(TraceCpu, HitsAreCheap)
     EXPECT_EQ(res.llcMisses, 1u);
     EXPECT_EQ(res.l1Hits, 2u);
     // 511 + 1 + 1.
-    EXPECT_EQ(res.cycles, 513u);
+    EXPECT_EQ(res.cycles, Cycles{513});
 }
 
 TEST(TraceCpu, ComputeGapsAccumulate)
@@ -108,7 +108,7 @@ TEST(TraceCpu, ComputeGapsAccumulate)
     TraceCpu cpu(h, be, 128);
     ScriptedTrace t({rec(0, 100), rec(0, 100)});
     auto res = cpu.run(t);
-    EXPECT_EQ(res.cycles, 100u + 511u + 100u + 1u);
+    EXPECT_EQ(res.cycles, Cycles{100 + 511 + 100 + 1});
 }
 
 TEST(TraceCpu, AddressesMapToBlocks)
@@ -120,7 +120,7 @@ TEST(TraceCpu, AddressesMapToBlocks)
     ScriptedTrace t({rec(0), rec(64), rec(128)});
     auto res = cpu.run(t);
     EXPECT_EQ(res.llcMisses, 2u);
-    EXPECT_EQ(be.demands, (std::vector<BlockId>{0, 1}));
+    EXPECT_EQ(be.demands, (std::vector<BlockId>{BlockId{0}, BlockId{1}}));
 }
 
 TEST(TraceCpu, DirtyEvictionTriggersWriteback)
@@ -133,7 +133,7 @@ TEST(TraceCpu, DirtyEvictionTriggersWriteback)
                      rec(8 * 128)});
     auto res = cpu.run(t);
     ASSERT_FALSE(be.writebacks.empty());
-    EXPECT_EQ(be.writebacks.front(), 0u);
+    EXPECT_EQ(be.writebacks.front(), BlockId{0});
     EXPECT_GE(res.writebacks, 1u);
 }
 

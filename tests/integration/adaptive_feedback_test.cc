@@ -27,7 +27,7 @@ struct Rig
         ccfg.epochRequests = 200;
         hier = std::make_unique<CacheHierarchy>(HierarchyConfig{
             CacheConfig{4 * 128, 2, 128},
-            CacheConfig{64 * 128, 4, 128}, 1, 10});
+            CacheConfig{64 * 128, 4, 128}, Cycles{1}, Cycles{10}});
         ctl = std::make_unique<OramController>(ocfg, ccfg, *hier);
         ctl->configureDynamic(DynamicPolicyConfig{});
         policy = static_cast<DynamicSuperBlockPolicy *>(&ctl->policy());
@@ -44,7 +44,7 @@ struct Rig
         Cycles t = ctl->busyUntil();
         Rng rng(5);
         for (std::uint64_t i = 0; i < accesses; ++i) {
-            const BlockId b = i % footprint;
+            const BlockId b{i % footprint};
             const OpType op =
                 rng.chance(0.5) ? OpType::Write : OpType::Read;
             t = ctl->demandAccess(t, b, op);

@@ -102,7 +102,7 @@ TEST(EndToEnd, TraceRunsAllSchemes)
           MemScheme::OramBaseline, MemScheme::OramPrefetch,
           MemScheme::OramStatic, MemScheme::OramDynamic}) {
         const auto res = exp.runBenchmark(s, prof);
-        EXPECT_GT(res.cycles, 0u) << schemeName(s);
+        EXPECT_GT(res.cycles, Cycles{0}) << schemeName(s);
         EXPECT_EQ(res.references, prof.numAccesses / 20)
             << schemeName(s);
         EXPECT_GT(res.memAccesses, 0u) << schemeName(s);
@@ -118,7 +118,7 @@ TEST(EndToEnd, EveryProfileRuns)
         for (const auto &p : *suite) {
             const auto res =
                 exp.runBenchmark(MemScheme::OramDynamic, p);
-            EXPECT_GT(res.cycles, 0u) << p.name;
+            EXPECT_GT(res.cycles, Cycles{0}) << p.name;
         }
     }
 }

@@ -59,7 +59,7 @@ const Golden kGoldens[] = {
 void
 expectGolden(const Golden &g, const SimResult &r)
 {
-    EXPECT_EQ(r.cycles, g.cycles);
+    EXPECT_EQ(r.cycles, Cycles{g.cycles});
     EXPECT_EQ(r.pathAccesses, g.pathAccesses);
     EXPECT_EQ(r.posMapAccesses, g.posMapAccesses);
     EXPECT_EQ(r.bgEvictions, g.bgEvictions);
@@ -127,7 +127,7 @@ TEST(GoldenStats, Fig08TinyPeriodicModeMatchesCapture)
                 return makeGenerator(profileByName(g.profile), 0.02);
             });
         SCOPED_TRACE(std::string(g.profile) + "/" + r.scheme);
-        EXPECT_EQ(r.cycles, g.cycles);
+        EXPECT_EQ(r.cycles, Cycles{g.cycles});
         EXPECT_EQ(r.pathAccesses, g.pathAccesses);
         EXPECT_EQ(r.posMapAccesses, g.posMapAccesses);
         EXPECT_EQ(r.bgEvictions, g.bgEvictions);

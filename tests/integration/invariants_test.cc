@@ -47,7 +47,7 @@ TEST_P(InvariantChurn, SurvivesMixedWorkload)
     SyntheticGenerator gen(t);
 
     const SimResult res = sys.run(gen);
-    EXPECT_GT(res.cycles, 0u);
+    EXPECT_GT(res.cycles, Cycles{0});
 
     ASSERT_NE(sys.controller(), nullptr);
     const auto report = checkIntegrity(sys.controller()->oram());
@@ -83,7 +83,7 @@ TEST(Invariants, PeriodicModePreservesIntegrity)
     cfg.scheme = MemScheme::OramDynamic;
     cfg.oram.numDataBlocks = 1ULL << 12;
     cfg.controller.periodic.enabled = true;
-    cfg.controller.periodic.oInt = 100;
+    cfg.controller.periodic.oInt = Cycles{100};
     System sys(cfg);
 
     SyntheticConfig t;

@@ -148,8 +148,8 @@ TEST(ReplayDeterminism, SeedChangesTheRunButNotTheShape)
     EXPECT_NE(runs[0].cycles, runs[1].cycles)
         << "different seeds must differ";
     // Same workload character: results within 20%.
-    const double ratio = static_cast<double>(runs[0].cycles) /
-                         static_cast<double>(runs[1].cycles);
+    const double ratio = static_cast<double>(runs[0].cycles.value()) /
+                         static_cast<double>(runs[1].cycles.value());
     EXPECT_GT(ratio, 0.8);
     EXPECT_LT(ratio, 1.2);
 }

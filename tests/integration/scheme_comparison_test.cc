@@ -169,7 +169,7 @@ TEST(SchemeComparison, PeriodicAccessesCostLittle)
         MemScheme::OramDynamic,
         [](SystemConfig &c) {
             c.controller.periodic.enabled = true;
-            c.controller.periodic.oInt = 100;
+            c.controller.periodic.oInt = Cycles{100};
         },
         gen);
     EXPECT_LT(metrics::normCompletionTime(plain, periodic), 1.25);

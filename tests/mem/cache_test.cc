@@ -11,6 +11,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 CacheConfig
 tiny(std::uint32_t ways = 2, std::uint64_t sets = 4)
 {
@@ -21,9 +23,9 @@ tiny(std::uint32_t ways = 2, std::uint64_t sets = 4)
 TEST(Cache, MissThenHit)
 {
     SetAssocCache c(tiny());
-    EXPECT_FALSE(c.access(5, OpType::Read));
-    c.insert(5, false);
-    EXPECT_TRUE(c.access(5, OpType::Read));
+    EXPECT_FALSE(c.access(5_id, OpType::Read));
+    c.insert(5_id, false);
+    EXPECT_TRUE(c.access(5_id, OpType::Read));
     EXPECT_EQ(c.hits(), 1u);
     EXPECT_EQ(c.misses(), 1u);
 }
@@ -31,42 +33,42 @@ TEST(Cache, MissThenHit)
 TEST(Cache, ProbeDoesNotTouchLruOrStats)
 {
     SetAssocCache c(tiny(2, 1));
-    c.insert(0, false); // set 0
-    c.insert(1, false); // careful: set = block & (numSets-1); 1 set
+    c.insert(0_id, false); // set 0
+    c.insert(1_id, false); // careful: set = block & (numSets-1); 1 set
     // both map to the single set; set is now {0, 1} with 1 MRU.
     const auto hits_before = c.hits();
-    EXPECT_TRUE(c.probe(0));
-    EXPECT_FALSE(c.probe(7));
+    EXPECT_TRUE(c.probe(0_id));
+    EXPECT_FALSE(c.probe(7_id));
     EXPECT_EQ(c.hits(), hits_before);
     // Insert a third block: LRU victim must still be 0 (probe must
     // not have refreshed it).
-    auto v = c.insert(2, false);
+    auto v = c.insert(2_id, false);
     ASSERT_TRUE(v.has_value());
-    EXPECT_EQ(v->block, 0u);
+    EXPECT_EQ(v->block, 0_id);
 }
 
 TEST(Cache, LruEviction)
 {
     SetAssocCache c(tiny(2, 1));
-    c.insert(10, false);
-    c.insert(20, false);
-    c.access(10, OpType::Read); // 10 becomes MRU
-    auto v = c.insert(30, false);
+    c.insert(10_id, false);
+    c.insert(20_id, false);
+    c.access(10_id, OpType::Read); // 10 becomes MRU
+    auto v = c.insert(30_id, false);
     ASSERT_TRUE(v.has_value());
-    EXPECT_EQ(v->block, 20u);
-    EXPECT_TRUE(c.probe(10));
-    EXPECT_TRUE(c.probe(30));
-    EXPECT_FALSE(c.probe(20));
+    EXPECT_EQ(v->block, 20_id);
+    EXPECT_TRUE(c.probe(10_id));
+    EXPECT_TRUE(c.probe(30_id));
+    EXPECT_FALSE(c.probe(20_id));
 }
 
 TEST(Cache, WriteSetsDirtyAndEvictionReportsIt)
 {
     SetAssocCache c(tiny(1, 1));
-    c.insert(1, false);
-    c.access(1, OpType::Write);
-    auto v = c.insert(2, false);
+    c.insert(1_id, false);
+    c.access(1_id, OpType::Write);
+    auto v = c.insert(2_id, false);
     ASSERT_TRUE(v.has_value());
-    EXPECT_EQ(v->block, 1u);
+    EXPECT_EQ(v->block, 1_id);
     EXPECT_TRUE(v->dirty);
     EXPECT_EQ(c.dirtyEvictions(), 1u);
 }
@@ -74,8 +76,8 @@ TEST(Cache, WriteSetsDirtyAndEvictionReportsIt)
 TEST(Cache, InsertDirtyFlag)
 {
     SetAssocCache c(tiny(1, 1));
-    c.insert(1, true);
-    auto v = c.insert(2, false);
+    c.insert(1_id, true);
+    auto v = c.insert(2_id, false);
     ASSERT_TRUE(v.has_value());
     EXPECT_TRUE(v->dirty);
 }
@@ -83,10 +85,10 @@ TEST(Cache, InsertDirtyFlag)
 TEST(Cache, ReinsertMergesDirtyAndDoesNotEvict)
 {
     SetAssocCache c(tiny(1, 1));
-    c.insert(1, false);
-    auto v = c.insert(1, true);
+    c.insert(1_id, false);
+    auto v = c.insert(1_id, true);
     EXPECT_FALSE(v.has_value());
-    auto v2 = c.insert(2, false);
+    auto v2 = c.insert(2_id, false);
     ASSERT_TRUE(v2.has_value());
     EXPECT_TRUE(v2->dirty);
 }
@@ -94,21 +96,21 @@ TEST(Cache, ReinsertMergesDirtyAndDoesNotEvict)
 TEST(Cache, InvalidateReturnsDirtyState)
 {
     SetAssocCache c(tiny());
-    c.insert(4, false);
-    c.access(4, OpType::Write);
-    auto d = c.invalidate(4);
+    c.insert(4_id, false);
+    c.access(4_id, OpType::Write);
+    auto d = c.invalidate(4_id);
     ASSERT_TRUE(d.has_value());
     EXPECT_TRUE(*d);
-    EXPECT_FALSE(c.probe(4));
-    EXPECT_FALSE(c.invalidate(4).has_value());
+    EXPECT_FALSE(c.probe(4_id));
+    EXPECT_FALSE(c.invalidate(4_id).has_value());
 }
 
 TEST(Cache, MarkDirty)
 {
     SetAssocCache c(tiny(1, 1));
-    c.insert(3, false);
-    c.markDirty(3);
-    auto v = c.insert(7 * 1, false); // 7 & 0 == 0? sets=1: same set
+    c.insert(3_id, false);
+    c.markDirty(3_id);
+    auto v = c.insert(7_id, false); // 7 & 0 == 0? sets=1: same set
     ASSERT_TRUE(v.has_value());
     EXPECT_TRUE(v->dirty);
 }
@@ -116,26 +118,26 @@ TEST(Cache, MarkDirty)
 TEST(Cache, SetsIsolateConflicts)
 {
     SetAssocCache c(tiny(1, 4)); // 4 sets, direct mapped
-    c.insert(0, false);
-    c.insert(1, false);
-    c.insert(2, false);
-    c.insert(3, false);
+    c.insert(0_id, false);
+    c.insert(1_id, false);
+    c.insert(2_id, false);
+    c.insert(3_id, false);
     // All four coexist (different sets).
-    EXPECT_TRUE(c.probe(0));
-    EXPECT_TRUE(c.probe(1));
-    EXPECT_TRUE(c.probe(2));
-    EXPECT_TRUE(c.probe(3));
+    EXPECT_TRUE(c.probe(0_id));
+    EXPECT_TRUE(c.probe(1_id));
+    EXPECT_TRUE(c.probe(2_id));
+    EXPECT_TRUE(c.probe(3_id));
     // Block 4 conflicts with block 0 only.
-    auto v = c.insert(4, false);
+    auto v = c.insert(4_id, false);
     ASSERT_TRUE(v.has_value());
-    EXPECT_EQ(v->block, 0u);
+    EXPECT_EQ(v->block, 0_id);
 }
 
 TEST(Cache, ResidentBlocksEnumerates)
 {
     SetAssocCache c(tiny());
-    c.insert(1, false);
-    c.insert(2, false);
+    c.insert(1_id, false);
+    c.insert(2_id, false);
     auto blocks = c.residentBlocks();
     EXPECT_EQ(blocks.size(), 2u);
 }
@@ -152,57 +154,57 @@ TEST(Cache, RejectsBadGeometry)
 TEST(Cache, PeekVictimPredictsEviction)
 {
     SetAssocCache c(tiny(2, 1));
-    EXPECT_FALSE(c.peekVictim(1).has_value()) << "free way available";
-    c.insert(10, false);
-    c.insert(20, true);
-    auto peek = c.peekVictim(30);
+    EXPECT_FALSE(c.peekVictim(1_id).has_value()) << "free way available";
+    c.insert(10_id, false);
+    c.insert(20_id, true);
+    auto peek = c.peekVictim(30_id);
     ASSERT_TRUE(peek.has_value());
-    EXPECT_EQ(peek->block, 10u);
+    EXPECT_EQ(peek->block, 10_id);
     EXPECT_FALSE(peek->dirty);
     // Peek must not change state: the actual insert agrees.
-    auto v = c.insert(30, false);
+    auto v = c.insert(30_id, false);
     ASSERT_TRUE(v.has_value());
-    EXPECT_EQ(v->block, 10u);
+    EXPECT_EQ(v->block, 10_id);
 }
 
 TEST(Cache, PeekVictimOfResidentBlockIsNone)
 {
     SetAssocCache c(tiny(1, 1));
-    c.insert(5, false);
-    EXPECT_FALSE(c.peekVictim(5).has_value());
+    c.insert(5_id, false);
+    EXPECT_FALSE(c.peekVictim(5_id).has_value());
 }
 
 TEST(Cache, PeekDirty)
 {
     SetAssocCache c(tiny());
-    EXPECT_FALSE(c.peekDirty(3).has_value());
-    c.insert(3, false);
-    ASSERT_TRUE(c.peekDirty(3).has_value());
-    EXPECT_FALSE(*c.peekDirty(3));
-    c.access(3, OpType::Write);
-    EXPECT_TRUE(*c.peekDirty(3));
+    EXPECT_FALSE(c.peekDirty(3_id).has_value());
+    c.insert(3_id, false);
+    ASSERT_TRUE(c.peekDirty(3_id).has_value());
+    EXPECT_FALSE(*c.peekDirty(3_id));
+    c.access(3_id, OpType::Write);
+    EXPECT_TRUE(*c.peekDirty(3_id));
 }
 
 TEST(Cache, LowPriorityInsertIsNextVictim)
 {
     SetAssocCache c(tiny(2, 1));
-    c.insert(10, false);
-    c.insert(20, false, /*low_priority=*/true);
+    c.insert(10_id, false);
+    c.insert(20_id, false, /*low_priority=*/true);
     // 20 sits at LRU despite being inserted last.
-    auto v = c.insert(30, false);
+    auto v = c.insert(30_id, false);
     ASSERT_TRUE(v.has_value());
-    EXPECT_EQ(v->block, 20u);
+    EXPECT_EQ(v->block, 20_id);
 }
 
 TEST(Cache, DemandHitPromotesLowPriorityLine)
 {
     SetAssocCache c(tiny(2, 1));
-    c.insert(10, false);
-    c.insert(20, false, /*low_priority=*/true);
-    c.access(20, OpType::Read); // promoted to MRU
-    auto v = c.insert(30, false);
+    c.insert(10_id, false);
+    c.insert(20_id, false, /*low_priority=*/true);
+    c.access(20_id, OpType::Read); // promoted to MRU
+    auto v = c.insert(30_id, false);
     ASSERT_TRUE(v.has_value());
-    EXPECT_EQ(v->block, 10u);
+    EXPECT_EQ(v->block, 10_id);
 }
 
 class CacheFillParam : public ::testing::TestWithParam<std::uint32_t>
@@ -214,8 +216,8 @@ TEST_P(CacheFillParam, CapacityNeverExceeded)
     const std::uint32_t ways = GetParam();
     SetAssocCache c(tiny(ways, 8));
     const std::uint64_t lines = c.config().numLines();
-    for (BlockId b = 0; b < 10 * lines; ++b)
-        c.insert(b, b % 3 == 0);
+    for (std::uint64_t b = 0; b < 10 * lines; ++b)
+        c.insert(BlockId{b}, b % 3 == 0);
     EXPECT_LE(c.residentBlocks().size(), lines);
 }
 

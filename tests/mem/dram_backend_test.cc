@@ -9,11 +9,13 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 DramBackendConfig
 cfg(bool prefetch)
 {
     DramBackendConfig c;
-    c.dram.latency = 100;
+    c.dram.latency = Cycles{100};
     c.dram.bytesPerCycle = 16.0;
     c.dram.lineBytes = 128;
     c.prefetch = prefetch;
@@ -27,24 +29,24 @@ cfg(bool prefetch)
 TEST(DramBackend, DemandLatencyWithoutPrefetch)
 {
     DramBackend be(cfg(false));
-    EXPECT_EQ(be.demandAccess(0, 7, OpType::Read), 108u);
+    EXPECT_EQ(be.demandAccess(Cycles{0}, 7_id, OpType::Read), Cycles{108});
 }
 
 TEST(DramBackend, WritebackOccupiesBus)
 {
     DramBackend be(cfg(false));
-    be.writebackAccess(0, 1);
+    be.writebackAccess(Cycles{0}, 1_id);
     // The next demand waits for the write transfer on the bus.
-    EXPECT_EQ(be.demandAccess(0, 2, OpType::Read), 116u);
+    EXPECT_EQ(be.demandAccess(Cycles{0}, 2_id, OpType::Read), Cycles{116});
 }
 
 TEST(DramBackend, SequentialStreamHitsPrefetchBuffer)
 {
     DramBackend be(cfg(true));
-    Cycles t = 0;
+    Cycles t{0};
     // Train the stream and run well past the training window.
-    for (BlockId b = 0; b < 8; ++b)
-        t = be.demandAccess(t + 50, b, OpType::Read);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        t = be.demandAccess(t + Cycles{50}, BlockId{i}, OpType::Read);
     EXPECT_GT(be.prefetchBufferHits(), 0u);
 }
 
@@ -52,11 +54,12 @@ TEST(DramBackend, PrefetchHitIsFasterThanMiss)
 {
     DramBackend warm(cfg(true));
     DramBackend cold(cfg(false));
-    Cycles tw = 0, tc = 0;
-    for (BlockId b = 0; b < 16; ++b) {
+    Cycles tw{0}, tc{0};
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        const BlockId b{i};
         // Large compute gaps leave spare bandwidth for prefetches.
-        tw = warm.demandAccess(tw + 300, b, OpType::Read);
-        tc = cold.demandAccess(tc + 300, b, OpType::Read);
+        tw = warm.demandAccess(tw + Cycles{300}, b, OpType::Read);
+        tc = cold.demandAccess(tc + Cycles{300}, b, OpType::Read);
     }
     EXPECT_LT(tw, tc) << "prefetching on DRAM must help sequential "
                          "streams with spare bandwidth (Fig. 5)";
@@ -66,11 +69,12 @@ TEST(DramBackend, RandomStreamUnaffectedByPrefetcher)
 {
     DramBackend warm(cfg(true));
     DramBackend cold(cfg(false));
-    const BlockId seq[] = {901, 17, 445, 2, 333, 90, 761, 54};
-    Cycles tw = 0, tc = 0;
+    const BlockId seq[] = {901_id, 17_id, 445_id, 2_id,
+                           333_id, 90_id, 761_id, 54_id};
+    Cycles tw{0}, tc{0};
     for (BlockId b : seq) {
-        tw = warm.demandAccess(tw + 300, b, OpType::Read);
-        tc = cold.demandAccess(tc + 300, b, OpType::Read);
+        tw = warm.demandAccess(tw + Cycles{300}, b, OpType::Read);
+        tc = cold.demandAccess(tc + Cycles{300}, b, OpType::Read);
     }
     EXPECT_EQ(tw, tc);
     EXPECT_EQ(warm.prefetchBufferHits(), 0u);
@@ -79,9 +83,9 @@ TEST(DramBackend, RandomStreamUnaffectedByPrefetcher)
 TEST(DramBackend, MemAccessCountCountsTransfers)
 {
     DramBackend be(cfg(false));
-    be.demandAccess(0, 1, OpType::Read);
-    be.demandAccess(200, 2, OpType::Read);
-    be.writebackAccess(400, 3);
+    be.demandAccess(Cycles{0}, 1_id, OpType::Read);
+    be.demandAccess(Cycles{200}, 2_id, OpType::Read);
+    be.writebackAccess(Cycles{400}, 3_id);
     EXPECT_EQ(be.memAccessCount(), 3u);
 }
 
@@ -92,9 +96,9 @@ TEST(DramBackend, BufferCapacityBounded)
     c.prefetcher.degree = 4;
     c.prefetcher.distance = 16;
     DramBackend be(c);
-    Cycles t = 0;
-    for (BlockId b = 0; b < 64; ++b)
-        t = be.demandAccess(t + 10, b, OpType::Read);
+    Cycles t{0};
+    for (std::uint64_t i = 0; i < 64; ++i)
+        t = be.demandAccess(t + Cycles{10}, BlockId{i}, OpType::Read);
     // No assertion beyond "does not blow up": capacity handling is
     // internal; hits still occur.
     SUCCEED();

@@ -15,7 +15,7 @@ DramConfig
 cfg16()
 {
     DramConfig c;
-    c.latency = 100;
+    c.latency = Cycles{100};
     c.bytesPerCycle = 16.0;
     c.lineBytes = 128;
     return c;
@@ -25,39 +25,39 @@ TEST(Dram, TransferCyclesFromBandwidth)
 {
     DramModel d(cfg16());
     // 128 B at 16 B/cycle = 8 cycles on the bus.
-    EXPECT_EQ(d.transferCycles(), 8u);
+    EXPECT_EQ(d.transferCycles(), Cycles{8});
 }
 
 TEST(Dram, SingleAccessLatency)
 {
     DramModel d(cfg16());
-    EXPECT_EQ(d.schedule(0), 108u);
+    EXPECT_EQ(d.schedule(Cycles{0}), Cycles{108});
 }
 
 TEST(Dram, BackToBackAccessesOverlapLatency)
 {
     DramModel d(cfg16());
-    const Cycles c1 = d.schedule(0);
-    const Cycles c2 = d.schedule(0);
+    const Cycles c1 = d.schedule(Cycles{0});
+    const Cycles c2 = d.schedule(Cycles{0});
     // Bank parallelism: second access waits only for the bus
     // (8 cycles), not the full latency.
-    EXPECT_EQ(c1, 108u);
-    EXPECT_EQ(c2, 116u);
+    EXPECT_EQ(c1, Cycles{108});
+    EXPECT_EQ(c2, Cycles{116});
 }
 
 TEST(Dram, IdleBusResetsPipelining)
 {
     DramModel d(cfg16());
-    d.schedule(0);
-    EXPECT_EQ(d.schedule(1000), 1108u);
+    d.schedule(Cycles{0});
+    EXPECT_EQ(d.schedule(Cycles{1000}), Cycles{1108});
 }
 
 TEST(Dram, CountsTransfers)
 {
     DramModel d(cfg16());
-    d.schedule(0);
-    d.schedule(0);
-    d.schedule(50);
+    d.schedule(Cycles{0});
+    d.schedule(Cycles{0});
+    d.schedule(Cycles{50});
     EXPECT_EQ(d.numTransfers(), 3u);
 }
 
@@ -66,8 +66,8 @@ TEST(Dram, LowerBandwidthMeansLongerTransfers)
     DramConfig c = cfg16();
     c.bytesPerCycle = 4.0; // 4 GB/s
     DramModel d(c);
-    EXPECT_EQ(d.transferCycles(), 32u);
-    EXPECT_EQ(d.schedule(0), 132u);
+    EXPECT_EQ(d.transferCycles(), Cycles{32});
+    EXPECT_EQ(d.schedule(Cycles{0}), Cycles{132});
 }
 
 TEST(Dram, RejectsNonPositiveBandwidth)
@@ -83,7 +83,7 @@ TEST(Dram, SubCycleTransferClampsToOneCycle)
     c.lineBytes = 8;
     c.bytesPerCycle = 64.0;
     DramModel d(c);
-    EXPECT_EQ(d.transferCycles(), 1u);
+    EXPECT_EQ(d.transferCycles(), Cycles{1});
 }
 
 } // namespace

@@ -11,6 +11,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 PrefetcherConfig
 cfg(std::uint32_t degree = 2, std::uint32_t distance = 4)
 {
@@ -25,52 +27,52 @@ cfg(std::uint32_t degree = 2, std::uint32_t distance = 4)
 TEST(Prefetcher, NoPrefetchUntilTrained)
 {
     StreamPrefetcher pf(cfg());
-    EXPECT_TRUE(pf.observe(100).empty()); // allocates stream
-    EXPECT_TRUE(pf.observe(101).empty()); // confidence 1 < 2
-    EXPECT_FALSE(pf.observe(102).empty()); // trained now
+    EXPECT_TRUE(pf.observe(100_id).empty()); // allocates stream
+    EXPECT_TRUE(pf.observe(101_id).empty()); // confidence 1 < 2
+    EXPECT_FALSE(pf.observe(102_id).empty()); // trained now
     EXPECT_EQ(pf.streamsTrained(), 1u);
 }
 
 TEST(Prefetcher, AscendingStreamPrefetchesAhead)
 {
     StreamPrefetcher pf(cfg());
-    pf.observe(10);
-    pf.observe(11);
-    auto p = pf.observe(12);
+    pf.observe(10_id);
+    pf.observe(11_id);
+    auto p = pf.observe(12_id);
     ASSERT_EQ(p.size(), 2u);
-    EXPECT_EQ(p[0], 13u);
-    EXPECT_EQ(p[1], 14u);
+    EXPECT_EQ(p[0], 13_id);
+    EXPECT_EQ(p[1], 14_id);
 }
 
 TEST(Prefetcher, DescendingStreamSupported)
 {
     StreamPrefetcher pf(cfg());
-    pf.observe(50);
-    pf.observe(49);
-    auto p = pf.observe(48);
+    pf.observe(50_id);
+    pf.observe(49_id);
+    auto p = pf.observe(48_id);
     ASSERT_EQ(p.size(), 2u);
-    EXPECT_EQ(p[0], 47u);
-    EXPECT_EQ(p[1], 46u);
+    EXPECT_EQ(p[0], 47_id);
+    EXPECT_EQ(p[1], 46_id);
 }
 
 TEST(Prefetcher, FrontierRespectsDistance)
 {
     StreamPrefetcher pf(cfg(8, 3));
-    pf.observe(10);
-    pf.observe(11);
-    auto p = pf.observe(12);
+    pf.observe(10_id);
+    pf.observe(11_id);
+    auto p = pf.observe(12_id);
     // Degree 8 but distance 3: at most 3 ahead of block 12.
     EXPECT_LE(p.size(), 3u);
     for (auto b : p)
-        EXPECT_LE(b, 15u);
+        EXPECT_LE(b.value(), 15u);
 }
 
 TEST(Prefetcher, NoDuplicatePrefetches)
 {
     StreamPrefetcher pf(cfg(2, 8));
     std::set<BlockId> all;
-    for (BlockId b = 20; b < 30; ++b) {
-        for (BlockId p : pf.observe(b)) {
+    for (std::uint64_t b = 20; b < 30; ++b) {
+        for (BlockId p : pf.observe(BlockId{b})) {
             EXPECT_TRUE(all.insert(p).second)
                 << "block " << p << " prefetched twice";
         }
@@ -81,7 +83,8 @@ TEST(Prefetcher, RandomAccessesNeverTrain)
 {
     StreamPrefetcher pf(cfg());
     std::uint64_t total = 0;
-    for (BlockId b : {7u, 93u, 12u, 401u, 55u, 230u, 77u, 910u})
+    for (BlockId b : {7_id, 93_id, 12_id, 401_id, 55_id,
+                      230_id, 77_id, 910_id})
         total += pf.observe(b).size();
     EXPECT_EQ(total, 0u);
     EXPECT_EQ(pf.streamsTrained(), 0u);
@@ -91,12 +94,12 @@ TEST(Prefetcher, TracksMultipleStreams)
 {
     StreamPrefetcher pf(cfg());
     // Interleave two ascending streams.
-    pf.observe(100);
-    pf.observe(500);
-    pf.observe(101);
-    pf.observe(501);
-    auto a = pf.observe(102);
-    auto b = pf.observe(502);
+    pf.observe(100_id);
+    pf.observe(500_id);
+    pf.observe(101_id);
+    pf.observe(501_id);
+    auto a = pf.observe(102_id);
+    auto b = pf.observe(502_id);
     EXPECT_FALSE(a.empty());
     EXPECT_FALSE(b.empty());
     EXPECT_EQ(pf.streamsTrained(), 2u);
@@ -106,8 +109,8 @@ TEST(Prefetcher, IssuedCounterMatches)
 {
     StreamPrefetcher pf(cfg());
     std::uint64_t n = 0;
-    for (BlockId b = 0; b < 10; ++b)
-        n += pf.observe(b).size();
+    for (std::uint64_t b = 0; b < 10; ++b)
+        n += pf.observe(BlockId{b}).size();
     EXPECT_EQ(pf.issued(), n);
 }
 

@@ -22,6 +22,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 using obs::AuditCheck;
 using obs::AuditConfig;
 using obs::AuditReport;
@@ -57,7 +59,8 @@ findCheck(const AuditReport &rep, const std::string &name)
 Leaf
 spreadLeaf(std::uint64_t i, std::uint64_t num_leaves)
 {
-    return static_cast<Leaf>((i * 2654435761ULL) % num_leaves);
+    return Leaf{
+        static_cast<std::uint32_t>((i * 2654435761ULL) % num_leaves)};
 }
 
 TEST(ChiSquare, CriticalValueTracksQuantileAndDof)
@@ -109,13 +112,13 @@ TEST(ChiSquare, TwoSampleSeparatesShapesNotSizes)
 TEST(Auditor, HonestPeriodicStreamPassesEveryCheck)
 {
     constexpr std::uint64_t kLeaves = 1024;
-    constexpr Cycles kPeriod = 10;
+    constexpr Cycles kPeriod{10};
     ObliviousnessAuditor auditor(AuditConfig{}, kLeaves, kPeriod,
                                  /*check_dummy_fill=*/true);
 
     // Mirror the controller's reporting order: idle-slot dummies are
     // drained first, then the request's paths, then the grant.
-    Cycles expected_start = 0;
+    Cycles expected_start{0};
     std::uint64_t seq = 0;
     for (std::uint64_t req = 0; req < 2000; ++req) {
         std::uint64_t dummies = (req % 5 == 0) ? 3 : 0;
@@ -151,7 +154,7 @@ TEST(Auditor, LeafReuseTripsUniformityAndFreshness)
     // the observed sequence clusters on one path.
     ObliviousnessAuditor auditor(AuditConfig{}, 1024);
     for (int i = 0; i < 1000; ++i)
-        auditor.onPath(PathKind::Real, 7);
+        auditor.onPath(PathKind::Real, 7_leaf);
 
     const AuditReport rep = auditor.report();
     EXPECT_FALSE(rep.pass());
@@ -170,7 +173,8 @@ TEST(Auditor, BiasedRemapTripsUniformityWithoutRepeats)
         const std::uint64_t half = (i % 4 == 0) ? 512 : 0;
         auditor.onPath(
             PathKind::Real,
-            static_cast<Leaf>(half + spreadLeaf(seq++, 512)));
+            Leaf{static_cast<std::uint32_t>(half) +
+                 spreadLeaf(seq++, 512).value()});
     }
     const AuditReport rep = auditor.report();
     EXPECT_FALSE(findCheck(rep, "leaf-uniformity-all").pass);
@@ -180,9 +184,10 @@ TEST(Auditor, BiasedRemapTripsUniformityWithoutRepeats)
 
 TEST(Auditor, OffSlotGrantTripsTiming)
 {
-    ObliviousnessAuditor auditor(AuditConfig{}, 1024, /*period=*/10);
-    auditor.onPath(PathKind::Real, 3);
-    auditor.onGrant(/*start=*/5, /*paths=*/1);
+    ObliviousnessAuditor auditor(AuditConfig{}, 1024,
+                                 /*period=*/Cycles{10});
+    auditor.onPath(PathKind::Real, 3_leaf);
+    auditor.onGrant(/*start=*/Cycles{5}, /*paths=*/1);
 
     const AuditReport rep = auditor.report();
     const AuditCheck &timing = findCheck(rep, "oint-timing");
@@ -195,12 +200,13 @@ TEST(Auditor, SkippedDummyTripsFill)
 {
     // Address-correlated dummy skipping: the schedule jumps ahead
     // three slots but no dummy accesses were performed for them.
-    ObliviousnessAuditor auditor(AuditConfig{}, 1024, /*period=*/10,
+    ObliviousnessAuditor auditor(AuditConfig{}, 1024,
+                                 /*period=*/Cycles{10},
                                  /*check_dummy_fill=*/true);
-    auditor.onPath(PathKind::Real, 3);
-    auditor.onGrant(/*start=*/0, /*paths=*/1); // expected next: 10
-    auditor.onPath(PathKind::Real, 9);
-    auditor.onGrant(/*start=*/40, /*paths=*/1);
+    auditor.onPath(PathKind::Real, 3_leaf);
+    auditor.onGrant(/*start=*/Cycles{0}, /*paths=*/1); // expected next: 10
+    auditor.onPath(PathKind::Real, 9_leaf);
+    auditor.onGrant(/*start=*/Cycles{40}, /*paths=*/1);
 
     const AuditReport rep = auditor.report();
     const AuditCheck &fill = findCheck(rep, "oint-dummy-fill");
@@ -213,10 +219,11 @@ TEST(Auditor, SkippedDummyTripsFill)
 
 TEST(Auditor, HiddenPathTripsAccounting)
 {
-    ObliviousnessAuditor auditor(AuditConfig{}, 1024, /*period=*/10);
-    auditor.onPath(PathKind::Real, 3);
-    auditor.onPath(PathKind::Real, 11); // performed but not granted
-    auditor.onGrant(/*start=*/0, /*paths=*/1);
+    ObliviousnessAuditor auditor(AuditConfig{}, 1024,
+                                 /*period=*/Cycles{10});
+    auditor.onPath(PathKind::Real, 3_leaf);
+    auditor.onPath(PathKind::Real, 11_leaf); // performed but not granted
+    auditor.onGrant(/*start=*/Cycles{0}, /*paths=*/1);
 
     const AuditReport rep = auditor.report();
     const AuditCheck &acct = findCheck(rep, "path-accounting");

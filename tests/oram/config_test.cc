@@ -71,16 +71,16 @@ TEST(OramConfig, LevelsGiveHighUtilization)
 TEST(OramConfig, PathAccessCyclesScalesWithLevels)
 {
     OramConfig c;
-    c.pathOverheadCycles = 100;
+    c.pathOverheadCycles = Cycles{100};
     c.dramBytesPerCycle = 16.0;
     c.z = 3;
     c.blockBytes = 128;
     c.timingLevels = 26; // full-size 8 GB configuration
     // 27 buckets * 3 blocks * 128 B * 2 directions / 16 B/cycle.
-    EXPECT_EQ(c.pathAccessCycles(), 100u + 1296u);
+    EXPECT_EQ(c.pathAccessCycles(), Cycles{100 + 1296});
 
     c.timingLevels = 13;
-    EXPECT_EQ(c.pathAccessCycles(), 100u + 672u);
+    EXPECT_EQ(c.pathAccessCycles(), Cycles{100 + 672});
 }
 
 TEST(OramConfig, TimingLevelsZeroUsesFunctionalLevels)

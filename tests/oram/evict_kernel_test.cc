@@ -37,10 +37,11 @@ TEST(EvictKernel, ScalarMatchesCommonLevelFormula)
 {
     // levels - bit_width(a ^ b), the BinaryTree::commonLevel contract.
     const std::uint32_t levels = 16;
-    const Leaf leaves[] = {0, 1, 0x8000, 0xFFFF, 0x1234};
+    const Leaf leaves[] = {Leaf{0}, Leaf{1}, Leaf{0x8000},
+                           Leaf{0xFFFF}, Leaf{0x1234}};
     std::uint32_t out[5];
-    evict::classifyLevelsWith(evict::Kernel::Scalar, leaves, 5, 0x1234,
-                              levels, out);
+    evict::classifyLevelsWith(evict::Kernel::Scalar, leaves, 5,
+                              Leaf{0x1234}, levels, out);
     EXPECT_EQ(out[4], levels);     // identical leaf: full depth
     EXPECT_EQ(out[0], levels - 13); // diff 0x1234: bit_width 13
     EXPECT_EQ(out[3], levels - 16); // diff 0xEDCB: bit_width 16
@@ -57,17 +58,17 @@ TEST(EvictKernel, AllVariantsMatchScalarOnRandomInput)
     for (const std::uint32_t levels : level_grid) {
         for (const std::size_t n : len_grid) {
             std::vector<Leaf> leaves(n);
-            const Leaf path_leaf = static_cast<Leaf>(rng());
+            const Leaf path_leaf{static_cast<std::uint32_t>(rng())};
             for (std::size_t i = 0; i < n; ++i) {
                 switch (rng() % 4) {
                   case 0: // in-range leaf for this tree depth
-                    leaves[i] = static_cast<Leaf>(
+                    leaves[i] = Leaf{static_cast<std::uint32_t>(
                         rng() & ((levels >= 32)
                                      ? 0xFFFFFFFFu
-                                     : ((1u << levels) - 1)));
+                                     : ((1u << levels) - 1)))};
                     break;
                   case 1: // full 32-bit garbage (dead-slot lane)
-                    leaves[i] = static_cast<Leaf>(rng());
+                    leaves[i] = Leaf{static_cast<std::uint32_t>(rng())};
                     break;
                   case 2:
                     leaves[i] = kInvalidLeaf;
@@ -108,9 +109,9 @@ TEST(EvictKernel, ForceKernelPinsAndAutoRestores)
     EXPECT_EQ(evict::activeKernel(), evict::Kernel::Scalar);
 
     // Dispatch through the pinned kernel must still be correct.
-    const Leaf leaves[] = {3, 9, 12, 40};
+    const Leaf leaves[] = {Leaf{3}, Leaf{9}, Leaf{12}, Leaf{40}};
     std::uint32_t out[4];
-    evict::classifyLevels(leaves, 4, 9, 10, out);
+    evict::classifyLevels(leaves, 4, Leaf{9}, 10, out);
     EXPECT_EQ(out[1], 10u);
 
     evict::forceKernel(evict::Kernel::Auto); // re-resolve

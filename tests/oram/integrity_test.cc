@@ -10,6 +10,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 OramConfig
 cfg()
 {
@@ -33,7 +35,7 @@ findSlot(UnifiedOram &u, BlockId id)
     const BinaryTree &t = u.engine().tree();
     for (std::uint64_t node = 0; node < t.numBuckets(); ++node) {
         for (std::uint32_t i = 0; i < t.z(); ++i) {
-            if (t.slotId(node, i) == id)
+            if (t.slotId(TreeIdx{node}, i) == id)
                 return {true, node, i};
         }
     }
@@ -53,10 +55,10 @@ TEST(Integrity, DetectsLostBlock)
 {
     UnifiedOram u(cfg());
     u.initialize();
-    const SlotLoc loc = findSlot(u, 5);
+    const SlotLoc loc = findSlot(u, 5_id);
     ASSERT_TRUE(loc.found);
     // Drop the block behind the bookkeeping's back (raw corruption).
-    u.engine().tree().bucket(loc.node).rawId(loc.i) = kInvalidBlock;
+    u.engine().tree().bucket(TreeIdx{loc.node}).rawId(loc.i) = kInvalidBlock;
     const auto rep = checkIntegrity(u);
     EXPECT_FALSE(rep.ok);
     bool found = false;
@@ -70,8 +72,8 @@ TEST(Integrity, DetectsDuplicateBlock)
     UnifiedOram u(cfg());
     u.initialize();
     // Stash copy + tree copy at once.
-    ASSERT_TRUE(findSlot(u, 9).found);
-    u.engine().stash().insert(9, 0, u.posMap().leafOf(9));
+    ASSERT_TRUE(findSlot(u, 9_id).found);
+    u.engine().stash().insert(9_id, 0, u.posMap().leafOf(9_id));
     const auto rep = checkIntegrity(u);
     EXPECT_FALSE(rep.ok);
     bool found = false;
@@ -86,12 +88,14 @@ TEST(Integrity, DetectsOffPathBlock)
     u.initialize();
     // Remap a tree-resident block without moving it: unless the new
     // random leaf happens to share the whole path, it is off-path.
-    const BlockId victim = 3;
+    const BlockId victim{3};
     ASSERT_TRUE(findSlot(u, victim).found);
     const Leaf old_leaf = u.posMap().leafOf(victim);
-    u.posMap().setLeaf(victim,
-                       (old_leaf + u.engine().tree().numLeaves() / 2) %
-                           u.engine().tree().numLeaves());
+    u.posMap().setLeaf(
+        victim, Leaf{static_cast<std::uint32_t>(
+                    (old_leaf.value() +
+                     u.engine().tree().numLeaves() / 2) %
+                    u.engine().tree().numLeaves())});
     const auto rep = checkIntegrity(u);
     EXPECT_FALSE(rep.ok);
 }
@@ -102,14 +106,17 @@ TEST(Integrity, DetectsSuperBlockLeafMismatch)
     u.initialize(2); // static pairs
     // Tear one pair's member onto a different leaf, but keep it in
     // the stash so the path invariant itself still holds.
-    const SlotLoc loc = findSlot(u, 0);
+    const SlotLoc loc = findSlot(u, 0_id);
     if (loc.found) {
-        BucketRef b = u.engine().tree().bucket(loc.node);
-        u.engine().stash().insert(0, b.data(loc.i), u.posMap().leafOf(0));
+        BucketRef b = u.engine().tree().bucket(TreeIdx{loc.node});
+        u.engine().stash().insert(0_id, b.data(loc.i),
+                                  u.posMap().leafOf(0_id));
         b.clearSlot(loc.i);
     }
-    u.posMap().setLeaf(0, (u.posMap().leafOf(1) + 1) %
-                              u.engine().tree().numLeaves());
+    u.posMap().setLeaf(
+        0_id, Leaf{static_cast<std::uint32_t>(
+                  (u.posMap().leafOf(1_id).value() + 1) %
+                  u.engine().tree().numLeaves())});
     const auto rep = checkIntegrity(u);
     EXPECT_FALSE(rep.ok);
     bool found = false;
@@ -122,7 +129,7 @@ TEST(Integrity, DetectsSuperBlockGeometryMismatch)
 {
     UnifiedOram u(cfg());
     u.initialize(2);
-    u.posMap().entry(4).sbSizeLog = 0; // half of pair (4,5) shrunk
+    u.posMap().entry(4_id).sbSizeLog = 0; // half of pair (4,5) shrunk
     const auto rep = checkIntegrity(u);
     EXPECT_FALSE(rep.ok);
 }
@@ -131,7 +138,7 @@ TEST(Integrity, DetectsPosMapBlockInSuperBlock)
 {
     UnifiedOram u(cfg());
     u.initialize();
-    const BlockId pm = u.space().numDataBlocks() + 1;
+    const BlockId pm{u.space().numDataBlocks() + 1};
     u.posMap().entry(pm).sbSizeLog = 1;
     const auto rep = checkIntegrity(u);
     EXPECT_FALSE(rep.ok);
@@ -143,7 +150,7 @@ TEST(Integrity, DetectsOversizedStridedGroup)
     u.initialize();
     // size 4 (log 2) with stride 16 (log 4): span 64 > fanout 32.
     for (std::uint32_t i = 0; i < 4; ++i) {
-        PosEntry &e = u.posMap().entry(i * 16);
+        PosEntry &e = u.posMap().entry(BlockId{i * 16u});
         e.sbSizeLog = 2;
         e.sbStrideLog = 4;
     }

@@ -11,6 +11,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 OramConfig
 tinyCfg(std::uint32_t z = 3)
 {
@@ -26,7 +28,7 @@ struct Fixture
 {
     explicit Fixture(const OramConfig &cfg = tinyCfg())
         : config(cfg), posMap(cfg.numDataBlocks,
-                              static_cast<Leaf>(1ULL << cfg.levels())),
+                              Leaf{static_cast<std::uint32_t>(1ULL << cfg.levels())}),
           oram(cfg, posMap)
     {
     }
@@ -34,10 +36,10 @@ struct Fixture
     /** Assign random leaves and place all blocks. */
     void init()
     {
-        for (BlockId b = 0; b < config.numDataBlocks; ++b)
-            posMap.setLeaf(b, oram.randomLeaf());
-        for (BlockId b = 0; b < config.numDataBlocks; ++b)
-            oram.placeInitial(b, b * 3);
+        for (std::uint64_t b = 0; b < config.numDataBlocks; ++b)
+            posMap.setLeaf(BlockId{b}, oram.randomLeaf());
+        for (std::uint64_t b = 0; b < config.numDataBlocks; ++b)
+            oram.placeInitial(BlockId{b}, b * 3);
     }
 
     /** Count copies of a block across stash + tree. */
@@ -47,7 +49,7 @@ struct Fixture
         const BinaryTree &t = oram.tree();
         for (std::uint64_t node = 0; node < t.numBuckets(); ++node) {
             for (std::uint32_t i = 0; i < t.z(); ++i) {
-                if (t.slotId(node, i) == id)
+                if (t.slotId(TreeIdx{node}, i) == id)
                     ++n;
             }
         }
@@ -65,15 +67,15 @@ TEST(PathOram, InitialPlacementStoresEveryBlockOnce)
     f.init();
     EXPECT_EQ(f.oram.tree().countRealBlocks() + f.oram.stash().size(),
               f.config.numDataBlocks);
-    EXPECT_EQ(f.copies(0), 1);
-    EXPECT_EQ(f.copies(255), 1);
+    EXPECT_EQ(f.copies(0_id), 1);
+    EXPECT_EQ(f.copies(255_id), 1);
 }
 
 TEST(PathOram, ReadPathPullsMappedBlockIntoStash)
 {
     Fixture f;
     f.init();
-    const BlockId b = 42;
+    const BlockId b{42};
     const Leaf leaf = f.posMap.leafOf(b);
     f.oram.readPath(leaf);
     EXPECT_TRUE(f.oram.stash().contains(b));
@@ -83,18 +85,18 @@ TEST(PathOram, ReadPathPreservesPayload)
 {
     Fixture f;
     f.init();
-    const BlockId b = 17;
+    const BlockId b{17};
     f.oram.readPath(f.posMap.leafOf(b));
     ASSERT_TRUE(f.oram.stash().contains(b));
     ASSERT_NE(f.oram.stash().findData(b), nullptr);
-    EXPECT_EQ(*f.oram.stash().findData(b), b * 3);
+    EXPECT_EQ(*f.oram.stash().findData(b), b.value() * 3);
 }
 
 TEST(PathOram, ReadPathCachesCurrentLeafInStashEntry)
 {
     Fixture f;
     f.init();
-    const BlockId b = 23;
+    const BlockId b{23};
     const Leaf leaf = f.posMap.leafOf(b);
     f.oram.readPath(leaf);
     ASSERT_TRUE(f.oram.stash().contains(b));
@@ -108,12 +110,12 @@ TEST(PathOram, RemapWhileResidentRefreshesCachedLeaf)
     // the stash entry the eviction scan reads.
     Fixture f;
     f.init();
-    const BlockId b = 42;
+    const BlockId b{42};
     const Leaf leaf = f.posMap.leafOf(b);
     f.oram.readPath(leaf);
-    const Leaf remapped =
-        static_cast<Leaf>((leaf + f.oram.tree().numLeaves() / 2) %
-                          f.oram.tree().numLeaves());
+    const Leaf remapped{static_cast<std::uint32_t>(
+        (leaf.value() + f.oram.tree().numLeaves() / 2) %
+        f.oram.tree().numLeaves())};
     f.posMap.setLeaf(b, remapped);
     ASSERT_TRUE(f.oram.stash().contains(b));
     EXPECT_EQ(f.oram.stash().leafOf(b), remapped);
@@ -127,19 +129,19 @@ TEST(PathOram, RemapMidAccessStopsEvictionBelowDivergence)
     // coherence it may land in the root bucket at most.
     Fixture f;
     f.init();
-    const BlockId b = 7;
+    const BlockId b{7};
     const Leaf leaf = f.posMap.leafOf(b);
     f.oram.readPath(leaf);
     ASSERT_TRUE(f.oram.stash().contains(b));
-    const Leaf opposite = static_cast<Leaf>(
-        leaf ^ (f.oram.tree().numLeaves() / 2)); // flip top bit
+    const Leaf opposite{static_cast<std::uint32_t>(
+        leaf.value() ^ (f.oram.tree().numLeaves() / 2))}; // flip top bit
     f.posMap.setLeaf(b, opposite);
     f.oram.writePath(leaf);
     const BinaryTree &t = f.oram.tree();
     if (!f.oram.stash().contains(b)) {
         bool in_root = false;
         for (std::uint32_t i = 0; i < t.z(); ++i)
-            in_root = in_root || t.slotId(0, i) == b;
+            in_root = in_root || t.slotId(TreeIdx{0}, i) == b;
         EXPECT_TRUE(in_root) << "remapped block evicted below the root";
     }
     EXPECT_EQ(f.copies(b), 1);
@@ -149,7 +151,8 @@ TEST(PathOram, WritePathEvictsBlocksBackToTree)
 {
     Fixture f;
     f.init();
-    const Leaf leaf = 5 % f.oram.tree().numLeaves();
+    const Leaf leaf{static_cast<std::uint32_t>(
+        5 % f.oram.tree().numLeaves())};
     f.oram.readPath(leaf);
     const auto stash_after_read = f.oram.stash().size();
     f.oram.writePath(leaf);
@@ -163,14 +166,14 @@ TEST(PathOram, AccessWithRemapKeepsSingleCopy)
     f.init();
     Rng rng(1);
     for (int i = 0; i < 200; ++i) {
-        const BlockId b = rng.below(f.config.numDataBlocks);
+        const BlockId b{rng.below(f.config.numDataBlocks)};
         const Leaf leaf = f.posMap.leafOf(b);
         f.oram.readPath(leaf);
         ASSERT_TRUE(f.oram.stash().contains(b));
         f.posMap.setLeaf(b, f.oram.randomLeaf());
         f.oram.writePath(leaf);
     }
-    for (BlockId b : {0ULL, 77ULL, 128ULL, 255ULL})
+    for (BlockId b : {0_id, 77_id, 128_id, 255_id})
         EXPECT_EQ(f.copies(b), 1) << "block " << b;
 }
 
@@ -180,7 +183,7 @@ TEST(PathOram, BlocksLandOnlyOnTheirMappedPath)
     f.init();
     Rng rng(2);
     for (int i = 0; i < 300; ++i) {
-        const BlockId b = rng.below(f.config.numDataBlocks);
+        const BlockId b{rng.below(f.config.numDataBlocks)};
         const Leaf leaf = f.posMap.leafOf(b);
         f.oram.readPath(leaf);
         f.posMap.setLeaf(b, f.oram.randomLeaf());
@@ -193,10 +196,11 @@ TEST(PathOram, BlocksLandOnlyOnTheirMappedPath)
         for (std::uint64_t n = node; n > 0; n = (n - 1) / 2)
             ++level;
         for (std::uint32_t i = 0; i < t.z(); ++i) {
-            const BlockId id = t.slotId(node, i);
+            const BlockId id = t.slotId(TreeIdx{node}, i);
             if (id == kInvalidBlock)
                 continue;
-            EXPECT_EQ(t.nodeOnPath(f.posMap.leafOf(id), level), node)
+            EXPECT_EQ(t.nodeOnPath(f.posMap.leafOf(id), Level{level}),
+                      TreeIdx{node})
                 << "block " << id << " off its path";
         }
     }
@@ -209,7 +213,7 @@ TEST(PathOram, DummyAccessNeverGrowsStash)
     // Stress the stash first with remapping accesses.
     Rng rng(3);
     for (int i = 0; i < 100; ++i) {
-        const BlockId b = rng.below(f.config.numDataBlocks);
+        const BlockId b{rng.below(f.config.numDataBlocks)};
         const Leaf leaf = f.posMap.leafOf(b);
         f.oram.readPath(leaf);
         f.posMap.setLeaf(b, f.oram.randomLeaf());
@@ -229,25 +233,25 @@ TEST(PathOram, WritePathPlacesDeepestFirst)
     OramConfig cfg = tinyCfg();
     cfg.numDataBlocks = 8; // tiny tree, levels derived
     Fixture f(cfg);
-    const Leaf target = 0;
-    for (BlockId b = 0; b < 8; ++b)
-        f.posMap.setLeaf(b, target); // all on path 0
-    for (BlockId b = 0; b < 8; ++b)
-        f.oram.stash().insert(b, 0, target);
+    const Leaf target{0};
+    for (std::uint64_t b = 0; b < 8; ++b)
+        f.posMap.setLeaf(BlockId{b}, target); // all on path 0
+    for (std::uint64_t b = 0; b < 8; ++b)
+        f.oram.stash().insert(BlockId{b}, 0, target);
     f.oram.writePath(target);
     // With Z=3 and a multi-level path, the leaf bucket must be full.
     const BinaryTree &t = f.oram.tree();
-    EXPECT_EQ(t.bucket(t.nodeOnPath(target, t.levels())).occupancy(),
+    EXPECT_EQ(t.bucket(t.nodeOnPath(target, t.leafLevel())).occupancy(),
               t.z());
 }
 
 TEST(PathOram, RandomLeafCoversRange)
 {
     Fixture f;
-    const Leaf leaves = static_cast<Leaf>(f.oram.tree().numLeaves());
+    const std::uint64_t leaves = f.oram.tree().numLeaves();
     std::vector<bool> seen(leaves, false);
     for (int i = 0; i < 20000; ++i)
-        seen[f.oram.randomLeaf()] = true;
+        seen[f.oram.randomLeaf().value()] = true;
     std::size_t covered = 0;
     for (bool s : seen)
         covered += s ? 1 : 0;
@@ -259,8 +263,8 @@ TEST(PathOram, PathReadsCounted)
     Fixture f;
     f.init();
     const auto before = f.oram.pathReads();
-    f.oram.readPath(0);
-    f.oram.writePath(0);
+    f.oram.readPath(0_leaf);
+    f.oram.writePath(0_leaf);
     f.oram.dummyAccess();
     EXPECT_EQ(f.oram.pathReads(), before + 2);
 }
@@ -276,7 +280,7 @@ TEST_P(PathOramZParam, InvariantHoldsAcrossZ)
     f.init();
     Rng rng(4);
     for (int i = 0; i < 150; ++i) {
-        const BlockId b = rng.below(cfg.numDataBlocks);
+        const BlockId b{rng.below(cfg.numDataBlocks)};
         const Leaf leaf = f.posMap.leafOf(b);
         f.oram.readPath(leaf);
         ASSERT_TRUE(f.oram.stash().contains(b));

@@ -13,117 +13,117 @@ namespace
 
 TEST(Periodic, DisabledModeSerializes)
 {
-    PeriodicScheduler s({false, 100}, 1000);
-    auto g1 = s.schedule(0, 1);
-    EXPECT_EQ(g1.start, 0u);
-    EXPECT_EQ(g1.completion, 1000u);
+    PeriodicScheduler s({false, Cycles{100}}, Cycles{1000});
+    auto g1 = s.schedule(Cycles{0}, 1);
+    EXPECT_EQ(g1.start, Cycles{0});
+    EXPECT_EQ(g1.completion, Cycles{1000});
     // Arrives while busy: waits.
-    auto g2 = s.schedule(500, 2);
-    EXPECT_EQ(g2.start, 1000u);
-    EXPECT_EQ(g2.completion, 3000u);
+    auto g2 = s.schedule(Cycles{500}, 2);
+    EXPECT_EQ(g2.start, Cycles{1000});
+    EXPECT_EQ(g2.completion, Cycles{3000});
     // Arrives after idle gap: starts immediately, no dummies.
-    auto g3 = s.schedule(10000, 1);
-    EXPECT_EQ(g3.start, 10000u);
+    auto g3 = s.schedule(Cycles{10000}, 1);
+    EXPECT_EQ(g3.start, Cycles{10000});
     EXPECT_EQ(g3.elapsedDummies, 0u);
     EXPECT_EQ(s.totalDummies(), 0u);
 }
 
 TEST(Periodic, EnabledPeriodIsPathPlusOint)
 {
-    PeriodicScheduler s({true, 100}, 1000);
-    EXPECT_EQ(s.period(), 1100u);
+    PeriodicScheduler s({true, Cycles{100}}, Cycles{1000});
+    EXPECT_EQ(s.period(), Cycles{1100});
 }
 
 TEST(Periodic, IdleSlotsBecomeDummies)
 {
-    PeriodicScheduler s({true, 100}, 1000);
-    auto g1 = s.schedule(0, 1);
-    EXPECT_EQ(g1.start, 0u);
+    PeriodicScheduler s({true, Cycles{100}}, Cycles{1000});
+    auto g1 = s.schedule(Cycles{0}, 1);
+    EXPECT_EQ(g1.start, Cycles{0});
     EXPECT_EQ(g1.elapsedDummies, 0u);
     // Next slot is at 1100. Arriving at 5000 means slots 1100, 2200,
     // 3300, 4400 ran dummies; the request takes the 5500 slot.
-    auto g2 = s.schedule(5000, 1);
+    auto g2 = s.schedule(Cycles{5000}, 1);
     EXPECT_EQ(g2.elapsedDummies, 4u);
-    EXPECT_EQ(g2.start, 5500u);
-    EXPECT_EQ(g2.completion, 6500u);
+    EXPECT_EQ(g2.start, Cycles{5500});
+    EXPECT_EQ(g2.completion, Cycles{6500});
     EXPECT_EQ(s.totalDummies(), 4u);
 }
 
 TEST(Periodic, BackToBackRequestsUseConsecutiveSlots)
 {
-    PeriodicScheduler s({true, 100}, 1000);
-    s.schedule(0, 1);
-    auto g2 = s.schedule(0, 1); // queued immediately
-    EXPECT_EQ(g2.start, 1100u);
+    PeriodicScheduler s({true, Cycles{100}}, Cycles{1000});
+    s.schedule(Cycles{0}, 1);
+    auto g2 = s.schedule(Cycles{0}, 1); // queued immediately
+    EXPECT_EQ(g2.start, Cycles{1100});
     EXPECT_EQ(g2.elapsedDummies, 0u);
 }
 
 TEST(Periodic, MultiPathRequestSpansSlots)
 {
-    PeriodicScheduler s({true, 100}, 1000);
-    auto g = s.schedule(0, 3);
-    EXPECT_EQ(g.start, 0u);
+    PeriodicScheduler s({true, Cycles{100}}, Cycles{1000});
+    auto g = s.schedule(Cycles{0}, 3);
+    EXPECT_EQ(g.start, Cycles{0});
     // Paths at 0, 1100, 2200; data ready at 3200.
-    EXPECT_EQ(g.completion, 3200u);
-    auto g2 = s.schedule(0, 1);
-    EXPECT_EQ(g2.start, 3300u);
+    EXPECT_EQ(g.completion, Cycles{3200});
+    auto g2 = s.schedule(Cycles{0}, 1);
+    EXPECT_EQ(g2.start, Cycles{3300});
 }
 
 TEST(Periodic, RequestAtExactSlotBoundaryTakesIt)
 {
-    PeriodicScheduler s({true, 100}, 1000);
-    s.schedule(0, 1);
-    auto g = s.schedule(1100, 1);
-    EXPECT_EQ(g.start, 1100u);
+    PeriodicScheduler s({true, Cycles{100}}, Cycles{1000});
+    s.schedule(Cycles{0}, 1);
+    auto g = s.schedule(Cycles{1100}, 1);
+    EXPECT_EQ(g.start, Cycles{1100});
     EXPECT_EQ(g.elapsedDummies, 0u);
 }
 
 TEST(Periodic, DrainCountsTrailingDummies)
 {
-    PeriodicScheduler s({true, 100}, 1000);
-    s.schedule(0, 1);
-    EXPECT_EQ(s.drainDummies(4500), 4u); // slots 1100..4400
+    PeriodicScheduler s({true, Cycles{100}}, Cycles{1000});
+    s.schedule(Cycles{0}, 1);
+    EXPECT_EQ(s.drainDummies(Cycles{4500}), 4u); // slots 1100..4400
     EXPECT_EQ(s.totalDummies(), 4u);
     // Draining twice is idempotent for the same time.
-    EXPECT_EQ(s.drainDummies(4500), 0u);
+    EXPECT_EQ(s.drainDummies(Cycles{4500}), 0u);
 }
 
 TEST(Periodic, DrainDisabledIsZero)
 {
-    PeriodicScheduler s({false, 100}, 1000);
-    s.schedule(0, 1);
-    EXPECT_EQ(s.drainDummies(100000), 0u);
+    PeriodicScheduler s({false, Cycles{100}}, Cycles{1000});
+    s.schedule(Cycles{0}, 1);
+    EXPECT_EQ(s.drainDummies(Cycles{100000}), 0u);
 }
 
 TEST(Periodic, ZeroPathCyclesRejected)
 {
-    EXPECT_THROW(PeriodicScheduler({true, 100}, 0), SimFatal);
+    EXPECT_THROW(PeriodicScheduler({true, Cycles{100}}, Cycles{0}), SimFatal);
 }
 
 TEST(Periodic, TimingIndependentOfRequestPattern)
 {
     // The access-start sequence must be identical whatever the
     // arrival times - that is the security property.
-    PeriodicScheduler a({true, 50}, 500);
-    PeriodicScheduler b({true, 50}, 500);
+    PeriodicScheduler a({true, Cycles{50}}, Cycles{500});
+    PeriodicScheduler b({true, Cycles{50}}, Cycles{500});
     std::vector<Cycles> starts_a, starts_b;
     // Pattern A: bursts.
-    starts_a.push_back(a.schedule(0, 1).start);
-    starts_a.push_back(a.schedule(1, 1).start);
-    starts_a.push_back(a.schedule(2, 1).start);
+    starts_a.push_back(a.schedule(Cycles{0}, 1).start);
+    starts_a.push_back(a.schedule(Cycles{1}, 1).start);
+    starts_a.push_back(a.schedule(Cycles{2}, 1).start);
     // Pattern B: spread out; count the dummy slots in between.
-    starts_b.push_back(b.schedule(0, 1).start);
-    auto g = b.schedule(1400, 1);
+    starts_b.push_back(b.schedule(Cycles{0}, 1).start);
+    auto g = b.schedule(Cycles{1400}, 1);
     // Slot 550 ran a dummy; request takes slot 1650... wait: next slot
     // after 550 is 1100 < 1400 -> also dummy; start = 1650.
-    EXPECT_EQ(g.start + 0, 1650u);
+    EXPECT_EQ(g.start, Cycles{1650});
     EXPECT_EQ(g.elapsedDummies, 2u);
     // Access starts in pattern B including dummies: 0, 550, 1100,
     // 1650 - a strict multiple-of-period grid, same as pattern A's
     // grid. Verify A's grid:
-    EXPECT_EQ(starts_a[0], 0u);
-    EXPECT_EQ(starts_a[1], 550u);
-    EXPECT_EQ(starts_a[2], 1100u);
+    EXPECT_EQ(starts_a[0], Cycles{0});
+    EXPECT_EQ(starts_a[1], Cycles{550});
+    EXPECT_EQ(starts_a[2], Cycles{1100});
 }
 
 } // namespace

@@ -21,6 +21,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 OramConfig
 secCfg()
 {
@@ -73,7 +75,7 @@ struct Observer
 
     CacheHierarchy hier;
     OramController ctl;
-    Cycles now = 0;
+    Cycles now{0};
 };
 
 double
@@ -82,7 +84,8 @@ chiSquareUniform(const std::vector<Leaf> &leaves, std::uint32_t buckets,
 {
     std::vector<double> count(buckets, 0.0);
     for (Leaf l : leaves)
-        count[static_cast<std::uint64_t>(l) * buckets / num_leaves] += 1;
+        count[static_cast<std::uint64_t>(l.value()) * buckets /
+              num_leaves] += 1;
     const double expect =
         static_cast<double>(leaves.size()) / buckets;
     double chi2 = 0.0;
@@ -103,10 +106,10 @@ TEST_P(LeafUniformity, RepeatedSameBlockLooksUniform)
     // Pathological logical pattern: hammer one block. LLC is tiny,
     // but ensure misses by touching conflicting blocks in between.
     for (int i = 0; i < 1500; ++i) {
-        observed.push_back(obs.observeAccess(7));
+        observed.push_back(obs.observeAccess(7_id));
         // Evict 7 from the small LLC (same-set conflicts).
-        for (BlockId b = 7 + 64; b < 7 + 64 * 6; b += 64)
-            obs.observeAccess(b);
+        for (std::uint64_t b = 7 + 64; b < 7 + 64 * 6; b += 64)
+            obs.observeAccess(BlockId{b});
     }
     // 16 buckets, dof 15: 99.9% critical value 37.7.
     EXPECT_LT(chiSquareUniform(observed, 16, leaves), 37.7);
@@ -118,8 +121,8 @@ TEST_P(LeafUniformity, SequentialScanLooksUniform)
     const std::uint64_t leaves = obs.ctl.oram().engine().tree().numLeaves();
     std::vector<Leaf> observed;
     for (int pass = 0; pass < 3; ++pass) {
-        for (BlockId b = 0; b < 2000; ++b)
-            observed.push_back(obs.observeAccess(b));
+        for (std::uint64_t b = 0; b < 2000; ++b)
+            observed.push_back(obs.observeAccess(BlockId{b}));
     }
     EXPECT_LT(chiSquareUniform(observed, 16, leaves), 37.7);
 }
@@ -132,13 +135,13 @@ TEST_P(LeafUniformity, ConsecutiveLeavesUncorrelated)
     std::vector<Leaf> observed;
     Rng rng(77);
     for (int i = 0; i < 4000; ++i)
-        observed.push_back(obs.observeAccess(rng.below(4096)));
+        observed.push_back(obs.observeAccess(BlockId{rng.below(4096)}));
     // Pearson correlation between successive observations.
     double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
     const std::size_t n = observed.size() - 1;
     for (std::size_t i = 0; i < n; ++i) {
-        const double x = observed[i] / n_leaves;
-        const double y = observed[i + 1] / n_leaves;
+        const double x = observed[i].value() / n_leaves;
+        const double y = observed[i + 1].value() / n_leaves;
         sx += x;
         sy += y;
         sxx += x * x;
@@ -168,9 +171,9 @@ TEST(Security, RemapIsFreshAfterEveryAccess)
     // same block repeat no more often than chance predicts.
     std::vector<Leaf> observed;
     for (int i = 0; i < 2000; ++i) {
-        observed.push_back(obs.observeAccess(3));
-        for (BlockId b = 3 + 64; b < 3 + 64 * 6; b += 64)
-            obs.observeAccess(b);
+        observed.push_back(obs.observeAccess(3_id));
+        for (std::uint64_t b = 3 + 64; b < 3 + 64 * 6; b += 64)
+            obs.observeAccess(BlockId{b});
     }
     std::uint64_t repeats = 0;
     for (std::size_t i = 1; i < observed.size(); ++i)
@@ -192,7 +195,7 @@ TEST(Security, DynamicAndBaselineIssueIndistinguishableUnits)
         Observer obs(scheme);
         Rng rng(5);
         for (int i = 0; i < 500; ++i)
-            obs.observeAccess(rng.below(4096));
+            obs.observeAccess(BlockId{rng.below(4096)});
         EXPECT_EQ(obs.ctl.oram().engine().pathReads(),
                   obs.ctl.stats().pathAccesses)
             << schemeName(scheme);

@@ -11,43 +11,45 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 TEST(Bucket, OccupancyAndFreeSlots)
 {
     BinaryTree t(1, 3);
-    BucketRef b = t.bucket(0);
+    BucketRef b = t.bucket(0_node);
     EXPECT_EQ(b.occupancy(), 0u);
     EXPECT_EQ(b.freeSlots(), 3u);
-    EXPECT_TRUE(b.tryPlace(7, 70));
+    EXPECT_TRUE(b.tryPlace(7_id, 70));
     EXPECT_EQ(b.occupancy(), 1u);
-    EXPECT_TRUE(b.tryPlace(8, 0));
-    EXPECT_TRUE(b.tryPlace(9, 0));
+    EXPECT_TRUE(b.tryPlace(8_id, 0));
+    EXPECT_TRUE(b.tryPlace(9_id, 0));
     EXPECT_EQ(b.occupancy(), 3u);
     EXPECT_EQ(b.freeSlots(), 0u);
-    EXPECT_FALSE(b.tryPlace(10, 0));
+    EXPECT_FALSE(b.tryPlace(10_id, 0));
 }
 
 TEST(Bucket, PlacementFillsFirstDummySlot)
 {
     BinaryTree t(1, 3);
-    BucketRef b = t.bucket(0);
-    b.tryPlace(1, 10);
-    b.tryPlace(2, 20);
-    b.tryPlace(3, 30);
-    EXPECT_EQ(b.id(0), 1u);
+    BucketRef b = t.bucket(0_node);
+    b.tryPlace(1_id, 10);
+    b.tryPlace(2_id, 20);
+    b.tryPlace(3_id, 30);
+    EXPECT_EQ(b.id(0), 1_id);
     b.clearSlot(1);
     EXPECT_TRUE(b.isDummy(1));
     EXPECT_EQ(b.occupancy(), 2u);
     // Reuse reclaims the hole, not a new slot.
-    EXPECT_TRUE(b.tryPlace(4, 40));
-    EXPECT_EQ(b.id(1), 4u);
+    EXPECT_TRUE(b.tryPlace(4_id, 40));
+    EXPECT_EQ(b.id(1), 4_id);
     EXPECT_EQ(b.data(1), 40u);
 }
 
 TEST(Bucket, ClearSlotIsIdempotent)
 {
     BinaryTree t(1, 2);
-    BucketRef b = t.bucket(0);
-    b.tryPlace(5, 0);
+    BucketRef b = t.bucket(0_node);
+    b.tryPlace(5_id, 0);
     b.clearSlot(0);
     b.clearSlot(0); // clearing a dummy must not inflate the free count
     EXPECT_EQ(b.freeSlots(), 2u);
@@ -57,9 +59,9 @@ TEST(Bucket, ClearSlotIsIdempotent)
 TEST(Bucket, OccupancyScanMatchesCountThenDetectsRawCorruption)
 {
     BinaryTree t(1, 4);
-    BucketRef b = t.bucket(1);
-    b.tryPlace(1, 0);
-    b.tryPlace(2, 0);
+    BucketRef b = t.bucket(1_node);
+    b.tryPlace(1_id, 0);
+    b.tryPlace(2_id, 0);
     EXPECT_EQ(b.occupancyScan(), b.occupancy());
     // Corrupt a slot behind the bookkeeping's back: the O(1) count is
     // now stale and only the checked scan sees the truth.
@@ -71,13 +73,13 @@ TEST(Bucket, OccupancyScanMatchesCountThenDetectsRawCorruption)
 TEST(Tree, ArenaLayoutIsBucketMajor)
 {
     BinaryTree t(2, 3);
-    t.bucket(4).tryPlace(42, 9);
+    t.bucket(4_node).tryPlace(42_id, 9);
     // Bucket b slot i lives at arena offset b*Z+i.
-    EXPECT_EQ(t.idArena()[4 * 3 + 0], 42u);
+    EXPECT_EQ(t.idArena()[4 * 3 + 0], 42_id);
     EXPECT_EQ(t.dataArena()[4 * 3 + 0], 9u);
-    EXPECT_EQ(t.slotId(4, 0), 42u);
-    EXPECT_EQ(t.slotData(4, 0), 9u);
-    EXPECT_EQ(t.slotBase(4), 12u);
+    EXPECT_EQ(t.slotId(4_node, 0), 42_id);
+    EXPECT_EQ(t.slotData(4_node, 0), 9u);
+    EXPECT_EQ(t.slotBase(4_node), 12u);
 }
 
 TEST(Tree, GeometryCounts)
@@ -92,19 +94,19 @@ TEST(Tree, GeometryCounts)
 TEST(Tree, RootIsOnEveryPath)
 {
     BinaryTree t(4, 3);
-    for (Leaf s = 0; s < t.numLeaves(); ++s)
-        EXPECT_EQ(t.nodeOnPath(s, 0), 0u);
+    for (std::uint32_t s = 0; s < t.numLeaves(); ++s)
+        EXPECT_EQ(t.nodeOnPath(Leaf{s}, 0_lvl), 0_node);
 }
 
 TEST(Tree, LeavesAreDistinctAndAtBottom)
 {
     BinaryTree t(3, 3);
     // Leaf nodes occupy heap indices [7, 15).
-    std::uint64_t prev = 0;
-    for (Leaf s = 0; s < t.numLeaves(); ++s) {
-        const std::uint64_t node = t.nodeOnPath(s, 3);
-        EXPECT_GE(node, 7u);
-        EXPECT_LT(node, 15u);
+    TreeIdx prev{0};
+    for (std::uint32_t s = 0; s < t.numLeaves(); ++s) {
+        const TreeIdx node = t.nodeOnPath(Leaf{s}, 3_lvl);
+        EXPECT_GE(node.value(), 7u);
+        EXPECT_LT(node.value(), 15u);
         if (s > 0) {
             EXPECT_NE(node, prev);
         }
@@ -115,11 +117,11 @@ TEST(Tree, LeavesAreDistinctAndAtBottom)
 TEST(Tree, PathIsConnectedParentChain)
 {
     BinaryTree t(5, 3);
-    for (Leaf s : {0u, 13u, 31u}) {
-        std::uint64_t parent = t.nodeOnPath(s, 0);
+    for (Leaf s : {0_leaf, 13_leaf, 31_leaf}) {
+        TreeIdx parent = t.nodeOnPath(s, 0_lvl);
         for (std::uint32_t l = 1; l <= t.levels(); ++l) {
-            const std::uint64_t node = t.nodeOnPath(s, l);
-            EXPECT_EQ((node - 1) / 2, parent)
+            const TreeIdx node = t.nodeOnPath(s, Level{l});
+            EXPECT_EQ(TreeIdx{(node.value() - 1) / 2}, parent)
                 << "path " << s << " broken at level " << l;
             parent = node;
         }
@@ -130,29 +132,31 @@ TEST(Tree, CommonLevelProperties)
 {
     BinaryTree t(3, 3);
     // Same leaf: full depth.
-    EXPECT_EQ(t.commonLevel(5, 5), 3u);
+    EXPECT_EQ(t.commonLevel(5_leaf, 5_leaf), 3_lvl);
     // Leaves 0 (000) and 7 (111) diverge at the root.
-    EXPECT_EQ(t.commonLevel(0, 7), 0u);
+    EXPECT_EQ(t.commonLevel(0_leaf, 7_leaf), 0_lvl);
     // Leaves 6 (110) and 7 (111) share root + 2 levels.
-    EXPECT_EQ(t.commonLevel(6, 7), 2u);
+    EXPECT_EQ(t.commonLevel(6_leaf, 7_leaf), 2_lvl);
     // Symmetric.
-    for (Leaf a = 0; a < 8; ++a) {
-        for (Leaf b = 0; b < 8; ++b)
-            EXPECT_EQ(t.commonLevel(a, b), t.commonLevel(b, a));
+    for (std::uint32_t a = 0; a < 8; ++a) {
+        for (std::uint32_t b = 0; b < 8; ++b)
+            EXPECT_EQ(t.commonLevel(Leaf{a}, Leaf{b}),
+                      t.commonLevel(Leaf{b}, Leaf{a}));
     }
 }
 
 TEST(Tree, CommonLevelMatchesSharedNodes)
 {
     BinaryTree t(4, 3);
-    for (Leaf a = 0; a < t.numLeaves(); a += 3) {
-        for (Leaf b = 0; b < t.numLeaves(); b += 5) {
-            const std::uint32_t cl = t.commonLevel(a, b);
-            for (std::uint32_t l = 0; l <= cl; ++l)
-                EXPECT_EQ(t.nodeOnPath(a, l), t.nodeOnPath(b, l));
-            if (cl < t.levels()) {
-                EXPECT_NE(t.nodeOnPath(a, cl + 1),
-                          t.nodeOnPath(b, cl + 1));
+    for (std::uint32_t a = 0; a < t.numLeaves(); a += 3) {
+        for (std::uint32_t b = 0; b < t.numLeaves(); b += 5) {
+            const Level cl = t.commonLevel(Leaf{a}, Leaf{b});
+            for (Level l{0}; l <= cl; ++l)
+                EXPECT_EQ(t.nodeOnPath(Leaf{a}, l),
+                          t.nodeOnPath(Leaf{b}, l));
+            if (cl.value() < t.levels()) {
+                EXPECT_NE(t.nodeOnPath(Leaf{a}, cl + 1),
+                          t.nodeOnPath(Leaf{b}, cl + 1));
             }
         }
     }
@@ -161,16 +165,16 @@ TEST(Tree, CommonLevelMatchesSharedNodes)
 TEST(Tree, OutOfRangePanics)
 {
     BinaryTree t(3, 3);
-    EXPECT_THROW(t.nodeOnPath(8, 0), SimPanic);
-    EXPECT_THROW(t.nodeOnPath(0, 4), SimPanic);
+    EXPECT_THROW(t.nodeOnPath(8_leaf, 0_lvl), SimPanic);
+    EXPECT_THROW(t.nodeOnPath(0_leaf, 4_lvl), SimPanic);
 }
 
 TEST(Tree, CountRealBlocks)
 {
     BinaryTree t(2, 2);
     EXPECT_EQ(t.countRealBlocks(), 0u);
-    t.tryPlace(0, 1, 0);
-    t.tryPlace(4, 2, 0);
+    t.tryPlace(0_node, 1_id, 0);
+    t.tryPlace(4_node, 2_id, 0);
     EXPECT_EQ(t.countRealBlocks(), 2u);
 }
 

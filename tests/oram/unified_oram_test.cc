@@ -13,6 +13,8 @@ namespace proram
 namespace
 {
 
+using namespace proram::literals;
+
 OramConfig
 recCfg()
 {
@@ -28,9 +30,11 @@ TEST(UnifiedOram, InitializeAssignsLeavesToEveryBlock)
 {
     UnifiedOram u(recCfg());
     u.initialize();
-    for (BlockId b = 0; b < u.space().numTotalBlocks(); ++b) {
+    for (std::uint64_t i = 0; i < u.space().numTotalBlocks(); ++i) {
+        const BlockId b{i};
         EXPECT_NE(u.posMap().leafOf(b), kInvalidLeaf);
-        EXPECT_LT(u.posMap().leafOf(b), u.engine().tree().numLeaves());
+        EXPECT_LT(u.posMap().leafOf(b).value(),
+                  u.engine().tree().numLeaves());
     }
     EXPECT_TRUE(checkIntegrity(u).ok);
 }
@@ -46,7 +50,8 @@ TEST(UnifiedOram, StaticInitializationMergesAlignedGroups)
 {
     UnifiedOram u(recCfg());
     u.initialize(4);
-    for (BlockId base = 0; base < u.space().numDataBlocks(); base += 4) {
+    for (std::uint64_t i = 0; i < u.space().numDataBlocks(); i += 4) {
+        const BlockId base{i};
         const Leaf leaf = u.posMap().leafOf(base);
         for (BlockId m = base; m < base + 4; ++m) {
             EXPECT_EQ(u.posMap().leafOf(m), leaf);
@@ -66,9 +71,9 @@ TEST(UnifiedOram, PosMapBlocksNeverMerged)
 {
     UnifiedOram u(recCfg());
     u.initialize(2);
-    for (BlockId b = u.space().numDataBlocks();
-         b < u.space().numTotalBlocks(); ++b) {
-        EXPECT_EQ(u.posMap().entry(b).sbSize(), 1u);
+    for (std::uint64_t i = u.space().numDataBlocks();
+         i < u.space().numTotalBlocks(); ++i) {
+        EXPECT_EQ(u.posMap().entry(BlockId{i}).sbSize(), 1u);
     }
 }
 
@@ -76,41 +81,41 @@ TEST(UnifiedOram, ColdWalkFetchesWholeChain)
 {
     UnifiedOram u(recCfg());
     u.initialize();
-    const PosMapWalk walk = u.posMapWalk(0);
+    const PosMapWalk walk = u.posMapWalk(0_id);
     // 2 tree-resident pos-map levels, PLB cold: both fetched.
     EXPECT_EQ(walk.pathAccesses(), 2u);
-    EXPECT_TRUE(u.posMapCached(0));
+    EXPECT_TRUE(u.posMapCached(0_id));
 }
 
 TEST(UnifiedOram, WarmWalkIsFree)
 {
     UnifiedOram u(recCfg());
     u.initialize();
-    u.posMapWalk(0);
-    const PosMapWalk walk = u.posMapWalk(0);
+    u.posMapWalk(0_id);
+    const PosMapWalk walk = u.posMapWalk(0_id);
     EXPECT_EQ(walk.pathAccesses(), 0u);
     // Neighbouring addresses share the pos-map block.
-    EXPECT_EQ(u.posMapWalk(1).pathAccesses(), 0u);
-    EXPECT_EQ(u.posMapWalk(31).pathAccesses(), 0u);
+    EXPECT_EQ(u.posMapWalk(1_id).pathAccesses(), 0u);
+    EXPECT_EQ(u.posMapWalk(31_id).pathAccesses(), 0u);
 }
 
 TEST(UnifiedOram, DistantAddressMissesOnlyLevel1)
 {
     UnifiedOram u(recCfg());
     u.initialize();
-    u.posMapWalk(0);
+    u.posMapWalk(0_id);
     // Block 32 uses a different level-1 block but (0 and 32) share
     // the level-2 block, which is now cached.
-    EXPECT_EQ(u.posMapWalk(32).pathAccesses(), 1u);
+    EXPECT_EQ(u.posMapWalk(32_id).pathAccesses(), 1u);
 }
 
 TEST(UnifiedOram, WalkRemapsFetchedPosMapBlocks)
 {
     UnifiedOram u(recCfg());
     u.initialize();
-    const BlockId pm1 = u.space().posMapBlockOf(0);
+    const BlockId pm1 = u.space().posMapBlockOf(0_id);
     const Leaf before = u.posMap().leafOf(pm1);
-    u.posMapWalk(0);
+    u.posMapWalk(0_id);
     // Remapped with overwhelming probability (leaf space is large);
     // allow equality but require integrity.
     (void)before;
@@ -123,7 +128,7 @@ TEST(UnifiedOram, ManyWalksPreserveIntegrity)
     u.initialize();
     Rng rng(7);
     for (int i = 0; i < 300; ++i) {
-        u.posMapWalk(rng.below(u.space().numDataBlocks()));
+        u.posMapWalk(BlockId{rng.below(u.space().numDataBlocks())});
         while (u.engine().stash().overCapacity())
             u.engine().dummyAccess();
     }
@@ -142,7 +147,8 @@ TEST(UnifiedOram, PlbThrashingStillCorrect)
     Rng rng(8);
     std::uint64_t total_paths = 0;
     for (int i = 0; i < 100; ++i)
-        total_paths += u.posMapWalk(rng.below(4096)).pathAccesses();
+        total_paths +=
+            u.posMapWalk(BlockId{rng.below(4096)}).pathAccesses();
     EXPECT_GT(total_paths, 100u); // nearly every walk misses
     EXPECT_TRUE(checkIntegrity(u).ok);
 }
@@ -152,7 +158,7 @@ TEST(UnifiedOram, WalkOfPosMapBlockItself)
     UnifiedOram u(recCfg());
     u.initialize();
     // Walking a level-1 block needs only its level-2 parent.
-    const BlockId pm1 = u.space().posMapBlockOf(0);
+    const BlockId pm1 = u.space().posMapBlockOf(0_id);
     const PosMapWalk walk = u.posMapWalk(pm1);
     EXPECT_EQ(walk.pathAccesses(), 1u);
 }

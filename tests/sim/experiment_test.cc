@@ -22,29 +22,29 @@ fake(Cycles cycles, std::uint64_t accesses)
 
 TEST(Metrics, Speedup)
 {
-    EXPECT_DOUBLE_EQ(metrics::speedup(fake(1000, 1), fake(800, 1)),
+    EXPECT_DOUBLE_EQ(metrics::speedup(fake(Cycles{1000}, 1), fake(Cycles{800}, 1)),
                      0.25);
-    EXPECT_DOUBLE_EQ(metrics::speedup(fake(1000, 1), fake(1000, 1)),
+    EXPECT_DOUBLE_EQ(metrics::speedup(fake(Cycles{1000}, 1), fake(Cycles{1000}, 1)),
                      0.0);
-    EXPECT_LT(metrics::speedup(fake(1000, 1), fake(1250, 1)), 0.0);
+    EXPECT_LT(metrics::speedup(fake(Cycles{1000}, 1), fake(Cycles{1250}, 1)), 0.0);
 }
 
 TEST(Metrics, NormMemAccesses)
 {
     EXPECT_DOUBLE_EQ(
-        metrics::normMemAccesses(fake(1, 200), fake(1, 150)), 0.75);
+        metrics::normMemAccesses(fake(Cycles{1}, 200), fake(Cycles{1}, 150)), 0.75);
 }
 
 TEST(Metrics, NormCompletionTime)
 {
     EXPECT_DOUBLE_EQ(
-        metrics::normCompletionTime(fake(100, 1), fake(250, 1)), 2.5);
+        metrics::normCompletionTime(fake(Cycles{100}, 1), fake(Cycles{250}, 1)), 2.5);
 }
 
 TEST(Metrics, DegenerateInputsPanic)
 {
-    EXPECT_THROW(metrics::speedup(fake(1, 1), fake(0, 1)), SimPanic);
-    EXPECT_THROW(metrics::normMemAccesses(fake(1, 0), fake(1, 1)),
+    EXPECT_THROW(metrics::speedup(fake(Cycles{1}, 1), fake(Cycles{0}, 1)), SimPanic);
+    EXPECT_THROW(metrics::normMemAccesses(fake(Cycles{1}, 0), fake(Cycles{1}, 1)),
                  SimPanic);
 }
 
@@ -61,7 +61,7 @@ TEST(Experiment, RunBenchmarkProducesResults)
     Experiment exp(cfg, 0.02);
     const auto res = exp.runBenchmark(MemScheme::OramBaseline,
                                       profileByName("fft"));
-    EXPECT_GT(res.cycles, 0u);
+    EXPECT_GT(res.cycles, Cycles{0});
     EXPECT_EQ(res.scheme, "oram");
 }
 

@@ -62,8 +62,8 @@ TEST(SecureMemory, TimeAdvancesOnMisses)
     EXPECT_GT(t1, t0);
     // Cached: cheap.
     mem.read(0);
-    EXPECT_LT(mem.now() - t1, 20u);
-    mem.compute(1000);
+    EXPECT_LT(mem.now() - t1, Cycles{20});
+    mem.compute(Cycles{1000});
     EXPECT_EQ(mem.now(), t1 + (mem.now() - t1));
 }
 
@@ -146,11 +146,11 @@ TEST(SecureMemory, PeriodicModeWorksFunctionally)
 {
     SystemConfig cfg = memCfg(MemScheme::OramDynamic);
     cfg.controller.periodic.enabled = true;
-    cfg.controller.periodic.oInt = 100;
+    cfg.controller.periodic.oInt = Cycles{100};
     SecureMemory mem(cfg);
     for (Addr a = 0; a < 500 * 128; a += 128)
         mem.write(a, a + 5);
-    mem.compute(500000);
+    mem.compute(Cycles{500000});
     for (Addr a = 0; a < 500 * 128; a += 128)
         EXPECT_EQ(mem.read(a), a + 5);
     EXPECT_GT(mem.stats().periodicDummies, 0u);

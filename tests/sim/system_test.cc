@@ -55,7 +55,7 @@ TEST(SystemConfig, DefaultsMatchTable1)
     EXPECT_EQ(cfg.oram.stashCapacity, 100u);
     EXPECT_EQ(cfg.oram.hierarchies, 4u);
     EXPECT_DOUBLE_EQ(cfg.oram.dramBytesPerCycle, 16.0);
-    EXPECT_EQ(cfg.dram.dram.latency, 100u);
+    EXPECT_EQ(cfg.dram.dram.latency, Cycles{100});
     EXPECT_EQ(cfg.dynamic.maxSbSize, 2u);
 }
 
@@ -108,7 +108,7 @@ TEST(System, RunProducesConsistentResults)
     const SimResult res = sys.run(gen);
     EXPECT_EQ(res.scheme, "oram");
     EXPECT_EQ(res.references, 4000u);
-    EXPECT_GT(res.cycles, 0u);
+    EXPECT_GT(res.cycles, Cycles{0});
     EXPECT_GT(res.llcMisses, 0u);
     EXPECT_EQ(res.memAccesses, res.pathAccesses);
     EXPECT_GE(res.pathAccesses, res.llcMisses);

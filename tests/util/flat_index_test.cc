@@ -43,7 +43,7 @@ TEST(FlatIndex, GrowsPastSizingHint)
 TEST(FlatIndex, EmptySentinelKeyRejected)
 {
     FlatIndex idx;
-    EXPECT_THROW(idx.put(kInvalidBlock, 0), SimPanic);
+    EXPECT_THROW(idx.put(kInvalidBlock.value(), 0), SimPanic);
 }
 
 TEST(FlatIndex, BackwardShiftKeepsProbeRunsReachable)

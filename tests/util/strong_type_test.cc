@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Compile-time contract tests for the strong domain types: which
+ * constructions and operators exist (static_assert + a tests-only
+ * SFINAE probe), and runtime behavior of the ones that do.
+ *
+ * The negative cases are the point: a regression that re-enables
+ * implicit conversion or cross-domain arithmetic fails this TU at
+ * compile time, before any golden can drift.
+ */
+
+#include "util/types.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace proram
+{
+namespace
+{
+
+using namespace proram::literals;
+
+// ------------------------------------------------------------------
+// SFINAE probes: does `expression` compile for these operand types?
+// ------------------------------------------------------------------
+
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() +
+                                   std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanSub : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanSub<A, B,
+              std::void_t<decltype(std::declval<A>() -
+                                   std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanMul : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanMul<A, B,
+              std::void_t<decltype(std::declval<A>() *
+                                   std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanXor : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanXor<A, B,
+              std::void_t<decltype(std::declval<A>() ^
+                                   std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanCompare : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanCompare<A, B,
+                  std::void_t<decltype(std::declval<A>() ==
+                                       std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename T, typename = void>
+struct CanIncrement : std::false_type
+{
+};
+template <typename T>
+struct CanIncrement<T, std::void_t<decltype(++std::declval<T &>())>>
+    : std::true_type
+{
+};
+
+// ------------------------------------------------------------------
+// Construction: explicit only, no implicit unwrap.
+// ------------------------------------------------------------------
+
+static_assert(!std::is_convertible_v<std::uint64_t, BlockId>,
+              "raw integers must not implicitly become block ids");
+static_assert(!std::is_convertible_v<std::uint32_t, Leaf>,
+              "raw integers must not implicitly become leaf labels");
+static_assert(!std::is_convertible_v<BlockId, std::uint64_t>,
+              "block ids must not implicitly decay to integers");
+static_assert(!std::is_convertible_v<Leaf, std::uint32_t>,
+              "leaf labels must not implicitly decay to integers");
+static_assert(std::is_constructible_v<BlockId, std::uint64_t>,
+              "explicit construction is the sanctioned entry");
+static_assert(std::is_constructible_v<Leaf, std::uint32_t>);
+
+// No cross-domain conversion in either direction.
+static_assert(!std::is_constructible_v<Leaf, TreeIdx>);
+static_assert(!std::is_constructible_v<TreeIdx, Leaf>);
+static_assert(!std::is_constructible_v<BlockId, Leaf>);
+static_assert(!std::is_constructible_v<Cycles, Level>);
+
+// Lane streaming (SoA stash, SWAR/AVX2 kernels) requires layout
+// identity with the rep.
+static_assert(sizeof(Leaf) == sizeof(std::uint32_t));
+static_assert(sizeof(BlockId) == sizeof(std::uint64_t));
+static_assert(std::is_trivially_copyable_v<Leaf> &&
+              std::is_trivially_copyable_v<BlockId>);
+
+// ------------------------------------------------------------------
+// Capability map (the "arithmetic only where meaningful" table).
+// ------------------------------------------------------------------
+
+// Cycles: a true quantity. Additive with itself, scalable by a raw
+// count, never mixable with another domain.
+static_assert(CanAdd<Cycles, Cycles>::value);
+static_assert(CanSub<Cycles, Cycles>::value);
+static_assert(CanMul<Cycles, int>::value);
+static_assert(CanMul<int, Cycles>::value);
+static_assert(!CanAdd<Cycles, int>::value,
+              "cycles + raw int would hide a units bug");
+static_assert(!CanAdd<Cycles, Level>::value);
+static_assert(!CanMul<Cycles, Cycles>::value,
+              "cycles * cycles is not a cycle count");
+
+// BlockId / TreeIdx / Level: ordinals. Displacement by an integer
+// and ordinal - ordinal -> raw distance; never ordinal + ordinal.
+static_assert(CanAdd<BlockId, std::uint64_t>::value);
+static_assert(CanSub<BlockId, BlockId>::value);
+static_assert(std::is_same_v<decltype(std::declval<BlockId>() -
+                                      std::declval<BlockId>()),
+                             std::uint64_t>,
+              "id - id is a group-relative index, not an id");
+static_assert(!CanAdd<BlockId, BlockId>::value,
+              "id + id has no meaning");
+static_assert(!CanAdd<BlockId, TreeIdx>::value);
+static_assert(!CanAdd<Level, Cycles>::value);
+static_assert(CanAdd<Level, int>::value);
+static_assert(CanSub<Level, Level>::value);
+static_assert(!CanMul<BlockId, int>::value,
+              "scaling an ordinal is meaningless");
+
+// Leaf: secret label. Only xor (the path-agreement mask) and
+// counting; xor yields the raw mask for std::bit_width.
+static_assert(CanXor<Leaf, Leaf>::value);
+static_assert(std::is_same_v<decltype(std::declval<Leaf>() ^
+                                      std::declval<Leaf>()),
+                             std::uint32_t>);
+static_assert(!CanAdd<Leaf, Leaf>::value,
+              "leaf labels must not be added");
+static_assert(!CanAdd<Leaf, int>::value);
+static_assert(!CanSub<Leaf, Leaf>::value);
+static_assert(!CanXor<Leaf, BlockId>::value);
+static_assert(!CanXor<Leaf, std::uint32_t>::value,
+              "xor against raw bits would bypass the label domain");
+
+// Comparison never crosses domains.
+static_assert(CanCompare<Leaf, Leaf>::value);
+static_assert(!CanCompare<Leaf, TreeIdx>::value);
+static_assert(!CanCompare<BlockId, std::uint64_t>::value);
+static_assert(!CanCompare<Cycles, int>::value);
+
+// Counters: all five iterate.
+static_assert(CanIncrement<Cycles>::value &&
+              CanIncrement<BlockId>::value &&
+              CanIncrement<Leaf>::value &&
+              CanIncrement<TreeIdx>::value &&
+              CanIncrement<Level>::value);
+
+// ------------------------------------------------------------------
+// Runtime behavior of the sanctioned operations.
+// ------------------------------------------------------------------
+
+TEST(StrongType, ValueRoundTrip)
+{
+    EXPECT_EQ(BlockId{42}.value(), 42u);
+    EXPECT_EQ(Leaf{7}.value(), 7u);
+    EXPECT_EQ((512_id).value(), 512u);
+    EXPECT_EQ((3_lvl).value(), 3u);
+    EXPECT_EQ((100_cyc).value(), 100u);
+}
+
+TEST(StrongType, CyclesQuantityArithmetic)
+{
+    Cycles t{100};
+    t += Cycles{50};
+    EXPECT_EQ(t, Cycles{150});
+    EXPECT_EQ(t - Cycles{30}, Cycles{120});
+    EXPECT_EQ(t * 2, Cycles{300});
+    EXPECT_EQ(2 * t, Cycles{300});
+    EXPECT_EQ(t % Cycles{40}, Cycles{30});
+}
+
+TEST(StrongType, OrdinalOffsetAndDistance)
+{
+    const BlockId base{64};
+    EXPECT_EQ(base + 3, BlockId{67});
+    EXPECT_EQ((base + 3) - base, 3u);
+    BlockId id = base;
+    id += 8;
+    EXPECT_EQ(id, BlockId{72});
+    EXPECT_EQ(++id, BlockId{73});
+}
+
+TEST(StrongType, LeafXorAgreementMask)
+{
+    // commonLevel's input: identical labels xor to zero, labels that
+    // disagree at the root xor to a full-width mask.
+    EXPECT_EQ(5_leaf ^ 5_leaf, 0u);
+    EXPECT_EQ(0_leaf ^ 7_leaf, 7u);
+    EXPECT_EQ(6_leaf ^ 7_leaf, 1u);
+}
+
+TEST(StrongType, OrderingWithinDomain)
+{
+    EXPECT_LT(3_lvl, 4_lvl);
+    EXPECT_GT(9_node, 3_node);
+    EXPECT_LE(Cycles{5}, Cycles{5});
+}
+
+TEST(StrongType, Sentinels)
+{
+    EXPECT_NE(0_id, kInvalidBlock);
+    EXPECT_NE(0_leaf, kInvalidLeaf);
+    EXPECT_EQ(kInvalidBlock.value(),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(StrongType, HashAndStreamInsertion)
+{
+    std::unordered_set<BlockId> ids{1_id, 2_id, 1_id};
+    EXPECT_EQ(ids.size(), 2u);
+    std::ostringstream os;
+    os << 42_id << ":" << 3_leaf;
+    EXPECT_EQ(os.str(), "42:3");
+}
+
+TEST(StrongType, DefaultConstructionIsZero)
+{
+    EXPECT_EQ(Cycles{}.value(), 0u);
+    EXPECT_EQ(BlockId{}.value(), 0u);
+}
+
+} // namespace
+} // namespace proram

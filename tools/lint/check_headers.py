@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Header self-containment check: every public header under src/
+must compile as its own translation unit (no hidden include-order
+dependencies). Part of the CI lint gate; also registered under ctest.
+
+Each header H gets a synthetic TU `#include "H"` compiled with
+`$CXX -std=c++20 -fsyntax-only -I src`. Failures print the compiler's
+own diagnostics. Headers that legitimately cannot stand alone (none
+today) would be listed in SKIP with a reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import subprocess
+import sys
+import tempfile
+
+# header (repo-relative, '/'-separated) -> reason it may be skipped.
+SKIP: dict[str, str] = {}
+
+
+def find_headers(src_root: str) -> list[str]:
+    out = []
+    for dirpath, _dirs, files in os.walk(src_root):
+        for name in sorted(files):
+            if name.endswith((".hh", ".hpp")):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def check_one(cxx: str, src_root: str, header: str,
+              extra_flags: list[str]) -> tuple[str, bool, str]:
+    rel = os.path.relpath(header, src_root)
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cc", delete=False) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [cxx, "-std=c++20", "-fsyntax-only", f"-I{src_root}",
+             "-Wall", "-Wextra"] + extra_flags + [tu_path],
+            capture_output=True, text=True)
+        return rel, proc.returncode == 0, proc.stderr
+    finally:
+        os.unlink(tu_path)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: inferred)")
+    ap.add_argument("--cxx", default=os.environ.get("CXX", "c++"))
+    ap.add_argument("--flag", action="append", default=[],
+                    help="extra compiler flag (repeatable)")
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=os.cpu_count() or 2)
+    args = ap.parse_args(argv)
+
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    src_root = os.path.join(root, "src")
+    headers = find_headers(src_root)
+    if not headers:
+        print("check_headers: no headers under", src_root,
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    skipped = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = []
+        for h in headers:
+            rel = os.path.relpath(h, src_root).replace(os.sep, "/")
+            if rel in SKIP:
+                print(f"SKIP {rel}: {SKIP[rel]}")
+                skipped += 1
+                continue
+            futures.append(pool.submit(check_one, args.cxx, src_root,
+                                       h, args.flag))
+        for fut in futures:
+            rel, ok, err = fut.result()
+            if not ok:
+                failures += 1
+                print(f"FAIL {rel}")
+                sys.stdout.write(err)
+    print(f"check_headers: {len(headers)} headers, {failures} "
+          f"failed, {skipped} skipped", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

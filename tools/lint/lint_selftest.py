@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Self-tests for oblivious_lint.py against the committed fixtures.
+
+Run directly (python3 tools/lint/lint_selftest.py) or through ctest
+(registered as lint_selftest next to snapshot_py). The fixtures are
+copied into a scratch tree under src/oram/ so the path-scoped rules
+(unordered_map ban, clock ban) apply exactly as they do to the real
+ORAM core.
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import oblivious_lint  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def lint_fixture(name, subdir="src/oram"):
+    """Copy fixture @p name into <tmp>/<subdir>/ and lint it there.
+    Returns the list of diagnostics."""
+    with tempfile.TemporaryDirectory() as tmp:
+        dest_dir = os.path.join(tmp, subdir)
+        os.makedirs(dest_dir)
+        dest = os.path.join(dest_dir, name)
+        shutil.copy(os.path.join(FIXTURES, name), dest)
+        rel = os.path.relpath(dest, tmp)
+        report = oblivious_lint.lint_file_text(dest, rel)
+        return report.diagnostics, report.suppressed
+
+
+class BadFixture(unittest.TestCase):
+    """True-positive direction: every rule catches >= 1 violation."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.diags, cls.suppressed = lint_fixture("bad.cc")
+        cls.by_rule = {}
+        for d in cls.diags:
+            cls.by_rule.setdefault(d.rule, []).append(d)
+
+    def test_secret_branch_caught(self):
+        hits = self.by_rule.get("secret-branch", [])
+        self.assertGreaterEqual(len(hits), 2)  # if + for-loop bound
+        messages = " ".join(d.message for d in hits)
+        self.assertIn("'a'", messages)   # leakyCompare's condition
+        self.assertIn("'id'", messages)  # leakyLoop's bound
+
+    def test_hot_alloc_caught(self):
+        hits = self.by_rule.get("hot-alloc", [])
+        self.assertGreaterEqual(len(hits), 2)  # push_back + new
+        messages = " ".join(d.message for d in hits)
+        self.assertIn("push_back", messages)
+        self.assertIn("`new`", messages)
+
+    def test_banned_api_caught(self):
+        hits = self.by_rule.get("banned-api", [])
+        messages = " ".join(d.message for d in hits)
+        self.assertIn("std::rand", messages)
+        self.assertIn("wall-clock", messages)
+        self.assertIn("unordered_map", messages)
+
+    def test_diagnostics_carry_location(self):
+        for d in self.diags:
+            self.assertTrue(d.path.endswith("bad.cc"))
+            self.assertGreater(d.line, 0)
+            # Every intended violation line is marked in the fixture.
+            self.assertIn(str(d.line), str(d))
+
+    def test_nothing_suppressed_in_bad(self):
+        self.assertEqual(self.suppressed, 0)
+
+
+class GoodFixture(unittest.TestCase):
+    """False-positive direction: allowlisted sentinel comparisons,
+    suppressed growth, and unannotated code yield no diagnostics."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.diags, cls.suppressed = lint_fixture("good.cc")
+
+    def test_clean(self):
+        self.assertEqual(
+            [], [str(d) for d in self.diags],
+            "good.cc must lint clean")
+
+    def test_suppression_counted(self):
+        self.assertEqual(self.suppressed, 1)  # the reservedAppend allow
+
+
+class ClockScope(unittest.TestCase):
+    """The clock ban is path-scoped: src/obs/ may read steady_clock."""
+
+    def test_obs_exempt(self):
+        diags, _ = lint_fixture("bad.cc", subdir="src/obs")
+        clock = [d for d in diags if "wall-clock" in d.message]
+        self.assertEqual(clock, [])
+        # unordered_map ban is also scoped to hot-path dirs.
+        um = [d for d in diags if "unordered_map" in d.message]
+        self.assertEqual(um, [])
+        # But std::rand stays banned everywhere.
+        rand = [d for d in diags if "std::rand" in d.message]
+        self.assertEqual(len(rand), 1)
+
+
+class ShippedTree(unittest.TestCase):
+    """The shipped src/ tree lints clean (the CI hard gate)."""
+
+    def test_src_clean(self):
+        root = os.path.dirname(os.path.dirname(HERE))
+        rc = oblivious_lint.main(["--root", root, "--engine", "text",
+                                  "--quiet", "src"])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
