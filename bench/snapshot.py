@@ -33,6 +33,7 @@ style) and a trailing newline.
 
 import argparse
 import json
+import os
 import pathlib
 import statistics
 import subprocess
@@ -210,11 +211,18 @@ def main():
     if not micro:
         sys.exit("error: benchmark run produced no results")
 
+    # Concurrency benchmarks (BM_ConcurrentDrive) only show speedup on
+    # multi-core hosts, so every snapshot records where it was taken
+    # instead of trusting the file-level hardcoded host block.
+    host_cpus = os.cpu_count() or 1
     entry = {
         "label": args.label,
         "description": args.description,
+        "host": {"cpus": host_cpus},
         "micro_ops": micro,
     }
+    if isinstance(doc.get("host"), dict):
+        doc["host"]["cpus"] = host_cpus
     speedups = {}
     for base in args.speedup_vs:
         base_micro = by_label[base].get("micro_ops", {})

@@ -4,6 +4,7 @@
 
 #include "core/dynamic_policy.hh"
 #include "core/static_policy.hh"
+#include "core/super_block.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -56,14 +57,41 @@ OramController::attachAuditor(obs::ObliviousnessAuditor *auditor)
 {
     auditor_ = auditor;
     // Pos-map path accesses happen inside the unified front end; have
-    // it report their public leaves directly.
+    // it report their public leaves directly. In concurrent mode the
+    // walk runs mid-pipeline, so its leaves buffer into the request's
+    // pmSink_ and replay contiguously at commit (the auditor's
+    // per-grant path accounting assumes grant-ordered delivery).
     if (auditor) {
-        oram_.setPosMapObserver([auditor](Leaf leaf) {
-            auditor->onPath(obs::PathKind::PosMap, leaf);
+        oram_.setPosMapObserver([this](Leaf leaf) {
+            if (pmSink_ != nullptr)
+                pmSink_->push_back(leaf);
+            else
+                auditor_->onPath(obs::PathKind::PosMap, leaf);
         });
     } else {
         oram_.setPosMapObserver({});
     }
+}
+
+void
+OramController::enableConcurrent(unsigned workers)
+{
+    panic_if(!policy_, "enableConcurrent before configure*()");
+    panic_if(scheduler_.enabled(),
+             "periodic scheduling is defined over a serial schedule; "
+             "concurrent drive mode requires periodic.enabled=false");
+    panic_if(ctlCfg_.traditionalPrefetcher,
+             "traditional prefetcher drives through the cache "
+             "hierarchy; not supported in concurrent drive mode");
+    if (workers <= 1)
+        return;
+    concurrent_ = true;
+    subtree_ = std::make_unique<SubtreeCache>(
+        oram_.engine().tree().numBuckets());
+    claimed_.assign(oram_.space().numTotalBlocks(), 0);
+    oram_.engine().enableConcurrent(subtree_.get(), claimed_.data());
+    policy_->setClaimGuard(
+        [this](BlockId b) { return claimed_[b.value()] != 0; });
 }
 
 std::uint64_t
@@ -207,6 +235,177 @@ Cycles
 OramController::demandAccess(Cycles now, BlockId block, OpType op)
 {
     return dataAccess(now, block, op, 0, nullptr);
+}
+
+Cycles
+OramController::queueAccess(BlockId block, OpType op,
+                            const std::uint64_t *write_data,
+                            std::uint64_t *read_out)
+{
+    if (!concurrent_) {
+        // Serial queue drain: the exact dataAccess() protocol,
+        // back-to-back against the controller clock.
+        return dataAccess(busyUntil_, block, op,
+                          write_data != nullptr ? *write_data : 0,
+                          read_out);
+    }
+
+    panic_if(!policy_, "controller used before configure*()");
+    panic_if(!oram_.space().isData(block),
+             "CPU-visible access to non-data block ", block);
+    PRORAM_TRACE_SCOPE_ARG("controller", "access", "block", block);
+
+    PathOram &engine = oram_.engine();
+    static thread_local std::vector<FetchedBlock> fetchBuf;
+    static thread_local std::vector<BlockId> claimScratch;
+    if (fetchBuf.size() < engine.maxPathBlocks())
+        fetchBuf.resize(engine.maxPathBlocks());
+
+    // Stage 1 - position-map walk, leaf resolve, super-block claim.
+    // Claiming every current member (claim count + stash pin) keeps
+    // the whole remap set out of other requests' eviction scans until
+    // stage 3, so no member can land back in the tree under a mapping
+    // this access is about to change.
+    std::vector<Leaf> pmLeaves;
+    std::uint64_t walkPaths = 0;
+    Leaf leaf = kInvalidLeaf;
+    {
+        const std::scoped_lock lk(metaLock_, stashLock_);
+        pmSink_ = &pmLeaves;
+        const PosMapWalk walk = oram_.posMapWalk(block);
+        pmSink_ = nullptr;
+        walkPaths = walk.pathAccesses();
+        leaf = oram_.posMap().leafOf(block);
+        const PosEntry &entry = oram_.posMap().entry(block);
+        const std::uint32_t n = entry.sbSize();
+        const std::uint32_t stride = entry.sbStrideLog;
+        const BlockId base = sbBaseStrided(block, n, stride);
+        claimScratch.clear();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const BlockId m = sbMemberAt(base, i, stride);
+            ++claimed_[m.value()];
+            engine.stash().setPinned(m, true);
+            claimScratch.push_back(m);
+        }
+    }
+    // The walk's own readPath calls deposited tree blocks into the
+    // stash; other requests may be waiting for them in stage 3a.
+    stashCv_.notify_all();
+
+    // Stage 2 - path fetch into a thread-local buffer. Only per-node
+    // locks are held, one bucket at a time: this is the stage that
+    // overlaps across in-flight requests.
+    const std::size_t fetched = engine.fetchPath(leaf, fetchBuf.data());
+    std::uint64_t paths = walkPaths + 1;
+
+    // Stage 3a - absorb the fetched blocks, then wait until the
+    // target block is stash-resident. Our fetch may have missed it if
+    // another request's fetch cleared it off a shared bucket first;
+    // once any absorb deposits it, the claim pin makes stash
+    // residency permanent until we release it below.
+    {
+        const std::scoped_lock lk(metaLock_, stashLock_);
+        engine.absorbPath(fetchBuf.data(), fetched);
+    }
+    stashCv_.notify_all();
+    {
+        std::unique_lock<std::mutex> stash(stashLock_);
+        stashCv_.wait(
+            stash, [&] { return engine.stash().contains(block); });
+    }
+
+    // Stage 3b - payload, policy remap, then this request's eviction
+    // pass. The claims are released first (we hold the stash lock
+    // through our own eviction, so nothing can intervene): the remap
+    // set is final after the policy runs, and the policy's merge
+    // guard must only see other requests' claims. The eviction scan
+    // itself needs only the stash lock; node locks are taken
+    // bucket-wise inside evictWriteBack.
+    AccessDecision decision;
+    {
+        std::unique_lock<std::mutex> meta(metaLock_);
+        const std::lock_guard<std::mutex> stash(stashLock_);
+        std::uint64_t *payload = engine.stash().findData(block);
+        panic_if(!payload, "block ", block, " absent from path ", leaf,
+                 " and stash (invariant broken)");
+        if (op == OpType::Write && write_data != nullptr)
+            *payload = *write_data;
+        if (read_out != nullptr)
+            *read_out = *payload;
+        for (const BlockId m : claimScratch) {
+            if (--claimed_[m.value()] == 0)
+                engine.stash().setPinned(m, false);
+        }
+        decision = policy_->onDataAccess(block, false);
+        sbSize_.sample(oram_.posMap().entry(block).sbSize());
+        meta.unlock();
+        engine.evictClassify(leaf);
+        engine.evictWriteBack(leaf);
+    }
+
+    // Stage 4 - background eviction while the stash is over capacity,
+    // within the per-request budget. Random leaves come from the
+    // engine RNG (internally locked); leaves are recorded for the
+    // audit replay at commit.
+    std::vector<Leaf> bgLeaves;
+    std::uint64_t spent = 0;
+    while (spent < ctlCfg_.maxBgEvictionsPerRequest) {
+        {
+            const std::lock_guard<std::mutex> stash(stashLock_);
+            if (!engine.stash().overCapacity())
+                break;
+        }
+        const Leaf dummy_leaf = engine.randomLeaf();
+        PRORAM_TRACE_SCOPE_ARG("dummy", "bgEvict", "leaf", dummy_leaf);
+        const std::size_t n = engine.fetchPath(dummy_leaf,
+                                               fetchBuf.data());
+        {
+            std::unique_lock<std::mutex> meta(metaLock_);
+            const std::lock_guard<std::mutex> stash(stashLock_);
+            engine.absorbPath(fetchBuf.data(), n);
+            meta.unlock();
+            engine.evictClassify(dummy_leaf);
+            engine.evictWriteBack(dummy_leaf);
+        }
+        stashCv_.notify_all();
+        bgLeaves.push_back(dummy_leaf);
+        ++paths;
+        ++spent;
+    }
+
+    // Stage 5 - commit: prefetch insertion, audit replay, timing and
+    // stats, all under the meta lock. Timing is a serial grant chain
+    // in commit order against the shared busy-until clock.
+    {
+        const std::lock_guard<std::mutex> meta(metaLock_);
+        for (BlockId p : decision.prefetches) {
+            BlockId clean_victim = kInvalidBlock;
+            if (!hierarchy_.insertPrefetch(p, &clean_victim))
+                policy_->onPrefetchDropped(p);
+        }
+        ++stats_.realRequests;
+        stats_.posMapAccesses += walkPaths;
+        stats_.pathAccesses += paths;
+        stats_.bgEvictions += spent;
+        walkDepth_.sample(walkPaths);
+
+        const Cycles now = busyUntil_;
+        if (auditor_ != nullptr) {
+            for (Leaf l : pmLeaves)
+                auditor_->onPath(obs::PathKind::PosMap, l);
+            auditor_->onPath(obs::PathKind::Real, leaf);
+            for (Leaf l : bgLeaves)
+                auditor_->onPath(obs::PathKind::BgEvict, l);
+        }
+        const PeriodicGrant grant = scheduler_.schedule(now, paths);
+        if (auditor_ != nullptr)
+            auditor_->onGrant(grant.start, paths);
+        requestLatency_.sample((grant.completion - now).value());
+        epochBusy_ += grant.completion - grant.start;
+        busyUntil_ = grant.completion;
+        maybeRollEpoch(grant.completion);
+        return grant.completion;
+    }
 }
 
 void

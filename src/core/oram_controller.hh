@@ -9,7 +9,10 @@
 #ifndef PRORAM_CORE_ORAM_CONTROLLER_HH
 #define PRORAM_CORE_ORAM_CONTROLLER_HH
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "core/dynamic_policy.hh"
 #include "core/policy.hh"
@@ -19,6 +22,7 @@
 #include "mem/cache_hierarchy.hh"
 #include "mem/stream_prefetcher.hh"
 #include "oram/periodic.hh"
+#include "oram/subtree_cache.hh"
 #include "oram/unified_oram.hh"
 
 namespace proram
@@ -100,6 +104,33 @@ class OramController : public MemBackend, public LlcProbe
     Cycles dataAccess(Cycles now, BlockId block, OpType op,
                       std::uint64_t write_data, std::uint64_t *read_out);
 
+    /**
+     * Switch into the concurrent drive mode: after this, several
+     * threads may call queueAccess() simultaneously. Builds the
+     * per-node SubtreeCache over the tree arena and the per-block
+     * claim table, and flips the engine into locked bucket access.
+     * Must run after configure*() and before any queueAccess();
+     * incompatible with the periodic scheduler (timing protection is
+     * defined over a serial schedule - see DESIGN.md §11).
+     */
+    void enableConcurrent(unsigned workers);
+    bool concurrentEnabled() const { return concurrent_; }
+
+    /**
+     * One logical access from the concurrent request queue. In serial
+     * mode (enableConcurrent not called) this is exactly
+     * dataAccess(busyUntil(), ...). In concurrent mode the access
+     * runs as pipeline stages under the controller's lock hierarchy;
+     * timing commits in completion order against the shared
+     * busy-until clock. @return the request's completion time.
+     */
+    Cycles queueAccess(BlockId block, OpType op,
+                       const std::uint64_t *write_data,
+                       std::uint64_t *read_out);
+
+    /** Node-lock contention counters (null in serial mode). */
+    const SubtreeCache *subtreeCache() const { return subtree_.get(); }
+
     const ControllerStats &stats() const { return stats_; }
 
     /**
@@ -175,6 +206,33 @@ class OramController : public MemBackend, public LlcProbe
     ControllerStats stats_;
     Cycles busyUntil_{0};
     obs::ObliviousnessAuditor *auditor_ = nullptr;
+
+    // Concurrent drive mode (DESIGN.md §11). Lock hierarchy:
+    // metaLock_ < stashLock_ < per-node locks (SubtreeCache); the
+    // engine's RNG mutex is leaf-level and acquirable anywhere.
+    //   metaLock_: position map + PLB + policy + scheduler + stats_ +
+    //              histograms + auditor + epoch + busyUntil_ + LLC
+    //              prefetch insertion + pmSink_.
+    //   stashLock_: stash lanes/index/pin lane + engine eviction
+    //               scratch + claimed_ + occupancy distribution.
+    bool concurrent_ = false;
+    std::mutex metaLock_;
+    std::mutex stashLock_;
+    std::unique_ptr<SubtreeCache> subtree_;
+    /** Per-BlockId claim counts: > 0 while in-flight requests own the
+     *  block (pinning it against eviction; super blocks can overlap,
+     *  so claims nest). Writes hold metaLock_ + stashLock_; reads
+     *  hold at least one of the two. */
+    std::vector<std::uint8_t> claimed_;
+    /** Signalled whenever blocks move from the tree or an in-flight
+     *  buffer into the stash; stage-3a waiters re-check residency of
+     *  the block they are missing (stable once claimed/pinned). */
+    std::condition_variable stashCv_;
+    /** When non-null (during a concurrent pos-map walk, under
+     *  metaLock_), pos-map path leaves buffer here instead of going
+     *  to the auditor, and replay contiguously at commit so the
+     *  auditor's per-grant accounting stays exact. */
+    std::vector<Leaf> *pmSink_ = nullptr;
 
     stats::LogHistogram requestLatency_;
     stats::LogHistogram walkDepth_;

@@ -11,6 +11,8 @@
 #define PRORAM_CORE_POLICY_HH
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "oram/unified_oram.hh"
@@ -94,6 +96,19 @@ class SuperBlockPolicy
 
     const PolicyStats &policyStats() const { return stats_; }
 
+    /**
+     * Concurrent-mode hook (empty in serial mode): true if @p block
+     * is claimed by an in-flight request. A merge must not adopt
+     * members of a claimed super block - the claimant's remap set
+     * would grow under it mid-access (DESIGN.md §11). The controller
+     * unclaims its own blocks before running the policy, so every
+     * claim visible here belongs to a different request.
+     */
+    void setClaimGuard(std::function<bool(BlockId)> fn)
+    {
+        claimGuard_ = std::move(fn);
+    }
+
     /** Scheme name for reports. */
     virtual const char *name() const = 0;
 
@@ -113,9 +128,15 @@ class SuperBlockPolicy
     /** Mark @p block as freshly prefetched (prefetch=1, hit=0). */
     void markPrefetched(BlockId block);
 
+    bool claimedElsewhere(BlockId block) const
+    {
+        return claimGuard_ && claimGuard_(block);
+    }
+
     UnifiedOram &oram_;
     const LlcProbe &llc_;
     PolicyStats stats_;
+    std::function<bool(BlockId)> claimGuard_;
 };
 
 /** Baseline: every block is its own super block; remap-and-return. */

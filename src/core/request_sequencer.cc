@@ -1,0 +1,56 @@
+#include "core/request_sequencer.hh"
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+RequestSequencer::RequestSequencer(std::size_t n) : done_(n, 0) {}
+
+std::vector<std::int64_t>
+RequestSequencer::dependencies(const std::vector<BlockId> &blocks,
+                               std::uint64_t num_blocks)
+{
+    std::vector<std::int64_t> deps(blocks.size(), -1);
+    std::vector<std::int64_t> lastSeen(num_blocks, -1);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const std::uint64_t b = blocks[i].value();
+        panic_if(b >= num_blocks, "trace block ", blocks[i],
+                 " outside the configured block space");
+        deps[i] = lastSeen[b];
+        lastSeen[b] = static_cast<std::int64_t>(i);
+    }
+    return deps;
+}
+
+void
+RequestSequencer::waitFor(std::int64_t dep)
+{
+    if (dep < 0)
+        return;
+    const auto i = static_cast<std::size_t>(dep);
+    panic_if(i >= done_.size(), "dependency index out of range");
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_.wait(lk, [&] { return done_[i] != 0; });
+}
+
+void
+RequestSequencer::markDone(std::size_t i)
+{
+    panic_if(i >= done_.size(), "request index out of range");
+    {
+        const std::lock_guard<std::mutex> lk(mutex_);
+        done_[i] = 1;
+    }
+    cv_.notify_all();
+}
+
+bool
+RequestSequencer::isDone(std::size_t i)
+{
+    panic_if(i >= done_.size(), "request index out of range");
+    const std::lock_guard<std::mutex> lk(mutex_);
+    return done_[i] != 0;
+}
+
+} // namespace proram

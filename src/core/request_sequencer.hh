@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Admission control for the concurrent drive mode: requests to the
+ * same block must execute in trace order (a later write must not be
+ * observed by an earlier read), while requests to distinct blocks may
+ * run in any interleaving.
+ *
+ * The sequencer precomputes, for every trace index i, the index of
+ * the latest earlier request to the same block (its dependency), and
+ * lets workers block until that dependency has committed. Dependencies
+ * always point at strictly earlier indices and workers claim indices
+ * in increasing order, so progress is guaranteed: the oldest
+ * uncommitted request never waits.
+ */
+
+#ifndef PRORAM_CORE_REQUEST_SEQUENCER_HH
+#define PRORAM_CORE_REQUEST_SEQUENCER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace proram
+{
+
+class RequestSequencer
+{
+  public:
+    /** Track completion of @p n requests, all initially pending. */
+    explicit RequestSequencer(std::size_t n);
+
+    /**
+     * Per-request dependency index: dependencies(blocks, total)[i] is
+     * the largest j < i with blocks[j] == blocks[i], or -1 if request
+     * i is the first touch of its block. @p num_blocks bounds the
+     * id space (flat last-seen table; no hashing on this path).
+     */
+    static std::vector<std::int64_t>
+    dependencies(const std::vector<BlockId> &blocks,
+                 std::uint64_t num_blocks);
+
+    /** Block until request @p dep has committed; @p dep < 0 returns
+     *  immediately (no dependency). */
+    void waitFor(std::int64_t dep);
+
+    /** Mark request @p i committed and wake waiters. */
+    void markDone(std::size_t i);
+
+    bool isDone(std::size_t i);
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::uint8_t> done_;
+};
+
+} // namespace proram
+
+#endif // PRORAM_CORE_REQUEST_SEQUENCER_HH

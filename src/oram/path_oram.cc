@@ -1,9 +1,11 @@
 #include "oram/path_oram.hh"
 
 #include <cassert>
+#include <mutex>
 
 #include "obs/trace.hh"
 #include "oram/evict_kernel.hh"
+#include "oram/subtree_cache.hh"
 #include "util/annotations.hh"
 #include "util/logging.hh"
 
@@ -49,9 +51,22 @@ PathOram::reserveScratch(std::size_t slots)
         poolScratch_.reserve(slots);
 }
 
+void
+PathOram::enableConcurrent(SubtreeCache *cache,
+                           const std::uint8_t *claim_filter)
+{
+    cache_ = cache;
+    stash_.setPinFilter(claim_filter);
+}
+
 PRORAM_HOT Leaf
 PathOram::randomLeaf()
 {
+    if (cache_ != nullptr) {
+        const std::lock_guard<std::mutex> g(rngMutex_);
+        return Leaf{
+            static_cast<std::uint32_t>(rng_.below(tree_.numLeaves()))};
+    }
     return Leaf{
         static_cast<std::uint32_t>(rng_.below(tree_.numLeaves()))};
 }
@@ -64,6 +79,9 @@ PathOram::readPath(Leaf leaf)
     const std::uint32_t z = tree_.z();
     for (Level level{0}; level <= tree_.leafLevel(); ++level) {
         const TreeIdx node = tree_.nodeOnPath(leaf, level);
+        std::unique_lock<std::mutex> guard;
+        if (cache_ != nullptr)
+            guard = cache_->lockNode(node);
         if (tree_.occupancy(node) == 0)
             continue;
         for (std::uint32_t i = 0; i < z; ++i) {
@@ -79,17 +97,69 @@ PathOram::readPath(Leaf leaf)
     }
 }
 
+PRORAM_OBLIVIOUS PRORAM_HOT std::size_t
+PathOram::fetchPath(Leaf leaf, FetchedBlock *out)
+{
+    // Concurrent-pipeline twin of readPath: same public access
+    // pattern (all L+1 buckets of one path, root to leaf), but blocks
+    // land in a caller-local buffer instead of the stash so no stash
+    // lock is needed. Each bucket is held exclusively only while its
+    // slots are copied and cleared.
+    PRORAM_TRACE_SCOPE_ARG("oram", "readPath", "leaf", leaf);
+    ++pathReads_;
+    const std::uint32_t z = tree_.z();
+    std::size_t n = 0;
+    for (Level level{0}; level <= tree_.leafLevel(); ++level) {
+        const TreeIdx node = tree_.nodeOnPath(leaf, level);
+        std::unique_lock<std::mutex> guard;
+        if (cache_ != nullptr)
+            guard = cache_->lockNode(node);
+        if (tree_.occupancy(node) == 0)
+            continue;
+        for (std::uint32_t i = 0; i < z; ++i) {
+            const BlockId id = tree_.slotId(node, i);
+            if (id == kInvalidBlock)
+                continue;
+            out[n++] = FetchedBlock{id, tree_.slotData(node, i)};
+            tree_.clearSlot(node, i);
+        }
+    }
+    return n;
+}
+
+PRORAM_HOT void
+PathOram::absorbPath(const FetchedBlock *blocks, std::size_t n)
+{
+    // The leaf is re-read from the position map at absorb time, not
+    // fetch time: a concurrent remap between the two stages must win.
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool fresh = stash_.insert(blocks[i].id, blocks[i].data,
+                                         posMap_.leafOf(blocks[i].id));
+        panic_if(!fresh, "block ", blocks[i].id,
+                 " duplicated between tree and stash");
+    }
+}
+
 PRORAM_OBLIVIOUS PRORAM_HOT void
 PathOram::writePath(Leaf leaf)
+{
+    PRORAM_TRACE_SCOPE_ARG("oram", "writePath", "leaf", leaf);
+    evictClassify(leaf);
+    evictWriteBack(leaf);
+}
+
+PRORAM_OBLIVIOUS PRORAM_HOT void
+PathOram::evictClassify(Leaf leaf)
 {
     // Counting-sort eviction: classify every stash slot's deepest
     // eligible level in one vectorized sweep over the contiguous leaf
     // lane, histogram the live slots per level, then stable-scatter
     // ids + payloads into one flat array grouped deepest level first.
-    // Insertion order within a level is preserved, so the fill loop
-    // below makes bit-identical placement decisions to the former
-    // per-level scratch-vector pushes.
-    PRORAM_TRACE_SCOPE_ARG("oram", "writePath", "leaf", leaf);
+    // Insertion order within a level is preserved, so the write-back
+    // fill makes bit-identical placement decisions to the former
+    // per-level scratch-vector pushes. Pinned slots (blocks claimed
+    // by another in-flight request) are excluded up front; the pin
+    // lane is all zero in serial mode.
     const std::uint32_t levels = tree_.levels();
     const std::size_t slots = stash_.slotCount();
     reserveScratch(slots);
@@ -99,14 +169,17 @@ PathOram::writePath(Leaf leaf)
                               levelScratch_.data());
     }
 
-    PRORAM_TRACE_SCOPE_ARG("evict", "scatterFill", "slots", slots);
     const BlockId *ids = stash_.idLane();
     const Leaf *leaves = stash_.leafLane();
     const std::uint64_t *payloads = stash_.dataLane();
+    const std::uint8_t *pins =
+        cache_ != nullptr ? stash_.pinnedLane() : nullptr;
     for (std::uint32_t l = 0; l <= levels; ++l)
         histScratch_[l] = 0;
     for (std::size_t i = 0; i < slots; ++i) {
         if (ids[i] == kInvalidBlock)
+            continue;
+        if (pins != nullptr && pins[i] != 0)
             continue;
         panic_if(leaves[i] == kInvalidLeaf, "stash block ", ids[i],
                  " has no leaf");
@@ -121,12 +194,21 @@ PathOram::writePath(Leaf leaf)
     for (std::size_t i = 0; i < slots; ++i) {
         if (ids[i] == kInvalidBlock)
             continue;
+        if (pins != nullptr && pins[i] != 0)
+            continue;
         sortedScratch_[levelCursorScratch_[levelScratch_[i]]++] =
             Evictable{ids[i], payloads[i]};
     }
+}
 
+PRORAM_OBLIVIOUS PRORAM_HOT void
+PathOram::evictWriteBack(Leaf leaf)
+{
     // Fill buckets greedily from the leaf upward; unplaced deeper
-    // blocks stay pooled and may still land closer to the root.
+    // blocks stay pooled and may still land closer to the root. Each
+    // bucket is locked only while its free slots are consumed.
+    PRORAM_TRACE_SCOPE_ARG("evict", "scatterFill", "leaf", leaf);
+    const std::uint32_t levels = tree_.levels();
     poolScratch_.clear();
     for (std::uint32_t l = levels + 1; l-- > 0;) {
         const std::uint32_t start = levelStartScratch_[l];
@@ -137,6 +219,9 @@ PathOram::writePath(Leaf leaf)
             poolScratch_.push_back(sortedScratch_[s]);
         }
         const TreeIdx node = tree_.nodeOnPath(leaf, Level{l});
+        std::unique_lock<std::mutex> guard;
+        if (cache_ != nullptr)
+            guard = cache_->lockNode(node);
         while (!poolScratch_.empty() && tree_.freeSlots(node) != 0) {
             const Evictable ev = poolScratch_.back();
             poolScratch_.pop_back();

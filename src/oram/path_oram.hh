@@ -10,6 +10,8 @@
 #ifndef PRORAM_ORAM_PATH_ORAM_HH
 #define PRORAM_ORAM_PATH_ORAM_HH
 
+#include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "oram/config.hh"
@@ -20,6 +22,18 @@
 
 namespace proram
 {
+
+class SubtreeCache;
+
+/** One real block copied off a tree path by fetchPath(), pending
+ *  absorption into the stash (the concurrent pipeline's hand-off
+ *  between the lock-free-of-stash fetch stage and the stash-locked
+ *  absorb stage). */
+struct FetchedBlock
+{
+    BlockId id = kInvalidBlock;
+    std::uint64_t data = 0;
+};
 
 /**
  * Binary tree + stash + remap machinery. The position map is owned by
@@ -41,9 +55,71 @@ class PathOram
     /**
      * Evict as many stash blocks as possible onto path @p leaf,
      * deepest buckets first (step 5). Blocks land only in buckets that
-     * lie on both @p leaf and their own mapped path.
+     * lie on both @p leaf and their own mapped path. Equivalent to
+     * evictClassify(leaf) followed by evictWriteBack(leaf).
      */
     void writePath(Leaf leaf);
+
+    /** @name Pipeline stages (concurrent controller interface).
+     *
+     * One serial access decomposes into position-map lookup (owned by
+     * UnifiedOram), path fetch, stash absorb/remap, evict classify,
+     * and write-back. The stage functions below expose the engine
+     * half of that pipeline so the controller can interleave stages
+     * of different requests; locking contracts are per function (see
+     * DESIGN.md "Concurrent controller"). @{ */
+
+    /**
+     * Stage: path fetch. Copy every real block on path @p leaf into
+     * @p out (capacity >= maxPathBlocks()) and clear the tree slots.
+     * Takes per-node locks only - never the stash - so it may run
+     * concurrently with other requests' fetch/write-back traffic.
+     * @return number of blocks copied.
+     */
+    std::size_t fetchPath(Leaf leaf, FetchedBlock *out);
+
+    /**
+     * Stage: stash absorb. Insert @p n fetched blocks, re-reading
+     * each block's current leaf from the position map. Caller must
+     * hold the controller's meta and stash locks in concurrent mode.
+     */
+    void absorbPath(const FetchedBlock *blocks, std::size_t n);
+
+    /**
+     * Stage: evict classify. Classify every stash slot's deepest
+     * eligible level on path @p leaf and counting-sort the live,
+     * unpinned slots deepest level first into internal scratch.
+     * Caller must hold the stash lock in concurrent mode.
+     */
+    void evictClassify(Leaf leaf);
+
+    /**
+     * Stage: write-back. Fill buckets of path @p leaf from the
+     * classified scratch, leaf upward. Takes per-node locks around
+     * each bucket in concurrent mode; caller must hold the stash
+     * lock (stash erase + occupancy sample happen here).
+     */
+    void evictWriteBack(Leaf leaf);
+
+    /** Upper bound on real blocks one path can hold ((L+1)*Z). */
+    std::size_t maxPathBlocks() const
+    {
+        return static_cast<std::size_t>(tree_.levels() + 1) * tree_.z();
+    }
+
+    /**
+     * Switch the engine into concurrent mode: bucket operations in
+     * fetchPath/readPath/evictWriteBack take per-node locks from
+     * @p cache, randomLeaf() serialises on an internal RNG mutex, and
+     * blocks inserted while claimed in @p claim_filter (per-BlockId
+     * bytes, controller-owned) start pinned against eviction. Serial
+     * mode (cache == nullptr, the default) takes no locks at all.
+     */
+    void enableConcurrent(SubtreeCache *cache,
+                          const std::uint8_t *claim_filter);
+
+    bool concurrentEnabled() const { return cache_ != nullptr; }
+    /** @} */
 
     /**
      * Background eviction (Sec. 2.4): read + write a random path
@@ -86,7 +162,12 @@ class PathOram
     BinaryTree tree_;
     Stash stash_;
     Rng rng_;
-    stats::Counter pathReads_;
+    stats::AtomicCounter pathReads_;
+    /** Non-null in concurrent mode: per-node locking discipline. */
+    SubtreeCache *cache_ = nullptr;
+    /** Serialises rng_ draws in concurrent mode. Leaf-level lock:
+     *  acquirable under any other lock, never acquires one itself. */
+    std::mutex rngMutex_;
 
     // writePath scratch, pre-sized from tree geometry at construction
     // (see reserveScratch) so even the first paths allocate nothing.

@@ -11,6 +11,7 @@ Stash::Stash(std::uint32_t capacity)
     ids_.reserve(capacity * 2);
     leaves_.reserve(capacity * 2);
     data_.reserve(capacity * 2);
+    pinned_.reserve(capacity * 2);
 }
 
 PRORAM_HOT bool
@@ -26,8 +27,19 @@ Stash::insert(BlockId id, std::uint64_t data, Leaf leaf)
     leaves_.push_back(leaf);
     // PRORAM_LINT_ALLOW(hot-alloc): see above
     data_.push_back(data);
+    // PRORAM_LINT_ALLOW(hot-alloc): see above
+    pinned_.push_back(
+        pinFilter_ != nullptr && pinFilter_[id.value()] != 0 ? 1 : 0);
     ++live_;
     return true;
+}
+
+PRORAM_HOT void
+Stash::setPinned(BlockId id, bool pinned)
+{
+    const std::uint32_t slot = index_.get(id.value());
+    if (slot != FlatIndex::kNone)
+        pinned_[slot] = pinned ? 1 : 0;
 }
 
 PRORAM_HOT bool
@@ -89,6 +101,7 @@ Stash::compact()
             ids_[out] = ids_[in];
             leaves_[out] = leaves_[in];
             data_[out] = data_[in];
+            pinned_[out] = pinned_[in];
         }
         index_.put(ids_[out].value(), static_cast<std::uint32_t>(out));
         ++out;
@@ -96,6 +109,7 @@ Stash::compact()
     ids_.resize(out);
     leaves_.resize(out);
     data_.resize(out);
+    pinned_.resize(out);
     dead_ = 0;
 }
 

@@ -91,7 +91,25 @@ class Stash
     const BlockId *idLane() const { return ids_.data(); }
     const Leaf *leafLane() const { return leaves_.data(); }
     const std::uint64_t *dataLane() const { return data_.data(); }
+    /** Per-slot pin flags (1 = claimed by an in-flight request, must
+     *  not be evicted). All zero unless a pin filter is set. */
+    const std::uint8_t *pinnedLane() const { return pinned_.data(); }
     /** @} */
+
+    /**
+     * Concurrent-controller hook: @p claimed is a per-BlockId byte
+     * array (indexed by id.value()); a block inserted while its byte
+     * is non-zero starts pinned. nullptr (the default) disables
+     * pinning entirely. The array must outlive the stash or be
+     * cleared with setPinFilter(nullptr).
+     */
+    void setPinFilter(const std::uint8_t *claimed)
+    {
+        pinFilter_ = claimed;
+    }
+
+    /** Pin or unpin a resident block; no-op if absent. */
+    void setPinned(BlockId id, bool pinned);
 
     /**
      * Visit every resident block in insertion order without
@@ -128,6 +146,9 @@ class Stash
     std::vector<BlockId> ids_;
     std::vector<Leaf> leaves_;
     std::vector<std::uint64_t> data_;
+    /** Fourth lane: 1 = pinned (skip in eviction scans). */
+    std::vector<std::uint8_t> pinned_;
+    const std::uint8_t *pinFilter_ = nullptr;
     /** BlockId -> slot. */
     FlatIndex index_;
     std::size_t live_ = 0;

@@ -1,0 +1,47 @@
+#include "oram/subtree_cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+
+SubtreeCache::SubtreeCache(std::uint64_t num_buckets,
+                           std::uint32_t dedicated_levels,
+                           std::size_t stripes)
+    : dedicated_(std::min<std::uint64_t>(
+          num_buckets,
+          dedicated_levels >= 63
+              ? num_buckets
+              : (std::uint64_t{1} << dedicated_levels) - 1)),
+      stripes_(std::max<std::size_t>(1, stripes))
+{
+    fatal_if(num_buckets == 0, "SubtreeCache over an empty tree");
+    if (dedicated_ > 0)
+        nodeMutexes_ = std::make_unique<std::mutex[]>(dedicated_);
+    stripeMutexes_ = std::make_unique<std::mutex[]>(stripes_);
+}
+
+std::mutex &
+SubtreeCache::mutexFor(TreeIdx node)
+{
+    const std::uint64_t n = node.value();
+    if (n < dedicated_)
+        return nodeMutexes_[n];
+    return stripeMutexes_[n % stripes_];
+}
+
+std::unique_lock<std::mutex>
+SubtreeCache::lockNode(TreeIdx node)
+{
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(mutexFor(node), std::try_to_lock);
+    if (!lk.owns_lock()) {
+        contended_.fetch_add(1, std::memory_order_relaxed);
+        lk.lock();
+    }
+    return lk;
+}
+
+} // namespace proram

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Locking discipline for concurrent access to the shared Path ORAM
+ * tree (the "subtree cache" of the concurrent controller).
+ *
+ * The flat SoA slot arena in tree.hh is the shared subtree store:
+ * every in-flight request reads and writes buckets of the same tree.
+ * This class adds the per-node mutual exclusion that makes those
+ * bucket operations safe: the top levels of the tree - where every
+ * path overlaps and contention concentrates - get one dedicated mutex
+ * per node, while the exponentially many deeper nodes hash onto a
+ * fixed stripe table (false sharing of a stripe only costs a little
+ * extra serialisation, never correctness).
+ *
+ * Deadlock freedom is by protocol, not by this class: callers hold at
+ * most ONE node lock at a time (fetch and write-back walk the path
+ * bucket by bucket, releasing each before locking the next), so the
+ * stripe mapping can alias arbitrary nodes without ordering concerns.
+ * See DESIGN.md "Concurrent controller" for the full lock hierarchy.
+ */
+
+#ifndef PRORAM_ORAM_SUBTREE_CACHE_HH
+#define PRORAM_ORAM_SUBTREE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "util/types.hh"
+
+namespace proram
+{
+
+class SubtreeCache
+{
+  public:
+    /**
+     * @param num_buckets total nodes in the tree (heap order).
+     * @param dedicated_levels tree levels with a private mutex per
+     *        node (root is level 0); deeper nodes share stripes.
+     * @param stripes size of the shared stripe table.
+     */
+    explicit SubtreeCache(std::uint64_t num_buckets,
+                          std::uint32_t dedicated_levels = 8,
+                          std::size_t stripes = 512);
+
+    /** RAII exclusive hold on @p node's bucket. Callers must not hold
+     *  another node guard while acquiring (see file comment). */
+    std::unique_lock<std::mutex> lockNode(TreeIdx node);
+
+    /** Total lockNode() calls (relaxed; observability only). */
+    std::uint64_t acquisitions() const
+    {
+        return acquisitions_.load(std::memory_order_relaxed);
+    }
+    /** Calls that found the mutex already held and had to block. */
+    std::uint64_t contended() const
+    {
+        return contended_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t dedicatedNodes() const { return dedicated_; }
+    std::size_t stripeCount() const { return stripes_; }
+
+  private:
+    std::mutex &mutexFor(TreeIdx node);
+
+    /** Nodes with index < dedicated_ own nodeMutexes_[index]. */
+    std::uint64_t dedicated_;
+    std::size_t stripes_;
+    std::unique_ptr<std::mutex[]> nodeMutexes_;
+    std::unique_ptr<std::mutex[]> stripeMutexes_;
+    std::atomic<std::uint64_t> acquisitions_{0};
+    std::atomic<std::uint64_t> contended_{0};
+};
+
+} // namespace proram
+
+#endif // PRORAM_ORAM_SUBTREE_CACHE_HH

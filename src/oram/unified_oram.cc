@@ -68,8 +68,20 @@ UnifiedOram::fetchPosMapBlock(BlockId pm_block)
     if (posMapObserver_)
         posMapObserver_(leaf);
     oram_.readPath(leaf);
-    panic_if(!oram_.stash().contains(pm_block),
-             "pos-map block ", pm_block, " missing from path ", leaf);
+    if (!oram_.stash().contains(pm_block)) {
+        // In concurrent mode another request's fetch stage may have
+        // cleared this block off a shared bucket into its private
+        // buffer. That is harmless: the pos-map *content* lives in
+        // the flat table (the simulated block carries no payload the
+        // walk reads), and the remap below is safe for an in-flight
+        // block because absorbPath re-reads the leaf at deposit time.
+        // The access therefore completes obliviously - fresh remap,
+        // same-path write-back, PLB insert - with no retry, keeping
+        // the audited leaf sequence identical in distribution to the
+        // serial one (DESIGN.md §11).
+        panic_if(!oram_.concurrentEnabled(), "pos-map block ",
+                 pm_block, " missing from path ", leaf);
+    }
     posMap_.setLeaf(pm_block, oram_.randomLeaf());
     oram_.writePath(leaf);
     plb_.insert(pm_block);

@@ -76,7 +76,10 @@ class UnifiedOram
     const PosMapBlockCache &plb() const { return plb_; }
 
   private:
-    /** Path-access one pos-map block: read, remap, write back. */
+    /** Path-access one pos-map block: read, remap, write back. In
+     *  concurrent mode the access completes even while the block is
+     *  in another request's in-flight fetch buffer (the walk never
+     *  reads the simulated block's payload - see the .cc comment). */
     void fetchPosMapBlock(BlockId pm_block);
 
     OramConfig cfg_;

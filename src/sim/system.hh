@@ -7,8 +7,10 @@
 #ifndef PRORAM_SIM_SYSTEM_HH
 #define PRORAM_SIM_SYSTEM_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cpu/trace_cpu.hh"
 #include "obs/audit.hh"
@@ -66,6 +68,22 @@ class System
     /** Run @p gen to completion and collect results. */
     SimResult run(TraceGenerator &gen);
 
+    /**
+     * Concurrent drive mode (DESIGN.md §11): drain @p records through
+     * workers() threads calling OramController::queueAccess, with
+     * same-block requests held in trace order by a RequestSequencer.
+     * Bypasses the cache hierarchy - every record is one ORAM access.
+     * Writes carry a deterministic payload derived from the record
+     * index; @p payloads (when non-null) receives the value each
+     * access observed, so runs at different worker counts can be
+     * checked for result equivalence. ORAM schemes only.
+     */
+    SimResult runQueue(const std::vector<TraceRecord> &records,
+                       std::vector<std::uint64_t> *payloads = nullptr);
+
+    /** Resolved drive workers (cfg.workers, or $PRORAM_WORKERS). */
+    unsigned workers() const { return workers_; }
+
     /** gem5-stats.txt-style dump of every component's counters. */
     std::string dumpStats() const;
 
@@ -90,6 +108,7 @@ class System
     OramController *controller_ = nullptr;
     std::unique_ptr<obs::ObliviousnessAuditor> auditor_;
     std::unique_ptr<TraceCpu> cpu_;
+    unsigned workers_ = 1;
 };
 
 } // namespace proram

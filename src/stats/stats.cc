@@ -26,6 +26,22 @@ Distribution::sample(double v)
 }
 
 void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
 Distribution::reset()
 {
     count_ = 0;
@@ -68,6 +84,24 @@ LogHistogram::sample(std::uint64_t v)
     ++counts_[std::bit_width(v)];
     ++total_;
     sum_ += static_cast<double>(v);
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.total_ == 0)
+        return;
+    if (total_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
 }
 
 std::uint64_t

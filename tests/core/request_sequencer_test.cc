@@ -1,0 +1,76 @@
+#include "core/request_sequencer.hh"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace proram
+{
+namespace
+{
+
+TEST(RequestSequencer, DependenciesFirstTouchIsFree)
+{
+    const std::vector<BlockId> blocks{BlockId{3}, BlockId{5},
+                                      BlockId{7}};
+    const auto deps = RequestSequencer::dependencies(blocks, 16);
+    ASSERT_EQ(deps.size(), 3u);
+    EXPECT_EQ(deps[0], -1);
+    EXPECT_EQ(deps[1], -1);
+    EXPECT_EQ(deps[2], -1);
+}
+
+TEST(RequestSequencer, DependenciesChainSameBlock)
+{
+    // Repeats of a block chain onto the latest earlier touch, not the
+    // first one: 3 -> -1, 5 -> -1, 3 -> 0, 3 -> 2, 5 -> 1.
+    const std::vector<BlockId> blocks{BlockId{3}, BlockId{5},
+                                      BlockId{3}, BlockId{3},
+                                      BlockId{5}};
+    const auto deps = RequestSequencer::dependencies(blocks, 16);
+    ASSERT_EQ(deps.size(), 5u);
+    EXPECT_EQ(deps[0], -1);
+    EXPECT_EQ(deps[1], -1);
+    EXPECT_EQ(deps[2], 0);
+    EXPECT_EQ(deps[3], 2);
+    EXPECT_EQ(deps[4], 1);
+}
+
+TEST(RequestSequencer, DependenciesEmpty)
+{
+    const std::vector<BlockId> blocks;
+    EXPECT_TRUE(RequestSequencer::dependencies(blocks, 4).empty());
+}
+
+TEST(RequestSequencer, WaitForNegativeReturnsImmediately)
+{
+    RequestSequencer seq(4);
+    seq.waitFor(-1); // must not block
+    EXPECT_FALSE(seq.isDone(0));
+}
+
+TEST(RequestSequencer, MarkDoneUnblocksWaiter)
+{
+    RequestSequencer seq(2);
+    std::thread waiter([&] {
+        seq.waitFor(0);
+        seq.markDone(1);
+    });
+    EXPECT_FALSE(seq.isDone(1));
+    seq.markDone(0);
+    waiter.join();
+    EXPECT_TRUE(seq.isDone(0));
+    EXPECT_TRUE(seq.isDone(1));
+}
+
+TEST(RequestSequencer, WaitAfterDoneReturnsImmediately)
+{
+    RequestSequencer seq(1);
+    seq.markDone(0);
+    seq.waitFor(0); // already satisfied
+    EXPECT_TRUE(seq.isDone(0));
+}
+
+} // namespace
+} // namespace proram

@@ -79,8 +79,11 @@ class SnapshotToolTest(unittest.TestCase):
     def test_appends_new_label(self):
         res = self.run_tool("--label", "next", "--description", "d")
         self.assertEqual(res.returncode, 0, res.stderr)
-        labels = [s["label"] for s in self.read_doc()["snapshots"]]
-        self.assertEqual(labels, ["base", "next"])
+        snaps = self.read_doc()["snapshots"]
+        self.assertEqual([s["label"] for s in snaps], ["base", "next"])
+        # Snapshots record the host they were taken on (detected, not
+        # the file-level hardcoded block).
+        self.assertEqual(snaps[-1]["host"]["cpus"], os.cpu_count() or 1)
 
     def test_duplicate_label_errors_without_force(self):
         res = self.run_tool("--label", "base", "--description", "d")

@@ -109,6 +109,87 @@ class ClockScope(unittest.TestCase):
         self.assertEqual(len(rand), 1)
 
 
+class StageAnnotations(unittest.TestCase):
+    """stage-annotation rule: the pipeline stage functions of
+    path_oram.cc must keep both macros on their definitions."""
+
+    STUB = """\
+PRORAM_OBLIVIOUS PRORAM_HOT void
+PathOram::readPath(Leaf leaf)
+{
+}
+%s
+PathOram::fetchPath(Leaf leaf, FetchedBlock *out)
+{
+}
+PRORAM_OBLIVIOUS PRORAM_HOT void
+PathOram::writePath(Leaf leaf)
+{
+}
+PRORAM_OBLIVIOUS PRORAM_HOT void
+PathOram::evictClassify(Leaf leaf)
+{
+}
+PRORAM_OBLIVIOUS PRORAM_HOT void
+PathOram::evictWriteBack(Leaf leaf)
+{
+}
+"""
+
+    def lint_stub(self, fetch_head):
+        with tempfile.TemporaryDirectory() as tmp:
+            dest_dir = os.path.join(tmp, "src", "oram")
+            os.makedirs(dest_dir)
+            dest = os.path.join(dest_dir, "path_oram.cc")
+            with open(dest, "w") as f:
+                f.write(self.STUB % fetch_head)
+            rel = os.path.relpath(dest, tmp)
+            return oblivious_lint.lint_file_text(dest, rel).diagnostics
+
+    def test_fully_annotated_is_clean(self):
+        diags = self.lint_stub("PRORAM_OBLIVIOUS PRORAM_HOT std::size_t")
+        self.assertEqual([], [str(d) for d in diags])
+
+    def test_dropped_macro_caught(self):
+        diags = self.lint_stub("std::size_t")
+        rules = [d.rule for d in diags]
+        self.assertEqual(rules.count("stage-annotation"), 2)
+        messages = " ".join(d.message for d in diags)
+        self.assertIn("fetchPath", messages)
+        self.assertIn("PRORAM_OBLIVIOUS", messages)
+        self.assertIn("PRORAM_HOT", messages)
+
+    def test_renamed_stage_caught(self):
+        diags = self.lint_stub(
+            "PRORAM_OBLIVIOUS PRORAM_HOT std::size_t").copy()
+        renamed = self.STUB.replace("fetchPath", "pullPath")
+        with tempfile.TemporaryDirectory() as tmp:
+            dest_dir = os.path.join(tmp, "src", "oram")
+            os.makedirs(dest_dir)
+            dest = os.path.join(dest_dir, "path_oram.cc")
+            with open(dest, "w") as f:
+                f.write(renamed %
+                        "PRORAM_OBLIVIOUS PRORAM_HOT std::size_t")
+            rel = os.path.relpath(dest, tmp)
+            diags = oblivious_lint.lint_file_text(dest, rel).diagnostics
+        messages = " ".join(d.message for d in diags)
+        self.assertIn("not found", messages)
+        self.assertIn("fetchPath", messages)
+
+    def test_other_files_unaffected(self):
+        # The rule is keyed to path_oram.cc; the same content under a
+        # different name must not fire.
+        with tempfile.TemporaryDirectory() as tmp:
+            dest_dir = os.path.join(tmp, "src", "oram")
+            os.makedirs(dest_dir)
+            dest = os.path.join(dest_dir, "other.cc")
+            with open(dest, "w") as f:
+                f.write("void f() {}\n")
+            rel = os.path.relpath(dest, tmp)
+            diags = oblivious_lint.lint_file_text(dest, rel).diagnostics
+        self.assertEqual([], [str(d) for d in diags])
+
+
 class ShippedTree(unittest.TestCase):
     """The shipped src/ tree lints clean (the CI hard gate)."""
 

@@ -33,6 +33,16 @@ Enforces three project rules over C++ sources (see DESIGN.md,
                  names, and the fallback engine cannot resolve the
                  receiver's type.)
 
+  stage-annotation  The pipelined controller's stage functions in
+                 src/oram/path_oram.cc (readPath / fetchPath /
+                 writePath / evictClassify / evictWriteBack) must
+                 keep both PRORAM_OBLIVIOUS and PRORAM_HOT on their
+                 definitions. The other rules only fire inside
+                 annotated bodies, so dropping a macro would silently
+                 un-check the hottest, most security-critical loops
+                 (DESIGN.md §11); renaming a stage without updating
+                 this list is also flagged.
+
 Suppression: `// PRORAM_LINT_ALLOW(<rule>): reason` on the same line
 or the line directly above the diagnostic site.
 
@@ -74,6 +84,14 @@ GROWTH_CALLS = ("push_back", "emplace_back", "resize", "reserve")
 # Directories (relative to the source root) whose files carry the
 # oblivious-core rules and the unordered_map ban.
 HOT_PATH_DIRS = ("src/oram", "src/core")
+# Stage functions that must stay fully annotated (stage-annotation
+# rule): file -> (class, required function names).
+STAGE_ANNOTATED = {
+    "src/oram/path_oram.cc": ("PathOram", (
+        "readPath", "fetchPath", "writePath",
+        "evictClassify", "evictWriteBack",
+    )),
+}
 # The one directory allowed to read wall-clock time.
 CLOCK_ALLOWED_DIRS = ("src/obs",)
 
@@ -330,6 +348,36 @@ def check_banned_api_text(report: FileReport, relpath: str, clean: str,
                  "util::FlatIndex or a dense array")
 
 
+def check_stage_annotations(report: FileReport, relpath: str,
+                            clean: str, raw_lines: list[str]):
+    entry = STAGE_ANNOTATED.get(relpath.replace(os.sep, "/"))
+    if entry is None:
+        return
+    cls, funcs = entry
+    lines = clean.splitlines()
+    for func in funcs:
+        pattern = re.compile(
+            r"^\s*%s::%s\s*\(" % (re.escape(cls), re.escape(func)))
+        def_line = None  # 1-based
+        for idx, text in enumerate(lines):
+            if pattern.match(text):
+                def_line = idx + 1
+                break
+        if def_line is None:
+            emit(report, raw_lines, 1, "stage-annotation",
+                 f"stage function {cls}::{func} not found; update "
+                 "STAGE_ANNOTATED if it was renamed")
+            continue
+        # Repo style puts annotations + return type on the line(s)
+        # directly above the qualified name.
+        head = " ".join(lines[max(0, def_line - 3):def_line])
+        for macro in ("PRORAM_OBLIVIOUS", "PRORAM_HOT"):
+            if macro not in head:
+                emit(report, raw_lines, def_line, "stage-annotation",
+                     f"{cls}::{func} must be annotated {macro} "
+                     "(pipeline stage; see DESIGN.md §11)")
+
+
 def emit(report: FileReport, raw_lines: list[str], line: int, rule: str,
          message: str):
     if is_suppressed(raw_lines, line, rule):
@@ -349,6 +397,7 @@ def lint_file_text(path: str, relpath: str) -> FileReport:
     # Annotations are opt-in, so the annotation-scoped rules can run
     # over every file; only annotated definitions produce work.
     check_oblivious_text(report, clean, raw_lines)
+    check_stage_annotations(report, relpath, clean, raw_lines)
     return report
 
 
@@ -470,6 +519,9 @@ def lint_file_clang(path: str, relpath: str,
     with open(path, encoding="utf-8", errors="replace") as f:
         clean = strip_comments_and_strings(f.read())
     check_banned_api_text(report, relpath, clean, raw_lines)
+    # Stage-annotation is textual in both engines: the macros sit on
+    # the definition regardless of how the AST resolves them.
+    check_stage_annotations(report, relpath, clean, raw_lines)
     return report
 
 
