@@ -39,9 +39,18 @@ import statistics
 import subprocess
 import sys
 
+try:
+    import resource
+except ImportError:  # non-POSIX host: skip the peak-RSS sample
+    resource = None
+
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_JSON = REPO_ROOT / "BENCH_micro_ops.json"
 METRICS_SCHEMA = "proram-metrics-v1"
+
+# User counters the arena benchmarks export (micro_ops.cc); folded
+# into the snapshot's memory section when present.
+MEMORY_COUNTERS = ("arenaBytesResident", "chunksMaterialized")
 
 
 def run_benchmarks(binary, repetitions, min_time, bench_filter):
@@ -76,6 +85,30 @@ def medians(report):
     return {
         k: round(statistics.median(v), 1) for k, v in sorted(raw.items())
     }
+
+
+def memory_counters(report):
+    """Per-benchmark MEMORY_COUNTERS values, keyed like medians().
+    Prefers the _median aggregate rows; counter values are identical
+    across repetitions (they report end-state, not time)."""
+    out = {}
+    for row in report.get("benchmarks", []):
+        if (row.get("run_type") == "aggregate"
+                and row.get("aggregate_name") != "median"):
+            continue
+        vals = {c: row[c] for c in MEMORY_COUNTERS if c in row}
+        if vals:
+            out.setdefault(row["name"].removesuffix("_median"), vals)
+    return out
+
+
+def peak_rss_children_bytes():
+    """Peak resident set of finished child processes (the benchmark
+    binary), in bytes. 0 where getrusage is unavailable."""
+    if resource is None:
+        return 0
+    # Linux reports ru_maxrss in kilobytes.
+    return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
 
 
 def summarize_metrics(jsonl_path):
@@ -235,6 +268,13 @@ def main():
             speedups[base] = common
     if speedups:
         entry["speedup_vs"] = speedups
+    # Memory section: the benchmark subprocess's peak RSS plus any
+    # arena counters the benchmarks exported.
+    memory = {"peakRssBytes": peak_rss_children_bytes()}
+    counters = memory_counters(report)
+    if counters:
+        memory["benchCounters"] = counters
+    entry["memory"] = memory
     if args.metrics_jsonl:
         entry["metrics"] = summarize_metrics(args.metrics_jsonl)
 

@@ -118,6 +118,9 @@ OramController::performAccess(BlockId block, bool is_writeback,
     PathOram &engine = oram_.engine();
     engine.readPath(leaf);
     ++paths;
+    // Lazy initialization: a block that was never placed is created
+    // here (payload 0, current leaf) - a no-op in eager mode.
+    oram_.ensureCreated(block);
     std::uint64_t *payload = engine.stash().findData(block);
     panic_if(!payload, "block ", block, " absent from path ", leaf,
              " and stash (invariant broken)");
@@ -306,6 +309,12 @@ OramController::queueAccess(BlockId block, OpType op,
     {
         const std::scoped_lock lk(metaLock_, stashLock_);
         engine.absorbPath(fetchBuf.data(), fetched);
+        // Lazy initialization: a block that was never placed cannot
+        // arrive from any fetch; create it now (under the stash
+        // lock) so the residency wait below terminates. No-op in
+        // eager mode, and same-block requests are serialized by the
+        // sequencer, so creation cannot race with itself.
+        oram_.ensureCreated(block);
     }
     stashCv_.notify_all();
     {
@@ -567,6 +576,24 @@ OramController::buildStatGroup() const
                [o] { return static_cast<double>(o->plb().hits()); });
     g.addValue("plbMisses", "position-map block cache misses",
                [o] { return static_cast<double>(o->plb().misses()); });
+
+    // Slot-arena materialization telemetry (DESIGN.md Sec. 12):
+    // memory cost as a first-class metric next to the path counters.
+    g.addValue("arenaChunksMaterialized",
+               "slot-arena chunks materialized (first writes)", [o] {
+                   return static_cast<double>(
+                       o->engine().tree().arena().chunksMaterialized());
+               });
+    g.addValue("arenaBytesResident",
+               "lane bytes of materialized arena chunks", [o] {
+                   return static_cast<double>(
+                       o->engine().tree().arena().bytesResident());
+               });
+    g.addValue("arenaBytesTotal",
+               "lane bytes if every chunk were materialized", [o] {
+                   return static_cast<double>(
+                       o->engine().tree().arena().bytesTotal());
+               });
     return g;
 }
 

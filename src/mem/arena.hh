@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Pluggable storage backends for the Path ORAM slot arena
+ * (DESIGN.md Sec. 12).
+ *
+ * The tree's id/payload/free-count lanes are split into fixed-size
+ * *chunks* of consecutive heap-order buckets (a power of two, default
+ * sized so one chunk's lanes span a small number of pages). A chunk
+ * that has never been written does not exist: it reads as all-dummy
+ * (every slot id == kInvalidBlock, occupancy 0) without touching any
+ * memory, so a 2^26-block tree costs only its touched fraction. Three
+ * backends provide the storage:
+ *
+ *  - Dense: every chunk is materialized at construction into three
+ *    contiguous per-lane allocations (the pre-arena layout; the
+ *    default, keeping fixed-seed goldens bit-identical and the hot
+ *    scans globally contiguous).
+ *  - Sparse: chunks are heap-allocated on first write and published
+ *    into an atomic chunk directory.
+ *  - Mmap: one large MAP_NORESERVE mapping (anonymous or file-backed)
+ *    reserved up front; materialization touches only the chunk's id
+ *    and free-count pages. Linux-only; optionally MADV_HUGEPAGE.
+ *
+ * First-touch is thread-safe under PRORAM_WORKERS: readers
+ * acquire-load the chunk's id-lane pointer from the directory (null
+ * means implicit all-dummy) and writers materialize under a striped
+ * chunk-level once-latch, release-storing the pointer last. The
+ * materialization coordinate is the *public* heap node index - the
+ * same value the simulated server observes for every bucket touched -
+ * so demand materialization leaks nothing beyond the access pattern
+ * Path ORAM already publishes (DESIGN.md Sec. 12).
+ *
+ * Selection: OramConfig::arena, or the PRORAM_ARENA /
+ * PRORAM_ARENA_CHUNK / PRORAM_ARENA_FILE / PRORAM_ARENA_HUGE
+ * environment variables when the config leaves the default
+ * (EXPERIMENTS.md).
+ */
+
+#ifndef PRORAM_MEM_ARENA_HH
+#define PRORAM_MEM_ARENA_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/types.hh"
+
+namespace proram
+{
+
+/** Which slot-arena storage backend backs the tree. */
+enum class ArenaKind : std::uint8_t
+{
+    Default, ///< resolve from $PRORAM_ARENA, falling back to Dense
+    Dense,   ///< eager contiguous lanes (pre-arena layout)
+    Sparse,  ///< chunks heap-allocated on first write
+    Mmap,    ///< reserved mapping, materialized per chunk
+};
+
+/** Printable backend name ("dense" / "sparse" / "mmap"). */
+const char *arenaKindName(ArenaKind kind);
+
+/** Parse a PRORAM_ARENA value; throws SimFatal on unknown names. */
+ArenaKind parseArenaKind(const std::string &name);
+
+/** User-facing arena selection, embedded in OramConfig. */
+struct ArenaOptions
+{
+    ArenaKind kind = ArenaKind::Default;
+    /**
+     * Buckets per chunk (power of two). 0 = $PRORAM_ARENA_CHUNK or
+     * the built-in default (kDefaultChunkBuckets).
+     */
+    std::uint32_t chunkBuckets = 0;
+    /**
+     * Mmap backend only: backing file path. Empty = $PRORAM_ARENA_FILE
+     * or an anonymous mapping.
+     */
+    std::string mmapPath;
+    /** Mmap backend only: advise transparent huge pages. */
+    bool hugePages = false;
+
+    /**
+     * The options a tree will actually run with: every defaulted
+     * field replaced by its environment override or built-in value.
+     */
+    ArenaOptions resolved() const;
+
+    /** Throws SimFatal on invalid combinations (bad chunk size). */
+    void validate() const;
+};
+
+/**
+ * Chunked slot-arena storage shared by all backends: the atomic chunk
+ * directory, the first-touch latch, the all-dummy fill and the
+ * materialization counters. Derived classes only provide raw lane
+ * storage for one chunk (provideChunk) and a name.
+ *
+ * Thread safety: view() is wait-free (one acquire load); concurrent
+ * materialize() calls for the same chunk serialize on a striped mutex
+ * and all but one become lookups. Counter reads are monotonic
+ * snapshots.
+ */
+class ArenaBackend
+{
+  public:
+    /** Default chunk geometry: 256 buckets = 10 KiB of id lane + free
+     *  lane + payload at Z=3, a small number of 4 KiB pages. */
+    static constexpr std::uint32_t kDefaultChunkBuckets = 256;
+
+    /** Build the backend selected by @p opts (after resolved()) for a
+     *  tree of @p num_buckets buckets of @p z slots each. */
+    static std::unique_ptr<ArenaBackend>
+    make(const ArenaOptions &opts, std::uint64_t num_buckets,
+         std::uint32_t z);
+
+    virtual ~ArenaBackend();
+
+    ArenaBackend(const ArenaBackend &) = delete;
+    ArenaBackend &operator=(const ArenaBackend &) = delete;
+
+    /** Lane pointers for one materialized chunk (slot i of the
+     *  chunk's bucket c lives at index c*z+i of ids/data). */
+    struct Lanes
+    {
+        BlockId *ids = nullptr;
+        std::uint64_t *data = nullptr;
+        std::uint32_t *free = nullptr;
+    };
+
+    /** Read-only lane pointers; all null while the chunk is
+     *  implicit (all-dummy). */
+    struct View
+    {
+        const BlockId *ids = nullptr;
+        const std::uint64_t *data = nullptr;
+        const std::uint32_t *free = nullptr;
+    };
+
+    /** @name Geometry. @{ */
+    std::uint64_t numBuckets() const { return numBuckets_; }
+    std::uint32_t z() const { return z_; }
+    std::uint32_t chunkBuckets() const { return chunkBuckets_; }
+    std::uint32_t chunkShift() const { return chunkShift_; }
+    std::uint64_t numChunks() const { return numChunks_; }
+    /** Footprint of one chunk's three lanes, in bytes. */
+    std::uint64_t chunkBytes() const { return chunkBytes_; }
+    /** @} */
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Read access to chunk @p chunk. Null pointers mean the chunk is
+     * still implicit: every slot id reads kInvalidBlock, every
+     * bucket has z() free slots, payloads read 0. Never materializes
+     * (reads must stay O(0) memory - see BinaryTree).
+     */
+    View view(std::uint64_t chunk) const
+    {
+        const Chunk &c = chunks_[chunk];
+        // Release/acquire pairing with materialize(): observing the
+        // id pointer implies the data/free pointers and the
+        // all-dummy lane fill are visible too.
+        const BlockId *ids = c.ids.load(std::memory_order_acquire);
+        if (ids == nullptr)
+            return View{};
+        return View{ids, c.data, c.free};
+    }
+
+    /** Writable lanes of chunk @p chunk, or all-null if implicit. */
+    Lanes lanes(std::uint64_t chunk)
+    {
+        const Chunk &c = chunks_[chunk];
+        BlockId *ids = c.ids.load(std::memory_order_acquire);
+        if (ids == nullptr)
+            return Lanes{};
+        return Lanes{ids, c.data, c.free};
+    }
+
+    /**
+     * Materialize chunk @p chunk (idempotent, thread-safe): allocate
+     * its lanes, fill the id lane with kInvalidBlock and the free
+     * lane with z (the payload lane is left unwritten - dummy
+     * payloads are never read), publish, count. The argument is a
+     * public tree coordinate; see the file comment.
+     */
+    Lanes materialize(std::uint64_t chunk);
+
+    bool materialized(std::uint64_t chunk) const
+    {
+        return chunks_[chunk].ids.load(std::memory_order_acquire) !=
+               nullptr;
+    }
+
+    /** @name Telemetry (PR-4 metrics registry / `arena` traces). @{ */
+    std::uint64_t chunksMaterialized() const
+    {
+        return chunksMaterialized_.load(std::memory_order_relaxed);
+    }
+    /** Lane bytes of materialized chunks (chunkBytes granularity). */
+    std::uint64_t bytesResident() const
+    {
+        return chunksMaterialized() * chunkBytes_;
+    }
+    /** Lane bytes if every chunk were materialized (dense cost). */
+    std::uint64_t bytesTotal() const
+    {
+        return numChunks_ * chunkBytes_;
+    }
+    /** @} */
+
+  protected:
+    ArenaBackend(std::uint64_t num_buckets, std::uint32_t z,
+                 std::uint32_t chunk_buckets);
+
+    /** Raw (uninitialized) lane storage for chunk @p chunk. Called
+     *  once per chunk under its once-latch. */
+    virtual Lanes provideChunk(std::uint64_t chunk) = 0;
+
+    /** Dense construction path: materialize every chunk without
+     *  per-chunk trace events. */
+    void materializeAll();
+
+    /** Slots per chunk (chunkBuckets * z), for lane sizing. */
+    std::uint64_t chunkSlots() const
+    {
+        return static_cast<std::uint64_t>(chunkBuckets_) * z_;
+    }
+
+  private:
+    struct Chunk
+    {
+        /** Publication point: non-null once the chunk's all-dummy
+         *  fill is complete (release-stored last). */
+        std::atomic<BlockId *> ids{nullptr};
+        std::uint64_t *data = nullptr;
+        std::uint32_t *free = nullptr;
+    };
+
+    Lanes materializeLocked(std::uint64_t chunk, bool trace);
+
+    std::uint64_t numBuckets_;
+    std::uint32_t z_;
+    std::uint32_t chunkBuckets_;
+    std::uint32_t chunkShift_;
+    std::uint64_t numChunks_;
+    std::uint64_t chunkBytes_;
+    std::unique_ptr<Chunk[]> chunks_;
+
+    /** Striped first-touch once-latches (chunk -> stripe). */
+    static constexpr std::size_t kLatchStripes = 64;
+    std::array<std::mutex, kLatchStripes> latches_;
+
+    std::atomic<std::uint64_t> chunksMaterialized_{0};
+};
+
+} // namespace proram
+
+#endif // PRORAM_MEM_ARENA_HH

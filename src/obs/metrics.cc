@@ -1,13 +1,36 @@
 #include "obs/metrics.hh"
 
+#include <fstream>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "obs/trace.hh"
 #include "stats/json.hh"
 
 namespace proram::obs
 {
+
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__linux__)
+    // VmHWM is the peak resident set in kB; parsing /proc keeps this
+    // allocation-cheap and dependency-free (no getrusage unit
+    // ambiguity across platforms).
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            std::istringstream is(line.substr(6));
+            std::uint64_t kb = 0;
+            is >> kb;
+            return kb * 1024;
+        }
+    }
+#endif
+    return 0;
+}
 
 void
 MetricsRegistry::addLabel(std::string key, std::string value)
@@ -109,6 +132,14 @@ MetricsRegistry::writeJson(std::ostream &os) const
         w.value(d.dist->mean());
         w.endObject();
     }
+    w.endObject();
+
+    // Process-level memory sample: the OS-truth complement to the
+    // arena group's lane-byte accounting.
+    w.key("process");
+    w.beginObject();
+    w.key("peakRssBytes");
+    w.value(peakRssBytes());
     w.endObject();
 
     // Per-phase event counters from the tracer (zero when tracing is

@@ -16,6 +16,7 @@
 #ifndef PRORAM_OBS_METRICS_HH
 #define PRORAM_OBS_METRICS_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -27,6 +28,15 @@ namespace proram::obs
 
 /** Schema tag stamped into every metrics document. */
 inline constexpr const char *kMetricsSchema = "proram-metrics-v1";
+
+/**
+ * Peak resident-set size of this process in bytes (Linux VmHWM;
+ * 0 where /proc is unavailable). Sampled at serialization time, so a
+ * metrics dump written at experiment end records the run's true
+ * memory high-water mark next to the arena's own byte accounting
+ * (which only counts tree lanes).
+ */
+std::uint64_t peakRssBytes();
 
 class MetricsRegistry
 {

@@ -98,6 +98,7 @@ OramConfig::validate() const
              "position-map fanout must be a power of two");
     fatal_if(dramBytesPerCycle <= 0.0, "DRAM bandwidth must be positive");
     fatal_if(stashCapacity == 0, "stash capacity must be positive");
+    arena.validate();
 }
 
 } // namespace proram

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "mem/arena.hh"
 #include "util/types.hh"
 
 namespace proram
@@ -53,6 +54,25 @@ struct OramConfig
 
     /** RNG seed for leaf assignment. */
     std::uint64_t seed = 1;
+
+    /**
+     * Slot-arena storage backend for the binary tree (mem/arena.hh,
+     * DESIGN.md Sec. 12). The default resolves $PRORAM_ARENA and
+     * falls back to the eager dense layout; every backend is
+     * functionally bit-identical, they differ only in memory cost.
+     */
+    ArenaOptions arena{};
+
+    /**
+     * Skip the eager placement pass of initialize(): blocks start
+     * "virtually resident" with payload 0 and are created in the
+     * stash on first access. Payload-equivalent to eager
+     * initialization but not stat-identical (the tree starts empty),
+     * so it is a separate knob from the arena backend; required to
+     * run paper-scale (2^26-block) trees functionally, where eager
+     * placement would materialize nearly every chunk.
+     */
+    bool lazyInit = false;
 
     /**
      * Levels below the root in the functional tree (root = level 0,

@@ -67,13 +67,22 @@ checkIntegrity(const UnifiedOram &oram)
         ++copies[id.value()];
     }
 
-    // Pass 3: exactly-once existence.
+    // Pass 3: exactly-once existence. Under lazy initialization a
+    // block that was never created has no physical copy by design
+    // (it is virtually resident with payload 0); a *created* block
+    // must still exist exactly once, and an uncreated block with a
+    // copy means the created bitset lies.
     for (BlockId id{0}; id.value() < total; ++id) {
         const int n = copies[id.value()];
-        if (n == 0)
-            report.fail(str("block lost (no copy anywhere)", id));
-        else if (n > 1)
+        if (n == 0) {
+            if (oram.isCreated(id))
+                report.fail(str("block lost (no copy anywhere)", id));
+        } else if (!oram.isCreated(id)) {
+            report.fail(str("uncreated block has a tree/stash copy",
+                            id));
+        } else if (n > 1) {
             report.fail(str("block duplicated", id));
+        }
     }
 
     // Pass 4: super-block geometry and co-location.

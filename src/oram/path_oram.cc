@@ -13,7 +13,8 @@ namespace proram
 {
 
 PathOram::PathOram(const OramConfig &cfg, PositionMap &pos_map)
-    : cfg_(cfg), posMap_(pos_map), tree_(cfg.levels(), cfg.z),
+    : cfg_(cfg), posMap_(pos_map),
+      tree_(cfg.levels(), cfg.z, cfg.arena),
       stash_(cfg.stashCapacity), rng_(cfg.seed ^ 0x0aa77aa55aa33aa1ULL)
 {
     // Pre-size every scratch buffer from the tree geometry so the

@@ -18,14 +18,15 @@ BucketRef::occupancyScan() const
     return n;
 }
 
-BinaryTree::BinaryTree(std::uint32_t levels, std::uint32_t z)
+BinaryTree::BinaryTree(std::uint32_t levels, std::uint32_t z,
+                       const ArenaOptions &arena)
     : levels_(levels), z_(z)
 {
     fatal_if(levels > 40, "tree too deep to simulate functionally");
     numBuckets_ = (2ULL << levels) - 1;
-    ids_.assign(numBuckets_ * z_, kInvalidBlock);
-    data_.assign(numBuckets_ * z_, 0);
-    free_.assign(numBuckets_, z_);
+    arena_ = ArenaBackend::make(arena, numBuckets_, z_);
+    chunkShift_ = arena_->chunkShift();
+    chunkMask_ = arena_->chunkBuckets() - 1;
 }
 
 TreeIdx
@@ -45,29 +46,58 @@ BinaryTree::nodeOnPath(Leaf leaf, Level level) const
 bool
 BinaryTree::tryPlace(TreeIdx node, BlockId id, std::uint64_t data)
 {
-    if (free_[node.value()] == 0)
+    const std::uint64_t n = node.value();
+    ArenaBackend::Lanes l = arena_->lanes(n >> chunkShift_);
+    if (l.ids != nullptr && l.free[n & chunkMask_] == 0)
         return false;
-    const std::uint64_t base = node.value() * z_;
+    if (l.ids == nullptr) {
+        // First write into an implicit chunk: the bucket is all-dummy
+        // (it cannot be full), so a placement is guaranteed and the
+        // materialization cost is paid by an insertion, never a read.
+        l = arena_->materialize(n >> chunkShift_);
+    }
+    const std::uint64_t base = (n & chunkMask_) * z_;
     for (std::uint32_t i = 0; i < z_; ++i) {
-        if (ids_[base + i] == kInvalidBlock) {
-            ids_[base + i] = id;
-            data_[base + i] = data;
-            --free_[node.value()];
+        if (l.ids[base + i] == kInvalidBlock) {
+            l.ids[base + i] = id;
+            l.data[base + i] = data;
+            --l.free[n & chunkMask_];
             return true;
         }
     }
-    panic("bucket free-slot count ", free_[node.value()],
+    panic("bucket free-slot count ", l.free[n & chunkMask_],
           " but no dummy slot");
 }
 
 void
 BinaryTree::clearSlot(TreeIdx node, std::uint32_t i)
 {
-    const std::uint64_t at = node.value() * z_ + i;
-    if (ids_[at] != kInvalidBlock)
-        ++free_[node.value()];
-    ids_[at] = kInvalidBlock;
-    data_[at] = 0;
+    const std::uint64_t n = node.value();
+    const ArenaBackend::Lanes l = arena_->lanes(n >> chunkShift_);
+    if (l.ids == nullptr)
+        return; // implicit chunk: the slot is already dummy
+    const std::uint64_t at = (n & chunkMask_) * z_ + i;
+    if (l.ids[at] != kInvalidBlock) {
+        ++l.free[n & chunkMask_];
+        l.data[at] = 0;
+    }
+    l.ids[at] = kInvalidBlock;
+}
+
+BlockId &
+BinaryTree::rawSlotId(TreeIdx node, std::uint32_t i)
+{
+    const std::uint64_t n = node.value();
+    const ArenaBackend::Lanes l = arena_->materialize(n >> chunkShift_);
+    return l.ids[(n & chunkMask_) * z_ + i];
+}
+
+std::uint64_t &
+BinaryTree::rawSlotData(TreeIdx node, std::uint32_t i)
+{
+    const std::uint64_t n = node.value();
+    const ArenaBackend::Lanes l = arena_->materialize(n >> chunkShift_);
+    return l.data[(n & chunkMask_) * z_ + i];
 }
 
 Level
@@ -85,9 +115,16 @@ std::uint64_t
 BinaryTree::countRealBlocks() const
 {
     std::uint64_t n = 0;
-    for (BlockId id : ids_) {
-        if (id != kInvalidBlock)
-            ++n;
+    const std::uint64_t chunk_slots =
+        static_cast<std::uint64_t>(arena_->chunkBuckets()) * z_;
+    for (std::uint64_t c = 0; c < arena_->numChunks(); ++c) {
+        const ArenaBackend::View v = arena_->view(c);
+        if (v.ids == nullptr)
+            continue; // implicit chunk: all-dummy by construction
+        for (std::uint64_t s = 0; s < chunk_slots; ++s) {
+            if (v.ids[s] != kInvalidBlock)
+                ++n;
+        }
     }
     return n;
 }

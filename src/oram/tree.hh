@@ -1,7 +1,8 @@
 /**
  * @file
- * The Path ORAM binary-tree storage: a flat structure-of-arrays slot
- * arena living in (simulated) untrusted DRAM.
+ * The Path ORAM binary-tree storage: a chunked structure-of-arrays
+ * slot arena living in (simulated) untrusted DRAM, behind a pluggable
+ * storage backend (mem/arena.hh, DESIGN.md Sec. 12).
  *
  * Node numbering is heap order: node 0 is the root; node n has children
  * 2n+1 / 2n+2. Leaf label s in [0, 2^L) names the leaf reached by
@@ -11,20 +12,26 @@
  * own strong type (TreeIdx) distinct from the secret leaf labels that
  * select them - confusing the two is a compile error.
  *
- * Memory layout (DESIGN.md "Memory layout"): bucket b slot i lives at
- * arena offset b*Z+i. Block ids and payload words are split into two
- * parallel arrays so the hot scans (readPath looking for real blocks,
- * occupancy checks) stream over one contiguous id run per bucket and
- * never touch payloads they do not copy. Per-bucket free-slot counts
- * are a third array, making occupancy O(1).
+ * Memory layout (DESIGN.md "Memory layout" / Sec. 12): buckets are
+ * grouped into fixed-size chunks; within a chunk, bucket c slot i
+ * lives at lane offset c*Z+i. Block ids and payload words are split
+ * into two parallel lanes so the hot scans (readPath looking for real
+ * blocks, occupancy checks) stream over one contiguous id run per
+ * bucket and never touch payloads they do not copy. Per-bucket
+ * free-slot counts are a third lane, making occupancy O(1). A chunk
+ * that was never *written* is implicit: it reads as all-dummy without
+ * existing in memory, which is what makes paper-scale (2^26-block)
+ * trees affordable - reads never materialize, only tryPlace and the
+ * raw test accessors do.
  */
 
 #ifndef PRORAM_ORAM_TREE_HH
 #define PRORAM_ORAM_TREE_HH
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
+#include "mem/arena.hh"
 #include "util/types.hh"
 
 namespace proram
@@ -71,7 +78,8 @@ class BucketRef
     void clearSlot(std::uint32_t i);
 
     /** @name Raw slot words (test/corruption interface).
-     *  Writes bypass the free-slot bookkeeping. @{ */
+     *  Writes bypass the free-slot bookkeeping; taking a reference
+     *  counts as a write and materializes the owning chunk. @{ */
     BlockId &rawId(std::uint32_t i);
     std::uint64_t &rawData(std::uint32_t i);
     /** @} */
@@ -87,15 +95,24 @@ class BucketRef
 };
 
 /**
- * The complete binary tree of buckets over the slot arena. Provides
- * path geometry helpers used by the ORAM engine and by the invariant
- * checker.
+ * The complete binary tree of buckets over the chunked slot arena.
+ * Provides path geometry helpers used by the ORAM engine and by the
+ * invariant checker.
+ *
+ * Read accessors (slotId/slotData/freeSlots/occupancy) never
+ * materialize: an implicit chunk answers all-dummy from the null
+ * directory entry alone. Writes (tryPlace, rawId/rawData) materialize
+ * the owning chunk on first touch; clearSlot of an implicit chunk is
+ * a no-op (the slot is already dummy).
  */
 class BinaryTree
 {
   public:
-    /** @param levels L: root is level 0, leaves level L. */
-    BinaryTree(std::uint32_t levels, std::uint32_t z);
+    /** @param levels L: root is level 0, leaves level L.
+     *  @param arena storage backend selection (mem/arena.hh); the
+     *  default resolves $PRORAM_ARENA and falls back to dense. */
+    BinaryTree(std::uint32_t levels, std::uint32_t z,
+               const ArenaOptions &arena = {});
 
     std::uint32_t levels() const { return levels_; }
     /** One past the deepest level: Level{0} .. leafLevel(). */
@@ -103,6 +120,9 @@ class BinaryTree
     std::uint64_t numLeaves() const { return 1ULL << levels_; }
     std::uint64_t numBuckets() const { return numBuckets_; }
     std::uint32_t z() const { return z_; }
+
+    /** The storage backend (geometry + materialization telemetry). */
+    const ArenaBackend &arena() const { return *arena_; }
 
     /** Heap index of the bucket at @p level on path @p leaf. */
     TreeIdx nodeOnPath(Leaf leaf, Level level) const;
@@ -114,36 +134,43 @@ class BinaryTree
         return BucketRef(const_cast<BinaryTree *>(this), node);
     }
 
-    /** @name Arena hot-path accessors (bucket b slot i at b*Z+i). @{ */
+    /** @name Arena hot-path accessors (chunked; bucket b slot i at
+     *  lane offset (b mod chunk)*Z+i of chunk b/chunk). @{ */
     BlockId slotId(TreeIdx node, std::uint32_t i) const
     {
-        return ids_[node.value() * z_ + i];
+        const std::uint64_t n = node.value();
+        const ArenaBackend::View v = arena_->view(n >> chunkShift_);
+        if (v.ids == nullptr)
+            return kInvalidBlock;
+        return v.ids[(n & chunkMask_) * z_ + i];
     }
     std::uint64_t slotData(TreeIdx node, std::uint32_t i) const
     {
-        return data_[node.value() * z_ + i];
+        const std::uint64_t n = node.value();
+        const ArenaBackend::View v = arena_->view(n >> chunkShift_);
+        if (v.ids == nullptr)
+            return 0;
+        return v.data[(n & chunkMask_) * z_ + i];
     }
-    /** First slot offset of @p node in the id/payload arrays. */
-    std::uint64_t slotBase(TreeIdx node) const
-    {
-        return node.value() * z_;
-    }
-    const BlockId *idArena() const { return ids_.data(); }
-    const std::uint64_t *dataArena() const { return data_.data(); }
 
-    /** Free slots of @p node (O(1)). */
+    /** Free slots of @p node (O(1); z for an implicit chunk). */
     std::uint32_t freeSlots(TreeIdx node) const
     {
-        return free_[node.value()];
+        const std::uint64_t n = node.value();
+        const ArenaBackend::View v = arena_->view(n >> chunkShift_);
+        if (v.ids == nullptr)
+            return z_;
+        return v.free[n & chunkMask_];
     }
     /** Real blocks in @p node from the free count (O(1)). */
     std::uint32_t occupancy(TreeIdx node) const
     {
-        return z_ - free_[node.value()];
+        return z_ - freeSlots(node);
     }
 
     /** Place a block in the first dummy slot of @p node; false if the
-     *  bucket is full (O(1) in that case). */
+     *  bucket is full (O(1) in that case). Materializes the owning
+     *  chunk on first touch. */
     bool tryPlace(TreeIdx node, BlockId id, std::uint64_t data);
 
     /** Evict slot @p i of @p node back to dummy. */
@@ -156,21 +183,26 @@ class BinaryTree
      */
     Level commonLevel(Leaf a, Leaf b) const;
 
-    /** Total real blocks stored in the tree, by scanning the arena
-     *  (O(slots); tests only - reflects raw-slot corruption). */
+    /** Total real blocks stored in the tree, by scanning the
+     *  materialized chunks (O(resident slots); tests only - reflects
+     *  raw-slot corruption). */
     std::uint64_t countRealBlocks() const;
 
   private:
     friend class BucketRef;
 
+    /** Writable slot words; materializes the owning chunk. */
+    BlockId &rawSlotId(TreeIdx node, std::uint32_t i);
+    std::uint64_t &rawSlotData(TreeIdx node, std::uint32_t i);
+
     std::uint32_t levels_;
     std::uint32_t z_;
     std::uint64_t numBuckets_;
-    /** Slot arena, structure-of-arrays: all ids, then all payloads. */
-    std::vector<BlockId> ids_;
-    std::vector<std::uint64_t> data_;
-    /** Per-bucket free-slot counts (occupancy in O(1)). */
-    std::vector<std::uint32_t> free_;
+    /** Chunked slot-lane storage (dense / sparse / mmap). */
+    std::unique_ptr<ArenaBackend> arena_;
+    /** Cached arena geometry (node -> chunk, node -> in-chunk). */
+    std::uint32_t chunkShift_;
+    std::uint64_t chunkMask_;
 };
 
 inline std::uint32_t
@@ -218,13 +250,13 @@ BucketRef::clearSlot(std::uint32_t i)
 inline BlockId &
 BucketRef::rawId(std::uint32_t i)
 {
-    return tree_->ids_[tree_->slotBase(node_) + i];
+    return tree_->rawSlotId(node_, i);
 }
 
 inline std::uint64_t &
 BucketRef::rawData(std::uint32_t i)
 {
-    return tree_->data_[tree_->slotBase(node_) + i];
+    return tree_->rawSlotData(node_, i);
 }
 
 } // namespace proram

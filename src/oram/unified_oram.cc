@@ -48,9 +48,31 @@ UnifiedOram::initialize(std::uint32_t static_sb_size)
             e.sbSizeLog = 0;
         }
     }
-    for (BlockId id{0}; id.value() < total; ++id)
-        oram_.placeInitial(id, 0);
+    if (cfg_.lazyInit) {
+        // Leaves are assigned eagerly (the position map is flat and
+        // O(total) regardless) but nothing is placed: every block is
+        // virtual until ensureCreated() materializes it on first
+        // access, so an untouched subtree never costs arena chunks.
+        created_.assign((total + 63) / 64, 0);
+    } else {
+        for (BlockId id{0}; id.value() < total; ++id)
+            oram_.placeInitial(id, 0);
+    }
     initialized_ = true;
+}
+
+bool
+UnifiedOram::ensureCreated(BlockId id)
+{
+    if (!cfg_.lazyInit || isCreated(id))
+        return false;
+    // First physical appearance: payload 0 under the current mapping,
+    // exactly what eager initialization would have left on this
+    // block's path. The stash insert is the creation point; the
+    // normal write-back machinery moves it into the tree.
+    oram_.stash().insert(id, 0, posMap_.leafOf(id));
+    created_[id.value() >> 6] |= 1ULL << (id.value() & 63);
+    return true;
 }
 
 bool
@@ -68,6 +90,7 @@ UnifiedOram::fetchPosMapBlock(BlockId pm_block)
     if (posMapObserver_)
         posMapObserver_(leaf);
     oram_.readPath(leaf);
+    ensureCreated(pm_block);
     if (!oram_.stash().contains(pm_block)) {
         // In concurrent mode another request's fetch stage may have
         // cleared this block off a shared bucket into its private

@@ -66,6 +66,34 @@ class UnifiedOram
         posMapObserver_ = std::move(fn);
     }
 
+    /** @name Lazy initialization (OramConfig::lazyInit).
+     *
+     * In lazy mode initialize() assigns leaves but places nothing:
+     * every block is "virtually resident" with payload 0 until its
+     * first access, when ensureCreated() inserts it into the stash
+     * (from where the normal write-back path materializes it). The
+     * created bitset records which blocks exist physically; the
+     * integrity checker skips the exactly-once test for uncreated
+     * blocks. Callers in concurrent mode must hold the stash lock
+     * (the controller's stage-1/stage-3a hooks do).  @{ */
+    bool lazyInit() const { return cfg_.lazyInit; }
+
+    /** True when @p id has a physical copy (always, in eager mode). */
+    bool isCreated(BlockId id) const
+    {
+        if (!cfg_.lazyInit)
+            return true;
+        return (created_[id.value() >> 6] >>
+                (id.value() & 63)) & 1;
+    }
+
+    /**
+     * Create @p id in the stash (payload 0, current leaf) if lazy
+     * initialization left it virtual. @return true if created now.
+     */
+    bool ensureCreated(BlockId id);
+    /** @} */
+
     const OramConfig &config() const { return cfg_; }
     const BlockSpace &space() const { return space_; }
     PositionMap &posMap() { return posMap_; }
@@ -92,6 +120,10 @@ class UnifiedOram
     std::function<void(Leaf)> posMapObserver_;
     /** posMapWalk scratch (no allocation per walk once warmed up). */
     std::vector<BlockId> chainScratch_;
+    /** Lazy mode: bit per block id, set once the block physically
+     *  exists (stash or tree). Empty in eager mode. Guarded by the
+     *  controller's stash lock in concurrent mode. */
+    std::vector<std::uint64_t> created_;
 };
 
 } // namespace proram

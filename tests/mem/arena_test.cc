@@ -1,0 +1,210 @@
+/** @file Unit tests for the slot-arena storage backends. */
+
+#include "mem/arena.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace proram
+{
+namespace
+{
+
+ArenaOptions
+opts(ArenaKind kind, std::uint32_t chunk_buckets)
+{
+    ArenaOptions o;
+    o.kind = kind;
+    o.chunkBuckets = chunk_buckets;
+    return o;
+}
+
+TEST(ArenaOptions, ResolvedAppliesDefaults)
+{
+    // The environment must not leak into this check.
+    ASSERT_EQ(std::getenv("PRORAM_ARENA"), nullptr);
+    ASSERT_EQ(std::getenv("PRORAM_ARENA_CHUNK"), nullptr);
+    const ArenaOptions r = ArenaOptions{}.resolved();
+    EXPECT_EQ(r.kind, ArenaKind::Dense);
+    EXPECT_EQ(r.chunkBuckets, ArenaBackend::kDefaultChunkBuckets);
+    EXPECT_TRUE(r.mmapPath.empty());
+    EXPECT_FALSE(r.hugePages);
+}
+
+TEST(ArenaOptions, EnvSelectsBackendAndChunk)
+{
+    ::setenv("PRORAM_ARENA", "sparse", 1);
+    ::setenv("PRORAM_ARENA_CHUNK", "64", 1);
+    const ArenaOptions r = ArenaOptions{}.resolved();
+    ::unsetenv("PRORAM_ARENA");
+    ::unsetenv("PRORAM_ARENA_CHUNK");
+    EXPECT_EQ(r.kind, ArenaKind::Sparse);
+    EXPECT_EQ(r.chunkBuckets, 64u);
+    // An explicit config wins over the environment.
+    ::setenv("PRORAM_ARENA", "mmap", 1);
+    const ArenaOptions e = opts(ArenaKind::Sparse, 16).resolved();
+    ::unsetenv("PRORAM_ARENA");
+    EXPECT_EQ(e.kind, ArenaKind::Sparse);
+    EXPECT_EQ(e.chunkBuckets, 16u);
+}
+
+TEST(ArenaOptions, BadEnvValuesAreFatal)
+{
+    ::setenv("PRORAM_ARENA", "turbo", 1);
+    EXPECT_THROW(ArenaOptions{}.resolved(), SimFatal);
+    ::unsetenv("PRORAM_ARENA");
+    ::setenv("PRORAM_ARENA_CHUNK", "zero", 1);
+    EXPECT_THROW(ArenaOptions{}.resolved(), SimFatal);
+    ::setenv("PRORAM_ARENA_CHUNK", "24", 1); // not a power of two
+    EXPECT_THROW(ArenaOptions{}.resolved(), SimFatal);
+    ::unsetenv("PRORAM_ARENA_CHUNK");
+}
+
+TEST(Arena, GeometryRoundsUpToWholeChunks)
+{
+    // 100 buckets over 16-bucket chunks = 7 chunks.
+    auto a = ArenaBackend::make(opts(ArenaKind::Sparse, 16), 100, 3);
+    EXPECT_EQ(a->numChunks(), 7u);
+    EXPECT_EQ(a->chunkBuckets(), 16u);
+    EXPECT_EQ(a->chunkShift(), 4u);
+    // Lane bytes per chunk: 16*3 ids + 16*3 payloads + 16 counts.
+    EXPECT_EQ(a->chunkBytes(), 16u * 3 * 8 + 16u * 3 * 8 + 16u * 4);
+    EXPECT_EQ(a->bytesTotal(), 7 * a->chunkBytes());
+    EXPECT_EQ(a->bytesResident(), 0u);
+}
+
+TEST(Arena, DenseIsFullyResidentUpFront)
+{
+    auto a = ArenaBackend::make(opts(ArenaKind::Dense, 16), 100, 3);
+    EXPECT_STREQ(a->name(), "dense");
+    EXPECT_EQ(a->chunksMaterialized(), a->numChunks());
+    EXPECT_EQ(a->bytesResident(), a->bytesTotal());
+    // Every chunk is readable and all-dummy.
+    for (std::uint64_t c = 0; c < a->numChunks(); ++c) {
+        const ArenaBackend::View v = a->view(c);
+        ASSERT_NE(v.ids, nullptr);
+        EXPECT_EQ(v.ids[0], kInvalidBlock);
+        EXPECT_EQ(v.free[0], 3u);
+    }
+}
+
+TEST(Arena, MaterializeIsIdempotentAndAllDummy)
+{
+    auto a = ArenaBackend::make(opts(ArenaKind::Sparse, 8), 64, 2);
+    EXPECT_EQ(a->view(3).ids, nullptr);
+    const ArenaBackend::Lanes l = a->materialize(3);
+    ASSERT_NE(l.ids, nullptr);
+    for (std::uint64_t s = 0; s < 8 * 2; ++s)
+        EXPECT_EQ(l.ids[s], kInvalidBlock);
+    for (std::uint64_t b = 0; b < 8; ++b)
+        EXPECT_EQ(l.free[b], 2u);
+    const ArenaBackend::Lanes again = a->materialize(3);
+    EXPECT_EQ(again.ids, l.ids);
+    EXPECT_EQ(a->chunksMaterialized(), 1u);
+    EXPECT_TRUE(a->materialized(3));
+    EXPECT_FALSE(a->materialized(2));
+}
+
+TEST(Arena, ConcurrentFirstTouchMaterializesOnce)
+{
+    auto a = ArenaBackend::make(opts(ArenaKind::Sparse, 8), 1 << 12, 3);
+    // Hammer a small set of chunks from many threads; every thread
+    // must observe the same lane pointers and the count must equal
+    // the number of distinct chunks.
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kChunks = 16;
+    std::vector<std::vector<BlockId *>> seen(
+        kThreads, std::vector<BlockId *>(kChunks));
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::uint64_t c = 0; c < kChunks; ++c)
+                seen[t][c] = a->materialize(c).ids;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(a->chunksMaterialized(), kChunks);
+    for (int t = 1; t < kThreads; ++t) {
+        for (std::uint64_t c = 0; c < kChunks; ++c)
+            EXPECT_EQ(seen[t][c], seen[0][c]);
+    }
+}
+
+#if defined(__linux__)
+
+TEST(Arena, MmapAnonymousRoundTrip)
+{
+    auto a = ArenaBackend::make(opts(ArenaKind::Mmap, 8), 256, 3);
+    EXPECT_STREQ(a->name(), "mmap");
+    EXPECT_EQ(a->chunksMaterialized(), 0u);
+    const ArenaBackend::Lanes l = a->materialize(5);
+    ASSERT_NE(l.ids, nullptr);
+    EXPECT_EQ(l.ids[7], kInvalidBlock);
+    l.ids[7] = BlockId{99};
+    l.data[7] = 1234;
+    const ArenaBackend::View v = a->view(5);
+    EXPECT_EQ(v.ids[7], BlockId{99});
+    EXPECT_EQ(v.data[7], 1234u);
+    EXPECT_EQ(a->bytesResident(), a->chunkBytes());
+}
+
+TEST(Arena, MmapFileBackedRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "proram_arena_test.bin";
+    {
+        ArenaOptions o = opts(ArenaKind::Mmap, 8);
+        o.mmapPath = path;
+        auto a = ArenaBackend::make(o, 128, 3);
+        const ArenaBackend::Lanes l = a->materialize(2);
+        l.ids[0] = BlockId{42};
+        l.data[0] = 4242;
+        EXPECT_EQ(a->view(2).ids[0], BlockId{42});
+    }
+    // The mapping is MAP_SHARED: the writes reached the file.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(Arena, MmapOpenFailureIsClearFatal)
+{
+    ArenaOptions o = opts(ArenaKind::Mmap, 8);
+    o.mmapPath = "/nonexistent-dir-xyz/arena.bin";
+    try {
+        ArenaBackend::make(o, 128, 3);
+        FAIL() << "expected SimFatal";
+    } catch (const SimFatal &e) {
+        // The error must name the path and the errno string, not UB.
+        EXPECT_NE(std::string(e.what()).find("/nonexistent-dir-xyz"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("cannot open"),
+                  std::string::npos);
+    }
+}
+
+TEST(Arena, MmapHugePageKnobIsAccepted)
+{
+    // MADV_HUGEPAGE may be refused by the kernel (then it warns), but
+    // the backend must construct and work either way.
+    ArenaOptions o = opts(ArenaKind::Mmap, 8);
+    o.hugePages = true;
+    auto a = ArenaBackend::make(o, 128, 3);
+    const ArenaBackend::Lanes l = a->materialize(0);
+    ASSERT_NE(l.ids, nullptr);
+    EXPECT_EQ(l.free[0], 3u);
+}
+
+#endif // __linux__
+
+} // namespace
+} // namespace proram

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "util/logging.hh"
 
 namespace proram
@@ -74,12 +76,15 @@ TEST(Tree, ArenaLayoutIsBucketMajor)
 {
     BinaryTree t(2, 3);
     t.bucket(4_node).tryPlace(42_id, 9);
-    // Bucket b slot i lives at arena offset b*Z+i.
-    EXPECT_EQ(t.idArena()[4 * 3 + 0], 42_id);
-    EXPECT_EQ(t.dataArena()[4 * 3 + 0], 9u);
+    // Bucket b slot i lives at lane offset (b mod chunk)*Z+i of its
+    // chunk; node 4 fits inside the default first chunk, so the raw
+    // lane view and the typed accessors must agree.
+    const ArenaBackend::View v = t.arena().view(0);
+    ASSERT_NE(v.ids, nullptr);
+    EXPECT_EQ(v.ids[4 * 3 + 0], 42_id);
+    EXPECT_EQ(v.data[4 * 3 + 0], 9u);
     EXPECT_EQ(t.slotId(4_node, 0), 42_id);
     EXPECT_EQ(t.slotData(4_node, 0), 9u);
-    EXPECT_EQ(t.slotBase(4_node), 12u);
 }
 
 TEST(Tree, GeometryCounts)
@@ -176,6 +181,128 @@ TEST(Tree, CountRealBlocks)
     t.tryPlace(0_node, 1_id, 0);
     t.tryPlace(4_node, 2_id, 0);
     EXPECT_EQ(t.countRealBlocks(), 2u);
+}
+
+ArenaOptions
+sparseOpts(std::uint32_t chunk_buckets)
+{
+    ArenaOptions o;
+    o.kind = ArenaKind::Sparse;
+    o.chunkBuckets = chunk_buckets;
+    return o;
+}
+
+TEST(SparseTree, ImplicitChunksReadAllDummyWithoutMaterializing)
+{
+    // 6 levels = 127 buckets over 4-bucket chunks = 32 chunks.
+    BinaryTree t(6, 3, sparseOpts(4));
+    EXPECT_EQ(t.arena().chunksMaterialized(), 0u);
+    EXPECT_EQ(t.arena().bytesResident(), 0u);
+    for (TreeIdx n{0}; n.value() < t.numBuckets(); ++n) {
+        EXPECT_EQ(t.occupancy(n), 0u);
+        EXPECT_EQ(t.freeSlots(n), 3u);
+        for (std::uint32_t i = 0; i < t.z(); ++i) {
+            EXPECT_EQ(t.slotId(n, i), kInvalidBlock);
+            EXPECT_EQ(t.slotData(n, i), 0u);
+        }
+    }
+    // Reads (and clearing already-dummy slots) never materialize.
+    t.clearSlot(9_node, 1);
+    EXPECT_EQ(t.bucket(40_node).occupancyScan(), 0u);
+    EXPECT_EQ(t.countRealBlocks(), 0u);
+    EXPECT_EQ(t.arena().chunksMaterialized(), 0u);
+}
+
+TEST(SparseTree, WritesMaterializeOnlyTouchedChunks)
+{
+    BinaryTree t(6, 3, sparseOpts(4));
+    EXPECT_TRUE(t.tryPlace(0_node, 1_id, 11));   // chunk 0
+    EXPECT_TRUE(t.tryPlace(100_node, 2_id, 22)); // chunk 25
+    EXPECT_EQ(t.arena().chunksMaterialized(), 2u);
+    EXPECT_EQ(t.arena().bytesResident(), 2 * t.arena().chunkBytes());
+    EXPECT_EQ(t.slotId(0_node, 0), 1_id);
+    EXPECT_EQ(t.slotData(100_node, 0), 22u);
+    EXPECT_EQ(t.occupancy(100_node), 1u);
+    EXPECT_EQ(t.countRealBlocks(), 2u);
+    // Untouched chunks stay implicit.
+    EXPECT_FALSE(t.arena().materialized(1));
+    // Clearing the only real block keeps the chunk materialized but
+    // returns its bucket to all-dummy.
+    t.clearSlot(100_node, 0);
+    EXPECT_EQ(t.occupancy(100_node), 0u);
+    EXPECT_EQ(t.countRealBlocks(), 1u);
+    EXPECT_EQ(t.arena().chunksMaterialized(), 2u);
+}
+
+TEST(SparseTree, OccupancyScanAfterRawCorruptionInFreshChunk)
+{
+    BinaryTree t(6, 4, sparseOpts(4));
+    // rawId on an implicit chunk is a write: it must materialize the
+    // chunk as all-dummy first, then hand out the reference.
+    BucketRef b = t.bucket(77_node);
+    b.rawId(2) = 9_id;
+    EXPECT_EQ(t.arena().chunksMaterialized(), 1u);
+    // The raw write bypassed the free count: the O(1) occupancy is
+    // stale (still all-free) and only the checked scan sees the
+    // corruption - in a freshly materialized chunk whose other slots
+    // must all read as dummies.
+    EXPECT_EQ(b.occupancy(), 0u);
+    EXPECT_EQ(b.occupancyScan(), 1u);
+    for (std::uint32_t i = 0; i < t.z(); ++i) {
+        if (i != 2) {
+            EXPECT_TRUE(b.isDummy(i));
+        }
+    }
+    // A neighbouring bucket of the same fresh chunk is untouched.
+    EXPECT_EQ(t.bucket(78_node).occupancyScan(), 0u);
+    b.rawId(2) = kInvalidBlock;
+    EXPECT_EQ(b.occupancyScan(), 0u);
+}
+
+TEST(SparseTree, BackendsAreFunctionallyIdentical)
+{
+    ArenaOptions dense;
+    dense.kind = ArenaKind::Dense;
+    dense.chunkBuckets = 8;
+    std::vector<ArenaOptions> opts{dense, sparseOpts(8)};
+#if defined(__linux__)
+    ArenaOptions mm;
+    mm.kind = ArenaKind::Mmap;
+    mm.chunkBuckets = 8;
+    opts.push_back(mm);
+#endif
+    // The same operation sequence must leave every backend with the
+    // same visible slot state.
+    std::vector<BinaryTree> trees;
+    for (const ArenaOptions &o : opts)
+        trees.emplace_back(5, 3, o);
+    for (BinaryTree &t : trees) {
+        for (std::uint64_t n = 0; n < t.numBuckets(); n += 7)
+            t.tryPlace(TreeIdx{n}, BlockId{n}, n * 3);
+        t.clearSlot(TreeIdx{7}, 0);
+    }
+    const BinaryTree &ref = trees.front();
+    for (std::size_t k = 1; k < trees.size(); ++k) {
+        const BinaryTree &t = trees[k];
+        EXPECT_EQ(t.countRealBlocks(), ref.countRealBlocks());
+        for (TreeIdx n{0}; n.value() < ref.numBuckets(); ++n) {
+            EXPECT_EQ(t.occupancy(n), ref.occupancy(n));
+            for (std::uint32_t i = 0; i < ref.z(); ++i) {
+                EXPECT_EQ(t.slotId(n, i), ref.slotId(n, i));
+                if (t.slotId(n, i) != kInvalidBlock) {
+                    EXPECT_EQ(t.slotData(n, i), ref.slotData(n, i));
+                }
+            }
+        }
+    }
+}
+
+TEST(SparseTree, BadChunkSizeIsFatal)
+{
+    ArenaOptions o;
+    o.kind = ArenaKind::Sparse;
+    o.chunkBuckets = 6; // not a power of two
+    EXPECT_THROW(BinaryTree(4, 3, o), SimFatal);
 }
 
 } // namespace

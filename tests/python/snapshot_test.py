@@ -160,6 +160,36 @@ class SnapshotToolTest(unittest.TestCase):
             metrics["schemes"]["oram_dynamic"]["histMeans"]
             ["requestLatency"], 2000.0)
 
+    def test_memory_section_records_rss_and_counters(self):
+        report = {
+            "benchmarks": [
+                {
+                    "name": "BM_LargeTreeDrive_median",
+                    "run_type": "aggregate",
+                    "aggregate_name": "median",
+                    "real_time": 500.0,
+                    "arenaBytesResident": 4096.0,
+                    "chunksMaterialized": 2.0,
+                },
+                {
+                    "name": "BM_Fast_median",
+                    "run_type": "aggregate",
+                    "aggregate_name": "median",
+                    "real_time": 100.0,
+                },
+            ]
+        }
+        self.write_binary(report)
+        res = self.run_tool("--label", "mem", "--description", "d")
+        self.assertEqual(res.returncode, 0, res.stderr)
+        memory = self.read_doc()["snapshots"][-1]["memory"]
+        self.assertGreaterEqual(memory["peakRssBytes"], 0)
+        self.assertEqual(
+            memory["benchCounters"]["BM_LargeTreeDrive"],
+            {"arenaBytesResident": 4096.0, "chunksMaterialized": 2.0})
+        # Benchmarks without counters stay out of the section.
+        self.assertNotIn("BM_Fast", memory["benchCounters"])
+
     def test_metrics_jsonl_rejects_bad_schema(self):
         jsonl = self.dir / "metrics.jsonl"
         jsonl.write_text(json.dumps({"schema": "other"}) + "\n")

@@ -70,6 +70,17 @@ reservedAppend(std::vector<std::uint64_t> &lane, std::uint64_t v)
     lane.push_back(v);
 }
 
+// Demand materialization in a hot function: a once-per-chunk
+// allocation keyed on a public tree coordinate (the sparse arena's
+// first-touch path) is allowed with the argued suppression.
+PRORAM_HOT std::uint64_t *
+materializeChunk(std::uint64_t chunk_slots)
+{
+    // PRORAM_LINT_ALLOW(hot-alloc): once-per-chunk demand
+    // materialization keyed on a public tree coordinate
+    return new std::uint64_t[chunk_slots];
+}
+
 // A non-annotated function may do anything.
 void
 coldSetup(std::vector<std::uint64_t> &lane, Leaf leaf)
