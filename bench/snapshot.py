@@ -26,6 +26,12 @@ bench-smoke-compare job runs this as a soft gate):
 proram-metrics-v1 JSON object per line) and attaches a per-scheme
 summary to the snapshot entry.
 
+--throughput-binary runs the sustained-throughput driver
+(build/bench/throughput_drive --json) and attaches its
+proram-throughput-v1 output as the entry's "throughput" section, so
+snapshots carry open-loop req/s and latency percentiles per worker
+count alongside the micro_ops medians.
+
 Only stdlib; safe to run on any host with the repo built. The JSON
 file is rewritten with 2-space indentation (matching the committed
 style) and a trailing newline.
@@ -138,6 +144,21 @@ def summarize_metrics(jsonl_path):
     return {"runs": runs, "schemes": schemes}
 
 
+THROUGHPUT_SCHEMA = "proram-throughput-v1"
+
+
+def run_throughput(binary, extra_args):
+    """Run the open-loop throughput driver and return its parsed
+    --json document (schema-checked)."""
+    cmd = [str(binary), "--json"] + list(extra_args)
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    doc = json.loads(out.stdout)
+    if doc.get("schema") != THROUGHPUT_SCHEMA:
+        sys.exit(f"error: {binary}: expected schema "
+                 f"'{THROUGHPUT_SCHEMA}', got '{doc.get('schema')}'")
+    return doc
+
+
 def compare(base_micro, micro, max_regression):
     """Per-benchmark new/base ratios. Returns (rows, regressed) where
     rows are (name, base, new, ratio) for benchmarks present in both."""
@@ -184,6 +205,13 @@ def main():
     ap.add_argument("--metrics-jsonl",
                     help="PRORAM_METRICS_FILE dump to summarize into "
                          "the snapshot entry")
+    ap.add_argument("--throughput-binary",
+                    help="path to the built throughput_drive binary; "
+                         "its --json output becomes the entry's "
+                         "'throughput' section")
+    ap.add_argument("--throughput-args", default="",
+                    help="extra args for --throughput-binary, "
+                         "space-separated (e.g. '--reps 5')")
     args = ap.parse_args()
 
     if not args.compare_vs and not args.label:
@@ -277,6 +305,9 @@ def main():
     entry["memory"] = memory
     if args.metrics_jsonl:
         entry["metrics"] = summarize_metrics(args.metrics_jsonl)
+    if args.throughput_binary:
+        entry["throughput"] = run_throughput(
+            args.throughput_binary, args.throughput_args.split())
 
     if existing is not None:
         snapshots[snapshots.index(existing)] = entry

@@ -1,6 +1,7 @@
 #include "core/oram_controller.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/dynamic_policy.hh"
 #include "core/static_policy.hh"
@@ -10,6 +11,19 @@
 
 namespace proram
 {
+
+namespace
+{
+
+/** The calling request's claim set (stage 1 fills it, stage 3b
+ *  releases it). File-scope so the policy claim guard can subtract
+ *  the caller's own claims: the guard must veto merges only on
+ *  *other* requests' in-flight blocks, and the policy runs while the
+ *  caller's own claims are still up (they keep the remap set pinned
+ *  until the remaps land). */
+thread_local std::vector<BlockId> tlsClaims;
+
+} // namespace
 
 OramController::OramController(const OramConfig &oram_cfg,
                                const ControllerConfig &ctl_cfg,
@@ -86,12 +100,50 @@ OramController::enableConcurrent(unsigned workers)
     if (workers <= 1)
         return;
     concurrent_ = true;
+
+    // Resolve the contention knobs (DESIGN.md Sec. 13): explicit
+    // config wins, then the environment, then the defaults.
+    std::uint32_t shards = ctlCfg_.stashShards;
+    if (shards == 0) {
+        shards = 8;
+        if (const char *env = std::getenv("PRORAM_STASH_SHARDS")) {
+            shards = static_cast<std::uint32_t>(
+                std::strtoul(env, nullptr, 10));
+            if (shards == 0)
+                shards = 1;
+        }
+    }
+    bool dedup = ctlCfg_.dedupWindow != 0;
+    if (ctlCfg_.dedupWindow < 0) {
+        if (const char *env = std::getenv("PRORAM_DEDUP"))
+            dedup = std::strtoul(env, nullptr, 10) != 0;
+    }
+
     subtree_ = std::make_unique<SubtreeCache>(
         oram_.engine().tree().numBuckets());
-    claimed_.assign(oram_.space().numTotalBlocks(), 0);
-    oram_.engine().enableConcurrent(subtree_.get(), claimed_.data());
-    policy_->setClaimGuard(
-        [this](BlockId b) { return claimed_[b.value()] != 0; });
+    if (dedup)
+        subtree_->enableWindow(oram_.engine().tree());
+    const std::uint64_t total = oram_.space().numTotalBlocks();
+    claimed_ = std::make_unique<std::atomic<std::uint8_t>[]>(total);
+    oram_.engine().enableConcurrent(subtree_.get(), claimed_.get(),
+                                    shards);
+    oram_.setClaimTable(claimed_.get());
+    // Claims visible to the guard minus the calling request's own:
+    // the policy runs with its own claims still up (see tlsClaims).
+    policy_->setClaimGuard([this](BlockId b) {
+        std::uint8_t own = 0;
+        for (const BlockId m : tlsClaims)
+            own += static_cast<std::uint8_t>(m == b);
+        return claimed_[b.value()].load(std::memory_order_relaxed) >
+               own;
+    });
+}
+
+void
+OramController::flushSubtreeWindow()
+{
+    if (subtree_ != nullptr)
+        subtree_->flushWindow(oram_.engine().tree());
 }
 
 std::uint64_t
@@ -260,20 +312,22 @@ OramController::queueAccess(BlockId block, OpType op,
 
     PathOram &engine = oram_.engine();
     static thread_local std::vector<FetchedBlock> fetchBuf;
-    static thread_local std::vector<BlockId> claimScratch;
     if (fetchBuf.size() < engine.maxPathBlocks())
         fetchBuf.resize(engine.maxPathBlocks());
 
     // Stage 1 - position-map walk, leaf resolve, super-block claim.
-    // Claiming every current member (claim count + stash pin) keeps
-    // the whole remap set out of other requests' eviction scans until
-    // stage 3, so no member can land back in the tree under a mapping
-    // this access is about to change.
+    // Claiming every current member (claim count + stash pin,
+    // atomically per member under its shard lock) keeps the whole
+    // remap set out of other requests' eviction passes until the
+    // remaps land in stage 3b, so no member can land back in the tree
+    // under a mapping this access is about to change. Only the meta
+    // lock is held across the walk: the stash shard locks are taken
+    // member-wise inside claimPin / the walk's inserts.
     std::vector<Leaf> pmLeaves;
     std::uint64_t walkPaths = 0;
     Leaf leaf = kInvalidLeaf;
     {
-        const std::scoped_lock lk(metaLock_, stashLock_);
+        const std::lock_guard<std::mutex> meta(metaLock_);
         pmSink_ = &pmLeaves;
         const PosMapWalk walk = oram_.posMapWalk(block);
         pmSink_ = nullptr;
@@ -283,21 +337,18 @@ OramController::queueAccess(BlockId block, OpType op,
         const std::uint32_t n = entry.sbSize();
         const std::uint32_t stride = entry.sbStrideLog;
         const BlockId base = sbBaseStrided(block, n, stride);
-        claimScratch.clear();
+        tlsClaims.clear();
         for (std::uint32_t i = 0; i < n; ++i) {
             const BlockId m = sbMemberAt(base, i, stride);
-            ++claimed_[m.value()];
-            engine.stash().setPinned(m, true);
-            claimScratch.push_back(m);
+            engine.stash().claimPin(m, claimed_[m.value()]);
+            tlsClaims.push_back(m);
         }
     }
-    // The walk's own readPath calls deposited tree blocks into the
-    // stash; other requests may be waiting for them in stage 3a.
-    stashCv_.notify_all();
 
     // Stage 2 - path fetch into a thread-local buffer. Only per-node
     // locks are held, one bucket at a time: this is the stage that
-    // overlaps across in-flight requests.
+    // overlaps across in-flight requests (dedicated buckets dedup
+    // through the SubtreeCache window).
     const std::size_t fetched = engine.fetchPath(leaf, fetchBuf.data());
     std::uint64_t paths = walkPaths + 1;
 
@@ -307,76 +358,68 @@ OramController::queueAccess(BlockId block, OpType op,
     // once any absorb deposits it, the claim pin makes stash
     // residency permanent until we release it below.
     {
-        const std::scoped_lock lk(metaLock_, stashLock_);
+        const std::lock_guard<std::mutex> meta(metaLock_);
         engine.absorbPath(fetchBuf.data(), fetched);
         // Lazy initialization: a block that was never placed cannot
-        // arrive from any fetch; create it now (under the stash
-        // lock) so the residency wait below terminates. No-op in
-        // eager mode, and same-block requests are serialized by the
-        // sequencer, so creation cannot race with itself.
+        // arrive from any fetch; create it now so the residency wait
+        // below terminates. No-op in eager mode, and same-block
+        // requests are serialized by the sequencer, so creation
+        // cannot race with itself.
         oram_.ensureCreated(block);
     }
-    stashCv_.notify_all();
-    {
-        std::unique_lock<std::mutex> stash(stashLock_);
-        stashCv_.wait(
-            stash, [&] { return engine.stash().contains(block); });
-    }
+    engine.stash().awaitResident(block);
 
-    // Stage 3b - payload, policy remap, then this request's eviction
-    // pass. The claims are released first (we hold the stash lock
-    // through our own eviction, so nothing can intervene): the remap
-    // set is final after the policy runs, and the policy's merge
-    // guard must only see other requests' claims. The eviction scan
-    // itself needs only the stash lock; node locks are taken
-    // bucket-wise inside evictWriteBack.
+    // Stage 3b - payload, policy remap, claim release, then this
+    // request's eviction pass. The policy runs while our own claims
+    // are still up (the guard subtracts them via tlsClaims), so every
+    // block it remaps stays pinned until the new mapping is in the
+    // position map; only then are the claims dropped and the members
+    // handed back to the eviction passes. The eviction itself runs
+    // outside the meta lock: it takes shard and node locks bucket-
+    // wise (DESIGN.md Sec. 13).
     AccessDecision decision;
     {
-        std::unique_lock<std::mutex> meta(metaLock_);
-        const std::lock_guard<std::mutex> stash(stashLock_);
-        std::uint64_t *payload = engine.stash().findData(block);
-        panic_if(!payload, "block ", block, " absent from path ", leaf,
-                 " and stash (invariant broken)");
-        if (op == OpType::Write && write_data != nullptr)
-            *payload = *write_data;
-        if (read_out != nullptr)
-            *read_out = *payload;
-        for (const BlockId m : claimScratch) {
-            if (--claimed_[m.value()] == 0)
-                engine.stash().setPinned(m, false);
+        const std::lock_guard<std::mutex> meta(metaLock_);
+        {
+            const std::uint32_t s = engine.stash().shardOf(block);
+            const std::unique_lock<std::mutex> sl =
+                engine.stash().lockShard(s);
+            std::uint64_t *payload =
+                engine.stash().findDataLocked(s, block);
+            panic_if(!payload, "block ", block, " absent from path ",
+                     leaf, " and stash (invariant broken)");
+            if (op == OpType::Write && write_data != nullptr)
+                *payload = *write_data;
+            if (read_out != nullptr)
+                *read_out = *payload;
         }
         decision = policy_->onDataAccess(block, false);
         sbSize_.sample(oram_.posMap().entry(block).sbSize());
-        meta.unlock();
-        engine.evictClassify(leaf);
-        engine.evictWriteBack(leaf);
+        for (const BlockId m : tlsClaims)
+            engine.stash().releaseUnpin(m, claimed_[m.value()]);
+        tlsClaims.clear();
     }
+    engine.evictPath(leaf);
 
     // Stage 4 - background eviction while the stash is over capacity,
-    // within the per-request budget. Random leaves come from the
-    // engine RNG (internally locked); leaves are recorded for the
-    // audit replay at commit.
+    // within the per-request budget. The capacity probe is lock-free
+    // (atomic live count); random leaves come from the engine RNG
+    // (internally locked); leaves are recorded for the audit replay
+    // at commit.
     std::vector<Leaf> bgLeaves;
     std::uint64_t spent = 0;
     while (spent < ctlCfg_.maxBgEvictionsPerRequest) {
-        {
-            const std::lock_guard<std::mutex> stash(stashLock_);
-            if (!engine.stash().overCapacity())
-                break;
-        }
+        if (!engine.stash().overCapacity())
+            break;
         const Leaf dummy_leaf = engine.randomLeaf();
         PRORAM_TRACE_SCOPE_ARG("dummy", "bgEvict", "leaf", dummy_leaf);
         const std::size_t n = engine.fetchPath(dummy_leaf,
                                                fetchBuf.data());
         {
-            std::unique_lock<std::mutex> meta(metaLock_);
-            const std::lock_guard<std::mutex> stash(stashLock_);
+            const std::lock_guard<std::mutex> meta(metaLock_);
             engine.absorbPath(fetchBuf.data(), n);
-            meta.unlock();
-            engine.evictClassify(dummy_leaf);
-            engine.evictWriteBack(dummy_leaf);
         }
-        stashCv_.notify_all();
+        engine.evictPath(dummy_leaf);
         bgLeaves.push_back(dummy_leaf);
         ++paths;
         ++spent;
@@ -517,6 +560,9 @@ void
 OramController::finalize(Cycles end)
 {
     drainPeriodicDummies(end);
+    // Quiescent by contract at finalize: sync the dedup window so any
+    // post-run tree inspection sees the authoritative buckets.
+    flushSubtreeWindow();
 }
 
 std::uint64_t
@@ -576,6 +622,54 @@ OramController::buildStatGroup() const
                [o] { return static_cast<double>(o->plb().hits()); });
     g.addValue("plbMisses", "position-map block cache misses",
                [o] { return static_cast<double>(o->plb().misses()); });
+
+    // Concurrency telemetry (DESIGN.md Sec. 13): lock traffic and
+    // path-dedup effectiveness. All zero in serial mode.
+    g.addValue("subtreeLockAcquisitions",
+               "tree node-lock acquisitions (concurrent mode)", [this] {
+                   return subtree_ ? static_cast<double>(
+                                         subtree_->acquisitions())
+                                   : 0.0;
+               });
+    g.addValue("subtreeLockContended",
+               "node-lock acquisitions that had to block", [this] {
+                   return subtree_
+                              ? static_cast<double>(subtree_->contended())
+                              : 0.0;
+               });
+    g.addValue("stashShards", "stash shard count", [o] {
+        return static_cast<double>(o->engine().stash().shardCount());
+    });
+    g.addValue("stashShardLockAcquisitions",
+               "stash shard-lock acquisitions", [o] {
+                   return static_cast<double>(
+                       o->engine().stash().shardLockAcquisitions());
+               });
+    g.addValue("stashShardLockContended",
+               "shard-lock acquisitions that had to block", [o] {
+                   return static_cast<double>(
+                       o->engine().stash().shardLockContended());
+               });
+    g.addValue("dedupHits",
+               "dedicated-bucket touches served from the dedup window",
+               [this] {
+                   return subtree_
+                              ? static_cast<double>(subtree_->dedupHits())
+                              : 0.0;
+               });
+    g.addValue("dedupMisses",
+               "dedicated-bucket touches that read the arena", [this] {
+                   return subtree_ ? static_cast<double>(
+                                         subtree_->dedupMisses())
+                                   : 0.0;
+               });
+    g.addValue("dedupFlushWrites",
+               "arena bucket writes performed by window flushes",
+               [this] {
+                   return subtree_ ? static_cast<double>(
+                                         subtree_->flushWrites())
+                                   : 0.0;
+               });
 
     // Slot-arena materialization telemetry (DESIGN.md Sec. 12):
     // memory cost as a first-class metric next to the path counters.

@@ -9,7 +9,7 @@
 #ifndef PRORAM_CORE_ORAM_CONTROLLER_HH
 #define PRORAM_CORE_ORAM_CONTROLLER_HH
 
-#include <condition_variable>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -50,6 +50,20 @@ struct ControllerConfig
      */
     bool traditionalPrefetcher = false;
     PrefetcherConfig prefetcher{};
+    /**
+     * Stash shard count for concurrent drive mode (rounded down to a
+     * power of two, clamped to [1, Stash::kMaxShards]). 0 (default)
+     * resolves $PRORAM_STASH_SHARDS, falling back to 8. Ignored in
+     * serial mode (the stash stays single-sharded).
+     */
+    std::uint32_t stashShards = 0;
+    /**
+     * Cross-request path-dedup window over the SubtreeCache's
+     * dedicated nodes (DESIGN.md Sec. 13): 1 forces on, 0 forces off,
+     * -1 (default) resolves $PRORAM_DEDUP, falling back to on.
+     * Ignored in serial mode.
+     */
+    int dedupWindow = -1;
 };
 
 /** Counters the experiment harness reads after a run. */
@@ -107,9 +121,10 @@ class OramController : public MemBackend, public LlcProbe
     /**
      * Switch into the concurrent drive mode: after this, several
      * threads may call queueAccess() simultaneously. Builds the
-     * per-node SubtreeCache over the tree arena and the per-block
-     * claim table, and flips the engine into locked bucket access.
-     * Must run after configure*() and before any queueAccess();
+     * per-node SubtreeCache over the tree arena (with the dedup
+     * window, unless disabled), shards the stash, allocates the
+     * per-block claim table, and flips the engine into locked bucket
+     * access. Must run after configure*() and before any queueAccess();
      * incompatible with the periodic scheduler (timing protection is
      * defined over a serial schedule - see DESIGN.md §11).
      */
@@ -130,6 +145,16 @@ class OramController : public MemBackend, public LlcProbe
 
     /** Node-lock contention counters (null in serial mode). */
     const SubtreeCache *subtreeCache() const { return subtree_.get(); }
+
+    /**
+     * Write the dedup window's dirty resident buckets back to the
+     * arena. Must run at a quiescent point (no in-flight
+     * queueAccess) before anything reads the tree directly -
+     * integrity checks, goldens, serial traffic. No-op in serial mode
+     * or with the window disabled. The sim harness calls this after
+     * every concurrent drain (System::runQueue).
+     */
+    void flushSubtreeWindow();
 
     const ControllerStats &stats() const { return stats_; }
 
@@ -207,27 +232,28 @@ class OramController : public MemBackend, public LlcProbe
     Cycles busyUntil_{0};
     obs::ObliviousnessAuditor *auditor_ = nullptr;
 
-    // Concurrent drive mode (DESIGN.md §11). Lock hierarchy:
-    // metaLock_ < stashLock_ < per-node locks (SubtreeCache); the
-    // engine's RNG mutex is leaf-level and acquirable anywhere.
+    // Concurrent drive mode (DESIGN.md §11/§13). Lock hierarchy:
+    // metaLock_ < stash-shard locks (Stash, one at a time on the hot
+    // path) < per-node locks (SubtreeCache, one at a time); the
+    // engine's RNG mutex is leaf-level and acquirable anywhere. The
+    // rare multi-shard operations (resharding, drained iteration) run
+    // single-threaded by contract.
     //   metaLock_: position map + PLB + policy + scheduler + stats_ +
     //              histograms + auditor + epoch + busyUntil_ + LLC
-    //              prefetch insertion + pmSink_.
-    //   stashLock_: stash lanes/index/pin lane + engine eviction
-    //               scratch + claimed_ + occupancy distribution.
+    //              prefetch insertion + pmSink_ + claim-count writes.
+    //   shard locks: that shard's stash lanes/index/pin lane; the
+    //              occupancy distribution has its own internal lock.
+    //   node locks: that bucket's tree slots + dedup-window copy.
     bool concurrent_ = false;
     std::mutex metaLock_;
-    std::mutex stashLock_;
     std::unique_ptr<SubtreeCache> subtree_;
     /** Per-BlockId claim counts: > 0 while in-flight requests own the
      *  block (pinning it against eviction; super blocks can overlap,
-     *  so claims nest). Writes hold metaLock_ + stashLock_; reads
-     *  hold at least one of the two. */
-    std::vector<std::uint8_t> claimed_;
-    /** Signalled whenever blocks move from the tree or an in-flight
-     *  buffer into the stash; stage-3a waiters re-check residency of
-     *  the block they are missing (stable once claimed/pinned). */
-    std::condition_variable stashCv_;
+     *  so claims nest). Writes go through Stash::claimPin /
+     *  releaseUnpin under metaLock_ (atomically with the pin under
+     *  the member's shard lock); reads are lock-free (stash pin
+     *  filter, policy claim guard). */
+    std::unique_ptr<std::atomic<std::uint8_t>[]> claimed_;
     /** When non-null (during a concurrent pos-map walk, under
      *  metaLock_), pos-map path leaves buffer here instead of going
      *  to the auditor, and replay contiguously at commit so the

@@ -98,11 +98,13 @@ class SuperBlockPolicy
 
     /**
      * Concurrent-mode hook (empty in serial mode): true if @p block
-     * is claimed by an in-flight request. A merge must not adopt
-     * members of a claimed super block - the claimant's remap set
-     * would grow under it mid-access (DESIGN.md §11). The controller
-     * unclaims its own blocks before running the policy, so every
-     * claim visible here belongs to a different request.
+     * is claimed by a *different* in-flight request. A merge must not
+     * adopt members of a foreign claimed super block - the claimant's
+     * remap set would grow under it mid-access (DESIGN.md §13). The
+     * calling request keeps its own members claimed through the
+     * policy (the claims pin them against foreign evictions until the
+     * policy's remaps land), so the controller's guard subtracts the
+     * caller's own claim counts before answering.
      */
     void setClaimGuard(std::function<bool(BlockId)> fn)
     {

@@ -1,7 +1,9 @@
 #include "oram/path_oram.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <utility>
 
 #include "obs/trace.hh"
 #include "oram/evict_kernel.hh"
@@ -11,6 +13,67 @@
 
 namespace proram
 {
+
+namespace
+{
+
+// Bucket accessors routed through the SubtreeCache dedup window for
+// dedicated nodes when the window is enabled, falling back to the
+// arena otherwise. Callers hold the node's lock in concurrent mode
+// (cache != nullptr); in serial mode cache is null and these collapse
+// to the plain tree accessors.
+
+inline std::uint32_t
+bucketOccupancy(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->occupancy(node, tree) : tree.occupancy(node);
+}
+
+inline std::uint32_t
+bucketFreeSlots(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->freeSlots(node, tree) : tree.freeSlots(node);
+}
+
+inline BlockId
+bucketSlotId(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
+             std::uint32_t i)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->slotId(node, i, tree) : tree.slotId(node, i);
+}
+
+inline std::uint64_t
+bucketSlotData(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
+               std::uint32_t i)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->slotData(node, i, tree) : tree.slotData(node, i);
+}
+
+inline void
+bucketClearSlot(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
+                std::uint32_t i)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    if (win)
+        cache->clearSlot(node, i, tree);
+    else
+        tree.clearSlot(node, i);
+}
+
+inline bool
+bucketTryPlace(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
+               BlockId id, std::uint64_t data)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->tryPlace(node, id, data, tree)
+               : tree.tryPlace(node, id, data);
+}
+
+} // namespace
 
 PathOram::PathOram(const OramConfig &cfg, PositionMap &pos_map)
     : cfg_(cfg), posMap_(pos_map),
@@ -54,10 +117,18 @@ PathOram::reserveScratch(std::size_t slots)
 
 void
 PathOram::enableConcurrent(SubtreeCache *cache,
-                           const std::uint8_t *claim_filter)
+                           const std::atomic<std::uint8_t> *claim_filter,
+                           std::uint32_t stash_shards)
 {
     cache_ = cache;
+    claimFilter_ = claim_filter;
+    windowLevelsOnPath_ =
+        cache != nullptr && cache->windowEnabled()
+            ? std::min<std::uint64_t>(cache->windowLevels(),
+                                      tree_.levels() + 1)
+            : 0;
     stash_.setPinFilter(claim_filter);
+    stash_.enableConcurrent(stash_shards);
 }
 
 PRORAM_HOT Leaf
@@ -75,14 +146,26 @@ PathOram::randomLeaf()
 PRORAM_OBLIVIOUS PRORAM_HOT void
 PathOram::readPath(Leaf leaf)
 {
+    if (cache_ != nullptr) {
+        // Concurrent mode: same public access pattern, but routed
+        // through the stage pair so bucket traffic takes node locks
+        // (and the dedup window, including the claim-gated skim) and
+        // stash inserts batch by shard. fetchPath counts the path
+        // read and emits the trace scope.
+        static thread_local std::vector<FetchedBlock> buf;
+        if (buf.size() < maxPathBlocks()) {
+            // PRORAM_LINT_ALLOW(hot-alloc): thread-local, sized once.
+            buf.resize(maxPathBlocks());
+        }
+        const std::size_t n = fetchPath(leaf, buf.data());
+        absorbPath(buf.data(), n);
+        return;
+    }
     PRORAM_TRACE_SCOPE_ARG("oram", "readPath", "leaf", leaf);
     ++pathReads_;
     const std::uint32_t z = tree_.z();
     for (Level level{0}; level <= tree_.leafLevel(); ++level) {
         const TreeIdx node = tree_.nodeOnPath(leaf, level);
-        std::unique_lock<std::mutex> guard;
-        if (cache_ != nullptr)
-            guard = cache_->lockNode(node);
         if (tree_.occupancy(node) == 0)
             continue;
         for (std::uint32_t i = 0; i < z; ++i) {
@@ -105,24 +188,67 @@ PathOram::fetchPath(Leaf leaf, FetchedBlock *out)
     // pattern (all L+1 buckets of one path, root to leaf), but blocks
     // land in a caller-local buffer instead of the stash so no stash
     // lock is needed. Each bucket is held exclusively only while its
-    // slots are copied and cleared.
+    // slots are copied and cleared; dedicated buckets route through
+    // the dedup window, so an overlapping in-flight path adopts the
+    // resident copy instead of re-reading the arena.
     PRORAM_TRACE_SCOPE_ARG("oram", "readPath", "leaf", leaf);
     ++pathReads_;
+    // Claim-gated skim (concurrent mode): an unclaimed block can stay
+    // in its bucket instead of round-tripping through the stash. Only
+    // claimed blocks (the in-flight remap set - the demanded super
+    // block's members and the pos-map blocks) can be remapped by the
+    // policy, so an unclaimed block's path assignment cannot change
+    // while it sits in place, and the Path ORAM invariant (block on
+    // its mapped path or in the stash) holds without moving it; an
+    // overlapping fetch that does extract it clears the slot under
+    // the same node lock, so no copy is ever duplicated. Every
+    // kWindowResortPeriod-th fetch extracts in full so the classic
+    // path re-sort keeps running at reduced cadence (downward
+    // placement flux stays alive, the stash stays bounded). The
+    // cadence is a function of the public fetch count only; the
+    // observable access pattern is the unchanged L+1 buckets of one
+    // path either way.
+    // Weyl-hash the fetch ordinal instead of taking it mod the
+    // period: the raw sequence interleaves data and pos-map paths in
+    // a near-periodic pattern that a plain modulus locks onto (e.g.
+    // every data path resorting, every pos-map path skimming).
+    const std::uint64_t seq =
+        fetchSeq_.fetch_add(1, std::memory_order_relaxed);
+    const bool resort = (seq * 0x9E3779B97F4A7C15ULL >> 32) %
+                            kWindowResortPeriod ==
+                        0;
     const std::uint32_t z = tree_.z();
     std::size_t n = 0;
+    if (cache_ != nullptr) {
+        // Batched lock accounting: one add per path, not per bucket.
+        cache_->noteAcquisitions(tree_.levels() + 1);
+        cache_->noteWindowTouches(windowLevelsOnPath_);
+    }
     for (Level level{0}; level <= tree_.leafLevel(); ++level) {
         const TreeIdx node = tree_.nodeOnPath(leaf, level);
         std::unique_lock<std::mutex> guard;
         if (cache_ != nullptr)
-            guard = cache_->lockNode(node);
-        if (tree_.occupancy(node) == 0)
+            guard = cache_->lockNodeFast(node);
+        if (bucketOccupancy(cache_, tree_, node) == 0)
             continue;
+        const bool skim =
+            !resort && cache_ != nullptr && claimFilter_ != nullptr;
         for (std::uint32_t i = 0; i < z; ++i) {
-            const BlockId id = tree_.slotId(node, i);
+            const BlockId id = bucketSlotId(cache_, tree_, node, i);
             if (id == kInvalidBlock)
                 continue;
-            out[n++] = FetchedBlock{id, tree_.slotData(node, i)};
-            tree_.clearSlot(node, i);
+            // The claim probe decides only whether the block transits
+            // the stash or stays put in its bucket - both are
+            // controller-internal state; the externally observable
+            // bucket sequence (this path's L+1 nodes) is identical
+            // either way.
+            // PRORAM_LINT_ALLOW(secret-branch): see above.
+            if (skim && claimFilter_[id.value()].load(
+                            std::memory_order_relaxed) == 0)
+                continue; // unclaimed: stays in place on its path
+            out[n++] =
+                FetchedBlock{id, bucketSlotData(cache_, tree_, node, i)};
+            bucketClearSlot(cache_, tree_, node, i);
         }
     }
     return n;
@@ -131,19 +257,40 @@ PathOram::fetchPath(Leaf leaf, FetchedBlock *out)
 PRORAM_HOT void
 PathOram::absorbPath(const FetchedBlock *blocks, std::size_t n)
 {
+    if (n == 0)
+        return;
     // The leaf is re-read from the position map at absorb time, not
     // fetch time: a concurrent remap between the two stages must win.
-    for (std::size_t i = 0; i < n; ++i) {
-        const bool fresh = stash_.insert(blocks[i].id, blocks[i].data,
-                                         posMap_.leafOf(blocks[i].id));
-        panic_if(!fresh, "block ", blocks[i].id,
-                 " duplicated between tree and stash");
+    // Unzip into parallel lanes so the stash can group the inserts by
+    // shard (one lock per distinct shard instead of one per block).
+    static thread_local std::vector<BlockId> ids;
+    static thread_local std::vector<std::uint64_t> data;
+    static thread_local std::vector<Leaf> leaves;
+    if (ids.size() < n) {
+        // PRORAM_LINT_ALLOW(hot-alloc): thread-local, path-bounded.
+        ids.resize(n);
+        // PRORAM_LINT_ALLOW(hot-alloc): see above.
+        data.resize(n);
+        // PRORAM_LINT_ALLOW(hot-alloc): see above.
+        leaves.resize(n);
     }
+    for (std::size_t i = 0; i < n; ++i) {
+        ids[i] = blocks[i].id;
+        data[i] = blocks[i].data;
+        leaves[i] = posMap_.leafOf(blocks[i].id);
+    }
+    stash_.insertBatch(ids.data(), data.data(), leaves.data(), n);
 }
 
 PRORAM_OBLIVIOUS PRORAM_HOT void
 PathOram::writePath(Leaf leaf)
 {
+    if (cache_ != nullptr) {
+        // Concurrent mode: the member eviction scratch is
+        // unsynchronized, so route to the sharded pass.
+        evictPath(leaf);
+        return;
+    }
     PRORAM_TRACE_SCOPE_ARG("oram", "writePath", "leaf", leaf);
     evictClassify(leaf);
     evictWriteBack(leaf);
@@ -158,9 +305,8 @@ PathOram::evictClassify(Leaf leaf)
     // ids + payloads into one flat array grouped deepest level first.
     // Insertion order within a level is preserved, so the write-back
     // fill makes bit-identical placement decisions to the former
-    // per-level scratch-vector pushes. Pinned slots (blocks claimed
-    // by another in-flight request) are excluded up front; the pin
-    // lane is all zero in serial mode.
+    // per-level scratch-vector pushes. Serial mode only (nothing is
+    // ever pinned): the concurrent controller runs evictPath().
     const std::uint32_t levels = tree_.levels();
     const std::size_t slots = stash_.slotCount();
     reserveScratch(slots);
@@ -173,14 +319,10 @@ PathOram::evictClassify(Leaf leaf)
     const BlockId *ids = stash_.idLane();
     const Leaf *leaves = stash_.leafLane();
     const std::uint64_t *payloads = stash_.dataLane();
-    const std::uint8_t *pins =
-        cache_ != nullptr ? stash_.pinnedLane() : nullptr;
     for (std::uint32_t l = 0; l <= levels; ++l)
         histScratch_[l] = 0;
     for (std::size_t i = 0; i < slots; ++i) {
         if (ids[i] == kInvalidBlock)
-            continue;
-        if (pins != nullptr && pins[i] != 0)
             continue;
         panic_if(leaves[i] == kInvalidLeaf, "stash block ", ids[i],
                  " has no leaf");
@@ -195,8 +337,6 @@ PathOram::evictClassify(Leaf leaf)
     for (std::size_t i = 0; i < slots; ++i) {
         if (ids[i] == kInvalidBlock)
             continue;
-        if (pins != nullptr && pins[i] != 0)
-            continue;
         sortedScratch_[levelCursorScratch_[levelScratch_[i]]++] =
             Evictable{ids[i], payloads[i]};
     }
@@ -206,8 +346,8 @@ PRORAM_OBLIVIOUS PRORAM_HOT void
 PathOram::evictWriteBack(Leaf leaf)
 {
     // Fill buckets greedily from the leaf upward; unplaced deeper
-    // blocks stay pooled and may still land closer to the root. Each
-    // bucket is locked only while its free slots are consumed.
+    // blocks stay pooled and may still land closer to the root.
+    // Serial mode only; see evictClassify().
     PRORAM_TRACE_SCOPE_ARG("evict", "scatterFill", "leaf", leaf);
     const std::uint32_t levels = tree_.levels();
     poolScratch_.clear();
@@ -220,9 +360,6 @@ PathOram::evictWriteBack(Leaf leaf)
             poolScratch_.push_back(sortedScratch_[s]);
         }
         const TreeIdx node = tree_.nodeOnPath(leaf, Level{l});
-        std::unique_lock<std::mutex> guard;
-        if (cache_ != nullptr)
-            guard = cache_->lockNode(node);
         while (!poolScratch_.empty() && tree_.freeSlots(node) != 0) {
             const Evictable ev = poolScratch_.back();
             poolScratch_.pop_back();
@@ -232,6 +369,187 @@ PathOram::evictWriteBack(Leaf leaf)
             (void)erased;
         }
     }
+    stash_.sampleOccupancy();
+}
+
+PRORAM_OBLIVIOUS PRORAM_HOT void
+PathOram::evictPath(Leaf leaf)
+{
+    // Sharded eviction pass (concurrent mode). Phase 1 classifies
+    // shard by shard under each shard's lock, collecting one
+    // (id, level) candidate per live unpinned slot into thread-local
+    // scratch - candidates are *hints*, because the shard lock is
+    // released before placement and a concurrent request may claim,
+    // remap, or evict any of them in between. Phase 2 fills buckets
+    // leaf upward like the serial pass, but revalidates every
+    // candidate under its shard lock (resident, unpinned, current
+    // leaf still shares the bucket's level) immediately before
+    // placing it under the node lock; the stash copy is erased before
+    // the node lock releases, so no concurrent fetch can ever observe
+    // a block both in the tree and in the stash. The public access
+    // pattern is unchanged: the same L+1 buckets of one path, leaf
+    // upward.
+    PRORAM_TRACE_SCOPE_ARG("evict", "evictPath", "leaf", leaf);
+    panic_if(cache_ == nullptr, "evictPath requires concurrent mode");
+
+    struct Scratch
+    {
+        std::vector<std::uint32_t> levels;
+        std::vector<BlockId> cand;
+        std::vector<std::uint32_t> candLevel;
+        std::vector<std::uint32_t> hist;
+        std::vector<std::uint32_t> startAt;
+        std::vector<std::uint32_t> cursor;
+        std::vector<BlockId> sorted;
+        std::vector<BlockId> pool;
+        std::vector<BlockId> keep;
+    };
+    static thread_local Scratch sc;
+
+    const std::uint32_t levels = tree_.levels();
+    const std::uint32_t level_slots = levels + 2;
+    if (sc.hist.size() < level_slots) {
+        // PRORAM_LINT_ALLOW(hot-alloc): thread-local, sized once.
+        sc.hist.resize(level_slots);
+        sc.startAt.resize(level_slots);
+        // PRORAM_LINT_ALLOW(hot-alloc): thread-local, sized once.
+        sc.cursor.resize(level_slots);
+    }
+
+    // Phase 1: per-shard classification sweep (shard lock held only
+    // across its own contiguous leaf lane).
+    std::uint64_t shard_locks = 0;
+    sc.cand.clear();
+    sc.candLevel.clear();
+    const std::uint32_t shards = stash_.shardCount();
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        // Lock-free empty-shard skip: the stash runs near empty in
+        // steady state, so most shards have nothing to classify. A
+        // block absorbed concurrently after the probe is only a
+        // missed *hint* - it belongs to an in-flight request (pinned,
+        // not evictable) or waits for the next pass.
+        if (stash_.liveCount(s) == 0)
+            continue;
+        const std::unique_lock<std::mutex> lk = stash_.lockShardFast(s);
+        ++shard_locks;
+        const std::size_t slots = stash_.slotCount(s);
+        if (sc.levels.size() < slots) {
+            // PRORAM_LINT_ALLOW(hot-alloc): thread-local, grows to
+            // the largest shard once.
+            sc.levels.resize(slots);
+        }
+        evict::classifyLevels(stash_.leafLane(s), slots, leaf, levels,
+                              sc.levels.data());
+        const BlockId *ids = stash_.idLane(s);
+        const std::uint8_t *pins = stash_.pinnedLane(s);
+        for (std::size_t i = 0; i < slots; ++i) {
+            if (ids[i] == kInvalidBlock)
+                continue;
+            if (pins[i] != 0)
+                continue;
+            // PRORAM_LINT_ALLOW(hot-alloc): thread-local; capacity
+            // reaches steady state after the first paths.
+            sc.cand.push_back(ids[i]);
+            // PRORAM_LINT_ALLOW(hot-alloc): see above.
+            sc.candLevel.push_back(sc.levels[i]);
+        }
+    }
+
+    // Counting sort, deepest level first; insertion order within a
+    // level is preserved (same placement policy as the serial pass).
+    for (std::uint32_t l = 0; l <= levels; ++l)
+        sc.hist[l] = 0;
+    const std::size_t ncand = sc.cand.size();
+    for (std::size_t i = 0; i < ncand; ++i)
+        ++sc.hist[sc.candLevel[i]];
+    std::uint32_t offset = 0;
+    for (std::uint32_t l = levels + 1; l-- > 0;) {
+        sc.startAt[l] = offset;
+        sc.cursor[l] = offset;
+        offset += sc.hist[l];
+    }
+    if (sc.sorted.size() < ncand) {
+        // PRORAM_LINT_ALLOW(hot-alloc): thread-local, steady state.
+        sc.sorted.resize(ncand);
+    }
+    for (std::size_t i = 0; i < ncand; ++i)
+        sc.sorted[sc.cursor[sc.candLevel[i]]++] = sc.cand[i];
+
+    // Phase 2: fill leaf upward under ONE node hold per level - the
+    // free-slot count cannot change while the hold lasts, so the pass
+    // stops the moment the bucket fills without per-candidate
+    // re-peeks. Each candidate is revalidated under its shard lock
+    // (node < shard, DESIGN.md Sec. 13) immediately before placement;
+    // the stash copy is erased under the same shard hold, so no
+    // concurrent fetch can ever observe a block both in the tree and
+    // in the stash. Deferred candidates (bucket full, or remapped
+    // shallower mid-pass) stay pooled for the next level up. Levels
+    // with an empty pool are skipped entirely: the skip depends only
+    // on how many classified candidates remain, never on bucket
+    // contents, and lock traffic is controller-internal state anyway.
+    std::uint64_t node_locks = 0;
+    std::uint64_t window_holds = 0;
+    sc.pool.clear();
+    for (std::uint32_t l = levels + 1; l-- > 0;) {
+        const std::uint32_t cstart = sc.startAt[l];
+        const std::uint32_t cend = cstart + sc.hist[l];
+        for (std::uint32_t c = cstart; c < cend; ++c) {
+            // PRORAM_LINT_ALLOW(hot-alloc): thread-local steady state.
+            sc.pool.push_back(sc.sorted[c]);
+        }
+        if (sc.pool.empty())
+            continue;
+        const TreeIdx node = tree_.nodeOnPath(leaf, Level{l});
+        const std::unique_lock<std::mutex> guard =
+            cache_->lockNodeFast(node);
+        ++node_locks;
+        window_holds += cache_->windowed(node) ? 1 : 0;
+        std::uint32_t free_now = bucketFreeSlots(cache_, tree_, node);
+        if (free_now == 0)
+            continue;
+        sc.keep.clear();
+        while (!sc.pool.empty()) {
+            const BlockId id = sc.pool.back();
+            sc.pool.pop_back();
+            if (free_now == 0) {
+                // PRORAM_LINT_ALLOW(hot-alloc): thread-local.
+                sc.keep.push_back(id);
+                continue;
+            }
+            const std::uint32_t s = stash_.shardOf(id);
+            const std::unique_lock<std::mutex> sl =
+                stash_.lockShardFast(s);
+            ++shard_locks;
+            Leaf cur = kInvalidLeaf;
+            std::uint64_t payload = 0;
+            bool pinned = false;
+            const bool resident =
+                stash_.lookupLocked(s, id, &cur, &payload, &pinned);
+            const bool evictable = resident && !pinned;
+            if (!evictable)
+                continue; // claimed or evicted since classification
+            const std::uint32_t deepest =
+                tree_.commonLevel(cur, leaf).value();
+            if (deepest < l) {
+                // Remapped mid-pass: eligible again at every level
+                // at or above the new common level (l == 0 always
+                // qualifies, so deferral terminates).
+                // PRORAM_LINT_ALLOW(hot-alloc): thread-local.
+                sc.keep.push_back(id);
+                continue;
+            }
+            const bool placed =
+                bucketTryPlace(cache_, tree_, node, id, payload);
+            panic_if(!placed, "bucket with ", free_now,
+                     " free slots refused a placement");
+            stash_.eraseLocked(s, id);
+            --free_now;
+        }
+        std::swap(sc.pool, sc.keep);
+    }
+    cache_->noteAcquisitions(node_locks);
+    cache_->noteWindowTouches(window_holds);
+    stash_.noteShardAcquisitions(shard_locks);
     stash_.sampleOccupancy();
 }
 

@@ -10,6 +10,7 @@
 #ifndef PRORAM_ORAM_PATH_ORAM_HH
 #define PRORAM_ORAM_PATH_ORAM_HH
 
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <vector>
@@ -81,25 +82,40 @@ class PathOram
     /**
      * Stage: stash absorb. Insert @p n fetched blocks, re-reading
      * each block's current leaf from the position map. Caller must
-     * hold the controller's meta and stash locks in concurrent mode.
+     * hold the controller's meta lock in concurrent mode (the
+     * position-map read); stash inserts take their shard lock
+     * internally.
      */
     void absorbPath(const FetchedBlock *blocks, std::size_t n);
 
     /**
-     * Stage: evict classify. Classify every stash slot's deepest
-     * eligible level on path @p leaf and counting-sort the live,
-     * unpinned slots deepest level first into internal scratch.
-     * Caller must hold the stash lock in concurrent mode.
+     * Stage: evict classify (serial). Classify every stash slot's
+     * deepest eligible level on path @p leaf and counting-sort the
+     * live slots deepest level first into internal scratch. Serial
+     * mode only - the member scratch is unsynchronized; concurrent
+     * evictions run evictPath().
      */
     void evictClassify(Leaf leaf);
 
     /**
-     * Stage: write-back. Fill buckets of path @p leaf from the
-     * classified scratch, leaf upward. Takes per-node locks around
-     * each bucket in concurrent mode; caller must hold the stash
-     * lock (stash erase + occupancy sample happen here).
+     * Stage: write-back (serial). Fill buckets of path @p leaf from
+     * the classified scratch, leaf upward. Serial mode only; see
+     * evictClassify().
      */
     void evictWriteBack(Leaf leaf);
+
+    /**
+     * Stage: concurrent eviction pass over path @p leaf - the
+     * sharded twin of evictClassify + evictWriteBack. Classifies
+     * shard by shard under each shard's lock into thread-local
+     * scratch, then fills buckets leaf upward under ONE node hold per
+     * level, revalidating every candidate under its shard lock
+     * (current leaf, pin state, payload) inside the node hold -
+     * classification is only a hint once the global stash lock is
+     * gone. Lock order: node, then stash-shard (DESIGN.md Sec. 13).
+     * Caller must hold no locks; concurrent mode only.
+     */
+    void evictPath(Leaf leaf);
 
     /** Upper bound on real blocks one path can hold ((L+1)*Z). */
     std::size_t maxPathBlocks() const
@@ -109,14 +125,19 @@ class PathOram
 
     /**
      * Switch the engine into concurrent mode: bucket operations in
-     * fetchPath/readPath/evictWriteBack take per-node locks from
-     * @p cache, randomLeaf() serialises on an internal RNG mutex, and
-     * blocks inserted while claimed in @p claim_filter (per-BlockId
-     * bytes, controller-owned) start pinned against eviction. Serial
-     * mode (cache == nullptr, the default) takes no locks at all.
+     * fetchPath/readPath/evictPath take per-node locks from @p cache
+     * (and route dedicated buckets through its dedup window when
+     * enabled), readPath decomposes into fetchPath + absorbPath,
+     * writePath routes to evictPath, the stash shards into
+     * @p stash_shards lock-striped shards, randomLeaf() serialises on
+     * an internal RNG mutex, and blocks inserted while claimed in
+     * @p claim_filter (per-BlockId atomic counts, controller-owned)
+     * start pinned against eviction. Serial mode (cache == nullptr,
+     * the default) takes no locks at all.
      */
     void enableConcurrent(SubtreeCache *cache,
-                          const std::uint8_t *claim_filter);
+                          const std::atomic<std::uint8_t> *claim_filter,
+                          std::uint32_t stash_shards);
 
     bool concurrentEnabled() const { return cache_ != nullptr; }
     /** @} */
@@ -165,6 +186,24 @@ class PathOram
     stats::AtomicCounter pathReads_;
     /** Non-null in concurrent mode: per-node locking discipline. */
     SubtreeCache *cache_ = nullptr;
+    /** Concurrent mode: per-BlockId claim counts (controller-owned).
+     *  fetchPath consults it to leave unclaimed blocks in place in
+     *  their buckets instead of round-tripping them through the
+     *  stash (DESIGN.md Sec. 13) - only claimed blocks can be
+     *  remapped by the in-flight policy, so an unclaimed block's
+     *  path assignment cannot change under it. */
+    const std::atomic<std::uint8_t> *claimFilter_ = nullptr;
+    /** Windowed (dedup-resident) buckets on any one path: cached at
+     *  enableConcurrent so fetchPath's batched touch accounting is a
+     *  constant add. Zero when the window is disabled. */
+    std::uint64_t windowLevelsOnPath_ = 0;
+    /** Fetch sequence number: every kWindowResortPeriod-th fetch
+     *  extracts windowed buckets in full so the classic Path ORAM
+     *  path re-sort still runs (keeps deep placement alive and the
+     *  stash bounded). Counter-based, so the cadence depends only on
+     *  the public number of path reads, never on their contents. */
+    static constexpr std::uint64_t kWindowResortPeriod = 4;
+    std::atomic<std::uint64_t> fetchSeq_{0};
     /** Serialises rng_ draws in concurrent mode. Leaf-level lock:
      *  acquirable under any other lock, never acquires one itself. */
     std::mutex rngMutex_;

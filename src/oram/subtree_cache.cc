@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "oram/tree.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace proram
@@ -36,12 +38,138 @@ std::unique_lock<std::mutex>
 SubtreeCache::lockNode(TreeIdx node)
 {
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (windowed(node))
+        windowTouches_.fetch_add(1, std::memory_order_relaxed);
+    return lockNodeFast(node);
+}
+
+PRORAM_HOT std::unique_lock<std::mutex>
+SubtreeCache::lockNodeFast(TreeIdx node)
+{
     std::unique_lock<std::mutex> lk(mutexFor(node), std::try_to_lock);
     if (!lk.owns_lock()) {
         contended_.fetch_add(1, std::memory_order_relaxed);
         lk.lock();
     }
     return lk;
+}
+
+void
+SubtreeCache::enableWindow(const BinaryTree &tree)
+{
+    z_ = tree.z();
+    winIds_.assign(dedicated_ * z_, kInvalidBlock);
+    winData_.assign(dedicated_ * z_, 0);
+    winFree_.assign(dedicated_, z_);
+    winResident_.assign(dedicated_, 0);
+    winDirty_.assign(dedicated_, 0);
+    windowEnabled_ = true;
+}
+
+void
+SubtreeCache::ensureResident(std::uint64_t n, const BinaryTree &tree)
+{
+    if (winResident_[n] != 0)
+        return;
+    // Dedup accounting: a miss is exactly a first-touch arena load
+    // (residency never clears - the flush keeps buckets resident), so
+    // counting it here keeps the hot lock path free of accounting
+    // RMWs; hits are derived as windowTouches - misses.
+    dedupMisses_.fetch_add(1, std::memory_order_relaxed);
+    const TreeIdx node{n};
+    for (std::uint32_t i = 0; i < z_; ++i) {
+        winIds_[n * z_ + i] = tree.slotId(node, i);
+        winData_[n * z_ + i] = tree.slotData(node, i);
+    }
+    winFree_[n] = tree.freeSlots(node);
+    winDirty_[n] = 0;
+    winResident_[n] = 1;
+}
+
+std::uint32_t
+SubtreeCache::occupancy(TreeIdx node, const BinaryTree &tree)
+{
+    ensureResident(node.value(), tree);
+    return z_ - winFree_[node.value()];
+}
+
+std::uint32_t
+SubtreeCache::freeSlots(TreeIdx node, const BinaryTree &tree)
+{
+    ensureResident(node.value(), tree);
+    return winFree_[node.value()];
+}
+
+BlockId
+SubtreeCache::slotId(TreeIdx node, std::uint32_t i,
+                     const BinaryTree &tree)
+{
+    ensureResident(node.value(), tree);
+    return winIds_[node.value() * z_ + i];
+}
+
+std::uint64_t
+SubtreeCache::slotData(TreeIdx node, std::uint32_t i,
+                       const BinaryTree &tree)
+{
+    ensureResident(node.value(), tree);
+    return winData_[node.value() * z_ + i];
+}
+
+void
+SubtreeCache::clearSlot(TreeIdx node, std::uint32_t i,
+                        const BinaryTree &tree)
+{
+    const std::uint64_t n = node.value();
+    ensureResident(n, tree);
+    const std::uint64_t at = n * z_ + i;
+    if (winIds_[at] != kInvalidBlock) {
+        ++winFree_[n];
+        winData_[at] = 0;
+    }
+    winIds_[at] = kInvalidBlock;
+    winDirty_[n] = 1;
+}
+
+bool
+SubtreeCache::tryPlace(TreeIdx node, BlockId id, std::uint64_t data,
+                       const BinaryTree &tree)
+{
+    const std::uint64_t n = node.value();
+    ensureResident(n, tree);
+    if (winFree_[n] == 0)
+        return false;
+    for (std::uint32_t i = 0; i < z_; ++i) {
+        if (winIds_[n * z_ + i] == kInvalidBlock) {
+            winIds_[n * z_ + i] = id;
+            winData_[n * z_ + i] = data;
+            --winFree_[n];
+            winDirty_[n] = 1;
+            return true;
+        }
+    }
+    panic("windowed bucket free-slot count ", winFree_[n],
+          " but no dummy slot");
+}
+
+void
+SubtreeCache::flushWindow(BinaryTree &tree)
+{
+    if (!windowEnabled_)
+        return;
+    // Write back every *resident* bucket, dirty or not: residency
+    // grows monotonically toward the full dedicated prefix, so the
+    // arena write set is a function of how many drain windows ran,
+    // never of which blocks moved inside them - the batched
+    // write-back leaks nothing about placements (DESIGN.md Sec. 13).
+    for (std::uint64_t n = 0; n < dedicated_; ++n) {
+        if (winResident_[n] == 0)
+            continue;
+        tree.storeBucket(TreeIdx{n}, &winIds_[n * z_],
+                         &winData_[n * z_], winFree_[n]);
+        winDirty_[n] = 0;
+        flushWrites_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 } // namespace proram

@@ -1,22 +1,41 @@
 /**
  * @file
- * Locking discipline for concurrent access to the shared Path ORAM
- * tree (the "subtree cache" of the concurrent controller).
+ * Locking discipline plus cross-request path deduplication for
+ * concurrent access to the shared Path ORAM tree (the "subtree cache"
+ * of the concurrent controller).
  *
  * The flat SoA slot arena in tree.hh is the shared subtree store:
  * every in-flight request reads and writes buckets of the same tree.
- * This class adds the per-node mutual exclusion that makes those
- * bucket operations safe: the top levels of the tree - where every
- * path overlaps and contention concentrates - get one dedicated mutex
- * per node, while the exponentially many deeper nodes hash onto a
- * fixed stripe table (false sharing of a stripe only costs a little
- * extra serialisation, never correctness).
+ * This class adds two things on top:
  *
- * Deadlock freedom is by protocol, not by this class: callers hold at
- * most ONE node lock at a time (fetch and write-back walk the path
- * bucket by bucket, releasing each before locking the next), so the
- * stripe mapping can alias arbitrary nodes without ordering concerns.
- * See DESIGN.md "Concurrent controller" for the full lock hierarchy.
+ *  1. Per-node mutual exclusion. The top levels of the tree - where
+ *     every path overlaps and contention concentrates - get one
+ *     dedicated mutex per node, while the exponentially many deeper
+ *     nodes hash onto a fixed stripe table (false sharing of a stripe
+ *     only costs a little extra serialisation, never correctness).
+ *
+ *  2. A resident-bucket *window* over the dedicated nodes (TaoStore-
+ *     style path deduplication, enableWindow()). The first in-flight
+ *     request to touch a dedicated bucket in a drain window loads it
+ *     from the arena (a dedup miss); every overlapping path after
+ *     that adopts the already-resident copy instead of re-reading the
+ *     arena (a dedup hit). Dirty residents are written back to the
+ *     arena once per drain window by flushWindow() - called at a
+ *     quiescent point - instead of once per request, with the saved
+ *     arena traffic visible in the hit/miss/flush counters. Logical
+ *     accounting is unchanged: stats and the obliviousness auditor
+ *     still see every path touch; only physical arena reads/writes of
+ *     shared buckets are collapsed.
+ *
+ * Lock hierarchy (DESIGN.md Sec. 11/13): controller meta lock <
+ * node locks (this class) < stash-shard locks. Callers hold at most
+ * ONE node lock at a time (fetch and write-back walk the path bucket
+ * by bucket, releasing each before locking the next), so the stripe
+ * mapping can alias arbitrary nodes without ordering concerns; a
+ * node lock may be held while acquiring a stash-shard lock (the
+ * eviction pass revalidates and erases candidates under the level's
+ * node hold), never the reverse. All windowed-bucket accessors
+ * require the node's lock.
  */
 
 #ifndef PRORAM_ORAM_SUBTREE_CACHE_HH
@@ -26,11 +45,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "util/types.hh"
 
 namespace proram
 {
+
+class BinaryTree;
 
 class SubtreeCache
 {
@@ -46,8 +68,103 @@ class SubtreeCache
                           std::size_t stripes = 512);
 
     /** RAII exclusive hold on @p node's bucket. Callers must not hold
-     *  another node guard while acquiring (see file comment). */
+     *  another node guard while acquiring (see file comment). Counts
+     *  the acquisition and (for windowed nodes) the dedup touch. */
     std::unique_lock<std::mutex> lockNode(TreeIdx node);
+
+    /**
+     * lockNode() minus the per-call accounting: contention is still
+     * recorded, but the caller batches acquisition and window-touch
+     * counts via noteAcquisitions()/noteWindowTouches() - one atomic
+     * add per path instead of one per bucket on the fetch/evict hot
+     * paths.
+     */
+    std::unique_lock<std::mutex> lockNodeFast(TreeIdx node);
+
+    /** Credit @p n lockNodeFast() acquisitions. */
+    void noteAcquisitions(std::uint64_t n)
+    {
+        acquisitions_.fetch_add(n, std::memory_order_relaxed);
+    }
+    /** Credit @p n windowed-bucket holds taken via lockNodeFast(). */
+    void noteWindowTouches(std::uint64_t n)
+    {
+        windowTouches_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** @name Resident-bucket window (path deduplication). @{ */
+
+    /** Allocate the window over the dedicated nodes of @p tree. The
+     *  window becomes the authoritative copy of those buckets for all
+     *  engine accesses; flushWindow() syncs the arena for external
+     *  readers (integrity checks, serial re-reads). */
+    void enableWindow(const BinaryTree &tree);
+    bool windowEnabled() const { return windowEnabled_; }
+
+    /** Whether @p node's bucket routes through the window. */
+    bool windowed(TreeIdx node) const
+    {
+        return windowEnabled_ && node.value() < dedicated_;
+    }
+
+    /** Number of complete tree levels the window covers (floor): the
+     *  dedicated prefix holds 2^L - 1 nodes, so every node of levels
+     *  [0, L) is windowed. */
+    std::uint32_t windowLevels() const
+    {
+        std::uint32_t l = 0;
+        while ((std::uint64_t{2} << l) - 1 <= dedicated_)
+            ++l;
+        return l;
+    }
+
+    /** @name Windowed bucket operations.
+     *  Caller holds lockNode(node) and windowed(node) is true; the
+     *  bucket is loaded from @p tree on first touch. Semantics mirror
+     *  BinaryTree's accessors. @{ */
+    std::uint32_t occupancy(TreeIdx node, const BinaryTree &tree);
+    std::uint32_t freeSlots(TreeIdx node, const BinaryTree &tree);
+    BlockId slotId(TreeIdx node, std::uint32_t i,
+                   const BinaryTree &tree);
+    std::uint64_t slotData(TreeIdx node, std::uint32_t i,
+                           const BinaryTree &tree);
+    void clearSlot(TreeIdx node, std::uint32_t i,
+                   const BinaryTree &tree);
+    bool tryPlace(TreeIdx node, BlockId id, std::uint64_t data,
+                  const BinaryTree &tree);
+    /** @} */
+
+    /**
+     * Write every dirty resident bucket back to the arena (once per
+     * drain window). Must run at a quiescent point - no in-flight
+     * requests - before anything reads the tree directly (integrity
+     * checker, goldens, serial traffic). Residency is kept: clean
+     * buckets keep deduplicating across windows.
+     */
+    void flushWindow(BinaryTree &tree);
+
+    /** Dedicated-bucket touches that adopted a resident copy:
+     *  total windowed holds minus first-touch arena loads (residency
+     *  never clears, so every non-first touch adopts the copy). */
+    std::uint64_t dedupHits() const
+    {
+        const std::uint64_t touches =
+            windowTouches_.load(std::memory_order_relaxed);
+        const std::uint64_t misses =
+            dedupMisses_.load(std::memory_order_relaxed);
+        return touches > misses ? touches - misses : 0;
+    }
+    /** Dedicated-bucket touches that had to read the arena. */
+    std::uint64_t dedupMisses() const
+    {
+        return dedupMisses_.load(std::memory_order_relaxed);
+    }
+    /** Arena bucket writes performed by flushWindow(). */
+    std::uint64_t flushWrites() const
+    {
+        return flushWrites_.load(std::memory_order_relaxed);
+    }
+    /** @} */
 
     /** Total lockNode() calls (relaxed; observability only). */
     std::uint64_t acquisitions() const
@@ -66,6 +183,10 @@ class SubtreeCache
   private:
     std::mutex &mutexFor(TreeIdx node);
 
+    /** Load @p node's bucket from the arena if not yet resident.
+     *  Caller holds the node's lock. */
+    void ensureResident(std::uint64_t n, const BinaryTree &tree);
+
     /** Nodes with index < dedicated_ own nodeMutexes_[index]. */
     std::uint64_t dedicated_;
     std::size_t stripes_;
@@ -73,6 +194,22 @@ class SubtreeCache
     std::unique_ptr<std::mutex[]> stripeMutexes_;
     std::atomic<std::uint64_t> acquisitions_{0};
     std::atomic<std::uint64_t> contended_{0};
+
+    // Window storage: flat per-dedicated-node bucket lanes, each
+    // bucket's words guarded by its node mutex (flags are plain bytes
+    // for that reason; the flush runs quiescent).
+    bool windowEnabled_ = false;
+    std::uint32_t z_ = 0;
+    std::vector<BlockId> winIds_;
+    std::vector<std::uint64_t> winData_;
+    std::vector<std::uint32_t> winFree_;
+    std::vector<std::uint8_t> winResident_;
+    std::vector<std::uint8_t> winDirty_;
+    /** Windowed-bucket holds (lockNode counts inline; lockNodeFast
+     *  callers batch via noteWindowTouches). */
+    std::atomic<std::uint64_t> windowTouches_{0};
+    std::atomic<std::uint64_t> dedupMisses_{0};
+    std::atomic<std::uint64_t> flushWrites_{0};
 };
 
 } // namespace proram

@@ -89,6 +89,18 @@ UnifiedOram::fetchPosMapBlock(BlockId pm_block)
     const Leaf leaf = posMap_.leafOf(pm_block);
     if (posMapObserver_)
         posMapObserver_(leaf);
+    // Concurrent mode: claim the pos-map block across the
+    // read-remap span. Without the claim, a concurrent evictPath
+    // could revalidate the block against its *old* leaf after we
+    // remap it below and place it on a path the new leaf does not
+    // cover, breaking the path invariant. The claim pins the block
+    // (whether already resident or absorbed by the readPath) until
+    // the remap has landed.
+    const bool claim = claimTable_ != nullptr;
+    if (claim) {
+        oram_.stash().claimPin(pm_block,
+                               claimTable_[pm_block.value()]);
+    }
     oram_.readPath(leaf);
     ensureCreated(pm_block);
     if (!oram_.stash().contains(pm_block)) {
@@ -106,6 +118,12 @@ UnifiedOram::fetchPosMapBlock(BlockId pm_block)
                  pm_block, " missing from path ", leaf);
     }
     posMap_.setLeaf(pm_block, oram_.randomLeaf());
+    if (claim) {
+        // Remap landed: the block may evict normally again (this
+        // very writePath included, under its new leaf).
+        oram_.stash().releaseUnpin(pm_block,
+                                   claimTable_[pm_block.value()]);
+    }
     oram_.writePath(leaf);
     plb_.insert(pm_block);
 }

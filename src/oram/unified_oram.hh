@@ -9,6 +9,7 @@
 #ifndef PRORAM_ORAM_UNIFIED_ORAM_HH
 #define PRORAM_ORAM_UNIFIED_ORAM_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -94,6 +95,20 @@ class UnifiedOram
     bool ensureCreated(BlockId id);
     /** @} */
 
+    /**
+     * Concurrent-controller hook: the per-BlockId claim-count table
+     * (same array the stash's pin filter reads). When set,
+     * fetchPosMapBlock claims its pos-map block for the duration of
+     * the read-remap span so no concurrent eviction can place the
+     * block under its old leaf after the remap (the walk itself runs
+     * under the controller meta lock; the claim protects against
+     * *eviction* passes, which take no meta). nullptr in serial mode.
+     */
+    void setClaimTable(std::atomic<std::uint8_t> *claimed)
+    {
+        claimTable_ = claimed;
+    }
+
     const OramConfig &config() const { return cfg_; }
     const BlockSpace &space() const { return space_; }
     PositionMap &posMap() { return posMap_; }
@@ -120,6 +135,8 @@ class UnifiedOram
     std::function<void(Leaf)> posMapObserver_;
     /** posMapWalk scratch (no allocation per walk once warmed up). */
     std::vector<BlockId> chainScratch_;
+    /** Claim-count table (controller-owned); see setClaimTable(). */
+    std::atomic<std::uint8_t> *claimTable_ = nullptr;
     /** Lazy mode: bit per block id, set once the block physically
      *  exists (stash or tree). Empty in eager mode. Guarded by the
      *  controller's stash lock in concurrent mode. */

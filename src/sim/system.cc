@@ -229,6 +229,11 @@ System::runQueue(const std::vector<TraceRecord> &records,
         for (std::future<void> &f : futures)
             f.get(); // rethrows worker panics
     }
+    // Quiescent: every request has drained. Sync the dedup window's
+    // resident buckets back to the arena so direct tree readers
+    // (integrity checker, goldens, a later serial run()) see the
+    // authoritative copies.
+    controller_->flushSubtreeWindow();
 
     SimResult res;
     res.scheme = schemeName(cfg_.scheme);

@@ -161,6 +161,148 @@ TEST(ConcurrentDrive, ForcedContentionOnOneSubtree)
     EXPECT_GT(sys.controller()->subtreeCache()->acquisitions(), 0u);
 }
 
+TEST(ConcurrentDrive, ForcedFullOverlapDedupReusesResidentBuckets)
+{
+    // Every request touches one of two blocks, so every in-flight
+    // path shares the same dedicated buckets. With the window forced
+    // on, each windowed bucket is loaded from the arena at most once
+    // for the whole drain (residency persists across flushes): misses
+    // are bounded by the dedicated-node count, and the overlap shows
+    // up as hits. Payload semantics and the invariants must be
+    // untouched by the adoption.
+    std::vector<TraceRecord> records;
+    std::uint64_t x = 0xDEDU;
+    for (std::size_t i = 0; i < 600; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        TraceRecord rec;
+        rec.addr = ((x >> 33) % 2) * kLineBytes;
+        rec.op = (x >> 13) % 2 == 0 ? OpType::Write : OpType::Read;
+        records.push_back(rec);
+    }
+
+    SystemConfig cfg = smallConfig();
+    cfg.scheme = MemScheme::OramDynamic;
+    cfg.workers = 8;
+    cfg.controller.dedupWindow = 1;
+    System sys(cfg);
+    std::vector<std::uint64_t> payloads;
+    sys.runQueue(records, &payloads);
+    EXPECT_EQ(payloads, expectedPayloads(records));
+
+    ASSERT_NE(sys.controller(), nullptr);
+    const SubtreeCache *sc = sys.controller()->subtreeCache();
+    ASSERT_NE(sc, nullptr);
+    EXPECT_GT(sc->dedupHits(), 0u);
+    EXPECT_GT(sc->dedupMisses(), 0u);
+    EXPECT_LE(sc->dedupMisses(), sc->dedicatedNodes());
+    // Accounting exact: every windowed-node hold is either the
+    // first-touch load or an adoption, never both or neither.
+    EXPECT_GT(sc->dedupHits() + sc->dedupMisses(), records.size());
+    // The end-of-drain flush wrote the dirty residents back.
+    EXPECT_GT(sc->flushWrites(), 0u);
+    EXPECT_LE(sc->flushWrites(), sc->dedicatedNodes());
+
+    const auto report = checkIntegrity(sys.controller()->oram());
+    EXPECT_TRUE(report.ok)
+        << report.violations.size() << " violations, first: "
+        << (report.violations.empty() ? ""
+                                      : report.violations.front());
+
+    // Satellite telemetry: the dedup and shard counters surface in
+    // the proram-metrics-v1 document.
+    const std::string json = sys.metricsJson();
+    EXPECT_NE(json.find("dedupHits"), std::string::npos);
+    EXPECT_NE(json.find("stashShardLockAcquisitions"),
+              std::string::npos);
+}
+
+TEST(ConcurrentDrive, DedupWindowOffMatchesOnAtEveryWorkerCount)
+{
+    // The window is a pure performance cache: payloads must be
+    // identical with it forced off and forced on, at every worker
+    // count.
+    const std::vector<TraceRecord> records =
+        makeTrace(1200, 1ULL << 12, 0xDE0FF);
+    std::vector<std::uint64_t> expect = expectedPayloads(records);
+
+    for (const unsigned workers : {1u, 2u, 8u}) {
+        for (const int window : {0, 1}) {
+            SystemConfig cfg = smallConfig();
+            cfg.scheme = MemScheme::OramDynamic;
+            cfg.workers = workers;
+            cfg.controller.dedupWindow = window;
+            System sys(cfg);
+            std::vector<std::uint64_t> payloads;
+            sys.runQueue(records, &payloads);
+            EXPECT_EQ(payloads, expect)
+                << "workers=" << workers << " window=" << window;
+            ASSERT_NE(sys.controller(), nullptr);
+            const auto report =
+                checkIntegrity(sys.controller()->oram());
+            EXPECT_TRUE(report.ok)
+                << "workers=" << workers << " window=" << window
+                << ": " << report.violations.size()
+                << " violations, first: "
+                << (report.violations.empty()
+                        ? ""
+                        : report.violations.front());
+        }
+    }
+}
+
+TEST(ConcurrentDrive, ShardedStashInvariantsAcrossShardCounts)
+{
+    // Same churn trace at 8 workers with the stash split 1 / 4 / 32
+    // ways: the shard count is a pure contention knob, so payloads
+    // and the Path ORAM invariant must be unaffected.
+    const std::vector<TraceRecord> records =
+        makeTrace(1500, 1ULL << 12, 0x5AAD5);
+    const std::vector<std::uint64_t> expect = expectedPayloads(records);
+
+    for (const std::uint32_t shards : {1u, 4u, 32u}) {
+        SystemConfig cfg = smallConfig();
+        cfg.scheme = MemScheme::OramDynamic;
+        cfg.workers = 8;
+        cfg.controller.stashShards = shards;
+        System sys(cfg);
+        std::vector<std::uint64_t> payloads;
+        sys.runQueue(records, &payloads);
+        EXPECT_EQ(payloads, expect) << "shards=" << shards;
+
+        ASSERT_NE(sys.controller(), nullptr);
+        const Stash &stash =
+            sys.controller()->oram().engine().stash();
+        EXPECT_EQ(stash.shardCount(), shards) << "shards=" << shards;
+        EXPECT_GT(stash.shardLockAcquisitions(), 0u);
+        const auto report = checkIntegrity(sys.controller()->oram());
+        EXPECT_TRUE(report.ok)
+            << "shards=" << shards << ": "
+            << report.violations.size() << " violations, first: "
+            << (report.violations.empty()
+                    ? ""
+                    : report.violations.front());
+    }
+}
+
+TEST(ConcurrentDrive, AuditedEightWorkerRunPasses)
+{
+    // Dedup adoption must be invisible to the auditor: every logical
+    // path touch still reports its public leaf, so an 8-worker run
+    // with maximal overlap stays uniform and the audit passes.
+    const std::vector<TraceRecord> records =
+        makeTrace(1200, 1ULL << 12, 0xA8D17);
+    SystemConfig cfg = smallConfig();
+    cfg.scheme = MemScheme::OramDynamic;
+    cfg.audit.enabled = true;
+    cfg.workers = 8;
+    cfg.controller.dedupWindow = 1;
+    System sys(cfg);
+    const SimResult res = sys.runQueue(records, nullptr);
+    EXPECT_EQ(res.references, records.size());
+    ASSERT_NE(sys.auditor(), nullptr);
+    EXPECT_TRUE(sys.auditor()->report().pass());
+}
+
 TEST(ConcurrentDrive, InvariantsHoldAfterConcurrentChurn)
 {
     const std::vector<TraceRecord> records =

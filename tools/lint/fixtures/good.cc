@@ -90,4 +90,24 @@ coldSetup(std::vector<std::uint64_t> &lane, Leaf leaf)
         lane.reserve(128);
 }
 
+struct SubtreeCache
+{
+    bool windowed(TreeIdx node) const;
+    std::uint32_t occupancy(TreeIdx node) const;
+};
+
+// The dedup-window fast path (PathOram's bucket* helpers): routing a
+// bucket access through the resident-window copy branches only on a
+// bool local derived from a null check and the public node index -
+// both declassified, so the dispatch must lint clean.
+PRORAM_OBLIVIOUS PRORAM_HOT std::uint32_t
+bucketOccupancyDispatch(SubtreeCache *cache, Leaf leaf)
+{
+    const TreeIdx node = nodeOnPath(leaf, 0);
+    const bool win = cache != nullptr && cache->windowed(node);
+    if (win)
+        return cache->occupancy(node);
+    return occupancy(node);
+}
+
 } // namespace proram

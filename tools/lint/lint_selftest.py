@@ -136,6 +136,10 @@ PRORAM_OBLIVIOUS PRORAM_HOT void
 PathOram::evictWriteBack(Leaf leaf)
 {
 }
+PRORAM_OBLIVIOUS PRORAM_HOT void
+PathOram::evictPath(Leaf leaf)
+{
+}
 """
 
     def lint_stub(self, fetch_head):

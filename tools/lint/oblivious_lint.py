@@ -89,7 +89,7 @@ HOT_PATH_DIRS = ("src/oram", "src/core")
 STAGE_ANNOTATED = {
     "src/oram/path_oram.cc": ("PathOram", (
         "readPath", "fetchPath", "writePath",
-        "evictClassify", "evictWriteBack",
+        "evictClassify", "evictWriteBack", "evictPath",
     )),
 }
 # The one directory allowed to read wall-clock time.
