@@ -50,7 +50,7 @@ BM_PathReadWrite(benchmark::State &state)
 {
     UnifiedOram oram(microCfg());
     oram.initialize();
-    PathOram &engine = oram.engine();
+    OramScheme &engine = oram.engine();
     Rng rng(1);
     for (auto _ : state) {
         const Leaf leaf = engine.randomLeaf();
@@ -127,7 +127,7 @@ BM_StashScan(benchmark::State &state)
     // leaf (the contiguous-entry hot loop of the dense stash).
     UnifiedOram oram(microCfg());
     oram.initialize();
-    PathOram &engine = oram.engine();
+    OramScheme &engine = oram.engine();
     // Pull a few paths in without writing back to populate the stash.
     for (std::uint32_t l = 0; l < 4; ++l)
         engine.readPath(engine.randomLeaf());

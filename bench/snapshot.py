@@ -26,6 +26,13 @@ bench-smoke-compare job runs this as a soft gate):
 proram-metrics-v1 JSON object per line) and attaches a per-scheme
 summary to the snapshot entry.
 
+--scheme {path,ring} tags the snapshot with the ORAM protocol it ran
+(and exports PRORAM_SCHEME to the benchmark subprocesses, so the tag
+is always what actually executed). Compare and --speedup-vs refuse a
+base label taken under a different scheme: cross-protocol ratios are
+design differences, not regressions. Entries predating the tag count
+as "path".
+
 --throughput-binary runs the sustained-throughput driver
 (build/bench/throughput_drive --json) and attaches its
 proram-throughput-v1 output as the entry's "throughput" section, so
@@ -59,7 +66,8 @@ METRICS_SCHEMA = "proram-metrics-v1"
 MEMORY_COUNTERS = ("arenaBytesResident", "chunksMaterialized")
 
 
-def run_benchmarks(binary, repetitions, min_time, bench_filter):
+def run_benchmarks(binary, repetitions, min_time, bench_filter,
+                   scheme=None):
     cmd = [
         str(binary),
         "--benchmark_format=json",
@@ -69,7 +77,13 @@ def run_benchmarks(binary, repetitions, min_time, bench_filter):
     ]
     if bench_filter:
         cmd.append(f"--benchmark_filter={bench_filter}")
-    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    env = dict(os.environ)
+    if scheme:
+        # The binaries resolve $PRORAM_SCHEME through OramConfig, so
+        # the tag recorded in the snapshot is also what actually ran.
+        env["PRORAM_SCHEME"] = scheme
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True,
+                         env=env)
     return json.loads(out.stdout)
 
 
@@ -147,11 +161,15 @@ def summarize_metrics(jsonl_path):
 THROUGHPUT_SCHEMA = "proram-throughput-v1"
 
 
-def run_throughput(binary, extra_args):
+def run_throughput(binary, extra_args, scheme=None):
     """Run the open-loop throughput driver and return its parsed
     --json document (schema-checked)."""
     cmd = [str(binary), "--json"] + list(extra_args)
-    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    env = dict(os.environ)
+    if scheme:
+        env["PRORAM_SCHEME"] = scheme
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True,
+                         env=env)
     doc = json.loads(out.stdout)
     if doc.get("schema") != THROUGHPUT_SCHEMA:
         sys.exit(f"error: {binary}: expected schema "
@@ -212,6 +230,12 @@ def main():
     ap.add_argument("--throughput-args", default="",
                     help="extra args for --throughput-binary, "
                          "space-separated (e.g. '--reps 5')")
+    ap.add_argument("--scheme", default="path",
+                    choices=("path", "ring"),
+                    help="ORAM protocol to run and tag the snapshot "
+                         "with (exports PRORAM_SCHEME; default path). "
+                         "Compare mode refuses a base snapshot taken "
+                         "under a different scheme.")
     args = ap.parse_args()
 
     if not args.compare_vs and not args.label:
@@ -230,9 +254,20 @@ def main():
         if args.compare_vs not in by_label:
             sys.exit(f"error: --compare-vs label '{args.compare_vs}' "
                      f"not found in {path}")
+        # A ratio between protocols is not a regression signal: Ring
+        # bills different bucket traffic by design, so mixed-scheme
+        # comparisons are an error, never a silent pass. Snapshots
+        # predating the scheme tag were all taken under Path ORAM.
+        base_scheme = by_label[args.compare_vs].get("scheme", "path")
+        if base_scheme != args.scheme:
+            sys.exit(f"error: --compare-vs label '{args.compare_vs}' "
+                     f"was taken under scheme '{base_scheme}' but this "
+                     f"run uses '--scheme {args.scheme}'; compare "
+                     f"same-scheme snapshots only")
         base_micro = by_label[args.compare_vs].get("micro_ops", {})
         report = run_benchmarks(args.binary, args.repetitions,
-                                args.min_time, args.filter)
+                                args.min_time, args.filter,
+                                scheme=args.scheme)
         micro = medians(report)
         if not micro:
             sys.exit("error: benchmark run produced no results")
@@ -265,9 +300,16 @@ def main():
         if base == args.label:
             sys.exit("error: --speedup-vs cannot reference the "
                      "label being recorded")
+        base_scheme = by_label[base].get("scheme", "path")
+        if base_scheme != args.scheme:
+            sys.exit(f"error: --speedup-vs label '{base}' was taken "
+                     f"under scheme '{base_scheme}' but this run uses "
+                     f"'--scheme {args.scheme}'; speedups are only "
+                     f"meaningful between same-scheme snapshots")
 
     report = run_benchmarks(args.binary, args.repetitions,
-                            args.min_time, args.filter)
+                            args.min_time, args.filter,
+                            scheme=args.scheme)
     micro = medians(report)
     if not micro:
         sys.exit("error: benchmark run produced no results")
@@ -279,6 +321,7 @@ def main():
     entry = {
         "label": args.label,
         "description": args.description,
+        "scheme": args.scheme,
         "host": {"cpus": host_cpus},
         "micro_ops": micro,
     }
@@ -307,7 +350,8 @@ def main():
         entry["metrics"] = summarize_metrics(args.metrics_jsonl)
     if args.throughput_binary:
         entry["throughput"] = run_throughput(
-            args.throughput_binary, args.throughput_args.split())
+            args.throughput_binary, args.throughput_args.split(),
+            scheme=args.scheme)
 
     if existing is not None:
         snapshots[snapshots.index(existing)] = entry

@@ -82,8 +82,16 @@ OramController::attachAuditor(obs::ObliviousnessAuditor *auditor)
             else
                 auditor_->onPath(obs::PathKind::PosMap, leaf);
         });
+        // Scheduled-eviction paths (Ring ORAM) report straight to the
+        // auditor: the engine serializes the calls in schedule order,
+        // and onEvictionPath touches only its own fields, so no
+        // commit-time buffering is needed. Path ORAM never fires it.
+        oram_.engine().setEvictionObserver([this](Leaf leaf) {
+            auditor_->onEvictionPath(leaf);
+        });
     } else {
         oram_.setPosMapObserver({});
+        oram_.engine().setEvictionObserver({});
     }
 }
 
@@ -167,7 +175,7 @@ OramController::performAccess(BlockId block, bool is_writeback,
     const Leaf leaf = oram_.posMap().leafOf(block);
     if (auditor_)
         auditor_->onPath(obs::PathKind::Real, leaf);
-    PathOram &engine = oram_.engine();
+    OramScheme &engine = oram_.engine();
     engine.readPath(leaf);
     ++paths;
     // Lazy initialization: a block that was never placed is created
@@ -310,7 +318,7 @@ OramController::queueAccess(BlockId block, OpType op,
              "CPU-visible access to non-data block ", block);
     PRORAM_TRACE_SCOPE_ARG("controller", "access", "block", block);
 
-    PathOram &engine = oram_.engine();
+    OramScheme &engine = oram_.engine();
     static thread_local std::vector<FetchedBlock> fetchBuf;
     if (fetchBuf.size() < engine.maxPathBlocks())
         fetchBuf.resize(engine.maxPathBlocks());
@@ -411,15 +419,27 @@ OramController::queueAccess(BlockId block, OpType op,
     while (spent < ctlCfg_.maxBgEvictionsPerRequest) {
         if (!engine.stash().overCapacity())
             break;
-        const Leaf dummy_leaf = engine.randomLeaf();
-        PRORAM_TRACE_SCOPE_ARG("dummy", "bgEvict", "leaf", dummy_leaf);
-        const std::size_t n = engine.fetchPath(dummy_leaf,
-                                               fetchBuf.data());
-        {
-            const std::lock_guard<std::mutex> meta(metaLock_);
-            engine.absorbPath(fetchBuf.data(), n);
+        Leaf dummy_leaf;
+        if (engine.dummyAccessConcurrentSafe()) {
+            // Scheme-managed dummy (Ring): one scheduled-eviction
+            // pass under the scheme's own node + shard locks. The
+            // random-path round-trip below would make no eviction
+            // progress here - the claim-gated fetch extracts nothing
+            // unclaimed and only every A-th evictPath call runs a
+            // real pass.
+            dummy_leaf = engine.dummyAccess();
+        } else {
+            dummy_leaf = engine.randomLeaf();
+            PRORAM_TRACE_SCOPE_ARG("dummy", "bgEvict", "leaf",
+                                   dummy_leaf);
+            const std::size_t n = engine.fetchPath(dummy_leaf,
+                                                   fetchBuf.data());
+            {
+                const std::lock_guard<std::mutex> meta(metaLock_);
+                engine.absorbPath(fetchBuf.data(), n);
+            }
+            engine.evictPath(dummy_leaf);
         }
-        engine.evictPath(dummy_leaf);
         bgLeaves.push_back(dummy_leaf);
         ++paths;
         ++spent;
@@ -669,6 +689,29 @@ OramController::buildStatGroup() const
                    return subtree_ ? static_cast<double>(
                                          subtree_->flushWrites())
                                    : 0.0;
+               });
+
+    // Per-scheme protocol counters (zero under Path ORAM): Ring's
+    // bucket-granular read traffic and its decoupled write schedule.
+    g.addValue("ringBucketReads",
+               "modeled single-block bucket reads (ring scheme)", [o] {
+                   return static_cast<double>(
+                       o->engine().schemeCounters().bucketReads);
+               });
+    g.addValue("ringDummyReads",
+               "bucket reads that returned a dummy (ring scheme)", [o] {
+                   return static_cast<double>(
+                       o->engine().schemeCounters().dummyReads);
+               });
+    g.addValue("ringEarlyReshuffles",
+               "buckets reshuffled on an exhausted read budget", [o] {
+                   return static_cast<double>(
+                       o->engine().schemeCounters().earlyReshuffles);
+               });
+    g.addValue("ringScheduledEvictions",
+               "reverse-lexicographic eviction passes run", [o] {
+                   return static_cast<double>(
+                       o->engine().schemeCounters().scheduledEvictions);
                });
 
     // Slot-arena materialization telemetry (DESIGN.md Sec. 12):

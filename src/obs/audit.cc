@@ -5,6 +5,7 @@
 
 #include "sim/system.hh"
 #include "trace/trace_file.hh"
+#include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace proram::obs
@@ -156,6 +157,21 @@ ObliviousnessAuditor::onPath(PathKind kind, Leaf leaf)
 }
 
 void
+ObliviousnessAuditor::onEvictionPath(Leaf leaf)
+{
+    // The audited tree has 2^L leaves (the auditor's ctor takes the
+    // tree geometry), so the expected g-th eviction leaf is
+    // bit-reverse(g mod 2^L, L) - an independent replay of the
+    // engine's schedule, from the auditor's own counter.
+    const unsigned width = log2Floor(numLeaves_);
+    const std::uint64_t g = evictionPaths_++;
+    const std::uint64_t expected =
+        reverseBits(g & (numLeaves_ - 1), width);
+    if (leaf.value() != expected)
+        ++evictionViolations_;
+}
+
+void
 ObliviousnessAuditor::onGrant(Cycles start, std::uint64_t paths)
 {
     ++grants_;
@@ -243,6 +259,20 @@ ObliviousnessAuditor::report() const
         c.pass = fillViolations_ == 0;
         c.detail = detail("dummies=",
                           pathsOfKind(PathKind::PeriodicDummy));
+        rep.checks.push_back(std::move(c));
+    }
+    {
+        // Ring ORAM only: every scheduled eviction must have written
+        // the schedule's next reverse-lexicographic path, in order.
+        // Not evaluated unless the engine reported eviction paths
+        // (Path ORAM never does).
+        AuditCheck c;
+        c.name = "ring-eviction-schedule";
+        c.evaluated = evictionPaths_ > 0;
+        c.statistic = static_cast<double>(evictionViolations_);
+        c.threshold = 0.0;
+        c.pass = evictionViolations_ == 0;
+        c.detail = detail("evictions=", evictionPaths_);
         rep.checks.push_back(std::move(c));
     }
     {

@@ -142,6 +142,21 @@ class ObliviousnessAuditor
     /** Observe one path access (public: leaf + kind + order). */
     void onPath(PathKind kind, Leaf leaf);
 
+    /**
+     * Observe one *scheduled eviction* path (Ring ORAM). Ring's tree
+     * writes must follow the deterministic reverse-lexicographic
+     * order - the g-th eviction writes leaf bit-reverse(g mod 2^L) -
+     * so the auditor replays the schedule and counts deviations: a
+     * demand-dependent eviction path is a leak, and shows up here as
+     * a sequence violation. Path ORAM never calls this (its eviction
+     * path is the just-read path, already audited by onPath).
+     *
+     * Touches only eviction-sequence fields, and the engine
+     * serializes its calls (schedule draws are mutex-ordered), so it
+     * is safe against concurrent onPath callers.
+     */
+    void onEvictionPath(Leaf leaf);
+
     /** Observe one scheduler grant of @p paths path accesses
      *  starting at cycle @p start. */
     void onGrant(Cycles start, std::uint64_t paths);
@@ -163,6 +178,7 @@ class ObliviousnessAuditor
     {
         return kindCounts_[static_cast<std::size_t>(kind)];
     }
+    std::uint64_t evictionPaths() const { return evictionPaths_; }
 
   private:
     std::size_t bucketOf(Leaf leaf) const;
@@ -180,6 +196,10 @@ class ObliviousnessAuditor
 
     Leaf lastLeaf_ = kInvalidLeaf;
     std::uint64_t consecutiveRepeats_ = 0;
+
+    // Deterministic-eviction accounting (Ring ORAM; onEvictionPath).
+    std::uint64_t evictionPaths_ = 0;
+    std::uint64_t evictionViolations_ = 0;
 
     // Grant bookkeeping (periodic-mode timing checks).
     std::uint64_t grants_ = 0;

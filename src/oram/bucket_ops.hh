@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bucket accessors shared by the concrete schemes' .cc files, routed
+ * through the SubtreeCache dedup window for dedicated nodes when the
+ * window is enabled and falling back to the arena otherwise. Callers
+ * hold the node's lock in concurrent mode (cache != nullptr); in
+ * serial mode cache is null and these collapse to the plain tree
+ * accessors. Internal to src/oram/ - not part of the scheme interface.
+ */
+
+#ifndef PRORAM_ORAM_BUCKET_OPS_HH
+#define PRORAM_ORAM_BUCKET_OPS_HH
+
+#include <cstdint>
+
+#include "oram/subtree_cache.hh"
+#include "oram/tree.hh"
+
+namespace proram::bucket_ops
+{
+
+inline std::uint32_t
+occupancy(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->occupancy(node, tree) : tree.occupancy(node);
+}
+
+inline std::uint32_t
+freeSlots(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->freeSlots(node, tree) : tree.freeSlots(node);
+}
+
+inline BlockId
+slotId(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
+       std::uint32_t i)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->slotId(node, i, tree) : tree.slotId(node, i);
+}
+
+inline std::uint64_t
+slotData(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
+         std::uint32_t i)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->slotData(node, i, tree) : tree.slotData(node, i);
+}
+
+inline void
+clearSlot(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
+          std::uint32_t i)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    if (win)
+        cache->clearSlot(node, i, tree);
+    else
+        tree.clearSlot(node, i);
+}
+
+inline bool
+tryPlace(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
+         BlockId id, std::uint64_t data)
+{
+    const bool win = cache != nullptr && cache->windowed(node);
+    return win ? cache->tryPlace(node, id, data, tree)
+               : tree.tryPlace(node, id, data);
+}
+
+} // namespace proram::bucket_ops
+
+#endif // PRORAM_ORAM_BUCKET_OPS_HH

@@ -1,12 +1,83 @@
 #include "oram/config.hh"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace proram
 {
+
+const char *
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::Path:
+        return "path";
+      case SchemeKind::Ring:
+        return "ring";
+      case SchemeKind::Default:
+        return "default";
+    }
+    return "unknown";
+}
+
+SchemeKind
+parseSchemeKind(const std::string &name)
+{
+    if (name == "path")
+        return SchemeKind::Path;
+    if (name == "ring")
+        return SchemeKind::Ring;
+    fatal("unknown ORAM scheme '", name, "' (want path or ring)");
+}
+
+SchemeKind
+OramConfig::resolvedScheme() const
+{
+    if (scheme != SchemeKind::Default)
+        return scheme;
+    const char *env = std::getenv("PRORAM_SCHEME");
+    return env != nullptr ? parseSchemeKind(env) : SchemeKind::Path;
+}
+
+namespace
+{
+
+std::uint32_t
+resolveRingKnob(std::uint32_t configured, const char *env_name,
+                std::uint32_t fallback, std::uint32_t max)
+{
+    if (configured != 0)
+        return configured;
+    const char *env = std::getenv(env_name);
+    if (env == nullptr)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    fatal_if(end == env || *end != '\0' || v == 0 || v > max,
+             env_name, ": invalid value '", env, "' (want 1..", max,
+             ")");
+    return static_cast<std::uint32_t>(v);
+}
+
+} // namespace
+
+std::uint32_t
+OramConfig::resolvedRingS() const
+{
+    // Capped at 255: the per-bucket read counters are one byte each
+    // so paper-scale trees pay 1 B/bucket of metadata.
+    const std::uint32_t fallback = 2 * z < 255 ? 2 * z : 255;
+    return resolveRingKnob(ringS, "PRORAM_RING_S", fallback, 255);
+}
+
+std::uint32_t
+OramConfig::resolvedRingA() const
+{
+    return resolveRingKnob(ringA, "PRORAM_RING_A", 2, 1U << 16);
+}
 
 std::uint32_t
 OramConfig::posMapFanout() const
@@ -98,6 +169,8 @@ OramConfig::validate() const
              "position-map fanout must be a power of two");
     fatal_if(dramBytesPerCycle <= 0.0, "DRAM bandwidth must be positive");
     fatal_if(stashCapacity == 0, "stash capacity must be positive");
+    fatal_if(ringS > 255, "ring dummy budget S out of range (max 255)");
+    fatal_if(ringA > (1U << 16), "ring eviction rate A out of range");
     arena.validate();
 }
 

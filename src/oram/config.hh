@@ -13,12 +13,30 @@
 #define PRORAM_ORAM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "mem/arena.hh"
 #include "util/types.hh"
 
 namespace proram
 {
+
+/**
+ * Which tree protocol runs under the controller (the *protocol* axis;
+ * orthogonal to sim/MemScheme, which selects the super-block policy).
+ */
+enum class SchemeKind : std::uint8_t
+{
+    Default, ///< resolve from $PRORAM_SCHEME, falling back to Path
+    Path,    ///< Path ORAM (Stefanov et al., CCS'13)
+    Ring,    ///< Ring ORAM (Ren et al., USENIX Sec'15)
+};
+
+/** Printable protocol name ("path" / "ring"). */
+const char *schemeKindName(SchemeKind kind);
+
+/** Parse a PRORAM_SCHEME value; throws SimFatal on unknown names. */
+SchemeKind parseSchemeKind(const std::string &name);
 
 /** Parameters mirroring Table 1 of the paper. */
 struct OramConfig
@@ -73,6 +91,40 @@ struct OramConfig
      * placement would materialize nearly every chunk.
      */
     bool lazyInit = false;
+
+    /**
+     * Tree protocol behind the OramScheme interface (oram/scheme.hh).
+     * Default resolves $PRORAM_SCHEME={path,ring} and falls back to
+     * Path ORAM. Both protocols are payload-equivalent; they differ in
+     * bucket traffic and eviction scheduling, so stats and goldens are
+     * pinned per scheme.
+     */
+    SchemeKind scheme = SchemeKind::Default;
+
+    /**
+     * Ring ORAM only: per-bucket dummy-read budget S. A bucket that
+     * has served this many one-block reads since its last shuffle is
+     * early-reshuffled. 0 = $PRORAM_RING_S or the built-in default
+     * (2*Z). Ignored by Path ORAM.
+     */
+    std::uint32_t ringS = 0;
+
+    /**
+     * Ring ORAM only: eviction rate A - one deterministic
+     * reverse-lexicographic eviction pass per A accesses. 0 =
+     * $PRORAM_RING_A or the built-in default (2, aggressive enough
+     * for this repo's ~1/Z-utilization trees). Ignored by Path ORAM.
+     */
+    std::uint32_t ringA = 0;
+
+    /** The protocol a tree will actually run with (env resolved). */
+    SchemeKind resolvedScheme() const;
+
+    /** Ring dummy-read budget S after env resolution (>= 1). */
+    std::uint32_t resolvedRingS() const;
+
+    /** Ring eviction rate A after env resolution (>= 1). */
+    std::uint32_t resolvedRingA() const;
 
     /**
      * Levels below the root in the functional tree (root = level 0,

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/trace.hh"
+#include "oram/bucket_ops.hh"
 #include "oram/evict_kernel.hh"
 #include "oram/subtree_cache.hh"
 #include "util/annotations.hh"
@@ -17,68 +18,53 @@ namespace proram
 namespace
 {
 
-// Bucket accessors routed through the SubtreeCache dedup window for
-// dedicated nodes when the window is enabled, falling back to the
-// arena otherwise. Callers hold the node's lock in concurrent mode
-// (cache != nullptr); in serial mode cache is null and these collapse
-// to the plain tree accessors.
+// Local aliases keep the hot loops exactly as readable as the former
+// file-scope accessors.
 
 inline std::uint32_t
 bucketOccupancy(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
 {
-    const bool win = cache != nullptr && cache->windowed(node);
-    return win ? cache->occupancy(node, tree) : tree.occupancy(node);
+    return bucket_ops::occupancy(cache, tree, node);
 }
 
 inline std::uint32_t
 bucketFreeSlots(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
 {
-    const bool win = cache != nullptr && cache->windowed(node);
-    return win ? cache->freeSlots(node, tree) : tree.freeSlots(node);
+    return bucket_ops::freeSlots(cache, tree, node);
 }
 
 inline BlockId
 bucketSlotId(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
              std::uint32_t i)
 {
-    const bool win = cache != nullptr && cache->windowed(node);
-    return win ? cache->slotId(node, i, tree) : tree.slotId(node, i);
+    return bucket_ops::slotId(cache, tree, node, i);
 }
 
 inline std::uint64_t
 bucketSlotData(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
                std::uint32_t i)
 {
-    const bool win = cache != nullptr && cache->windowed(node);
-    return win ? cache->slotData(node, i, tree) : tree.slotData(node, i);
+    return bucket_ops::slotData(cache, tree, node, i);
 }
 
 inline void
 bucketClearSlot(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
                 std::uint32_t i)
 {
-    const bool win = cache != nullptr && cache->windowed(node);
-    if (win)
-        cache->clearSlot(node, i, tree);
-    else
-        tree.clearSlot(node, i);
+    bucket_ops::clearSlot(cache, tree, node, i);
 }
 
 inline bool
 bucketTryPlace(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
                BlockId id, std::uint64_t data)
 {
-    const bool win = cache != nullptr && cache->windowed(node);
-    return win ? cache->tryPlace(node, id, data, tree)
-               : tree.tryPlace(node, id, data);
+    return bucket_ops::tryPlace(cache, tree, node, id, data);
 }
 
 } // namespace
 
 PathOram::PathOram(const OramConfig &cfg, PositionMap &pos_map)
-    : cfg_(cfg), posMap_(pos_map),
-      tree_(cfg.levels(), cfg.z, cfg.arena),
-      stash_(cfg.stashCapacity), rng_(cfg.seed ^ 0x0aa77aa55aa33aa1ULL)
+    : OramScheme(cfg, pos_map)
 {
     // Pre-size every scratch buffer from the tree geometry so the
     // first accesses after construction are allocation-free too
@@ -93,15 +79,6 @@ PathOram::PathOram(const OramConfig &cfg, PositionMap &pos_map)
     histScratch_.resize(level_slots, 0);
     levelStartScratch_.resize(level_slots, 0);
     levelCursorScratch_.resize(level_slots, 0);
-    // Every leaf remap must reach stash-resident entries' cached
-    // leaves; routing through the position map's single write point
-    // covers all remap sites (eviction, merge, break) at once.
-    posMap_.attachLeafCache(&stash_);
-}
-
-PathOram::~PathOram()
-{
-    posMap_.attachLeafCache(nullptr);
 }
 
 void
@@ -116,31 +93,13 @@ PathOram::reserveScratch(std::size_t slots)
 }
 
 void
-PathOram::enableConcurrent(SubtreeCache *cache,
-                           const std::atomic<std::uint8_t> *claim_filter,
-                           std::uint32_t stash_shards)
+PathOram::onEnableConcurrent()
 {
-    cache_ = cache;
-    claimFilter_ = claim_filter;
     windowLevelsOnPath_ =
-        cache != nullptr && cache->windowEnabled()
-            ? std::min<std::uint64_t>(cache->windowLevels(),
+        cache_ != nullptr && cache_->windowEnabled()
+            ? std::min<std::uint64_t>(cache_->windowLevels(),
                                       tree_.levels() + 1)
             : 0;
-    stash_.setPinFilter(claim_filter);
-    stash_.enableConcurrent(stash_shards);
-}
-
-PRORAM_HOT Leaf
-PathOram::randomLeaf()
-{
-    if (cache_ != nullptr) {
-        const std::lock_guard<std::mutex> g(rngMutex_);
-        return Leaf{
-            static_cast<std::uint32_t>(rng_.below(tree_.numLeaves()))};
-    }
-    return Leaf{
-        static_cast<std::uint32_t>(rng_.below(tree_.numLeaves()))};
 }
 
 PRORAM_OBLIVIOUS PRORAM_HOT void
@@ -252,34 +211,6 @@ PathOram::fetchPath(Leaf leaf, FetchedBlock *out)
         }
     }
     return n;
-}
-
-PRORAM_HOT void
-PathOram::absorbPath(const FetchedBlock *blocks, std::size_t n)
-{
-    if (n == 0)
-        return;
-    // The leaf is re-read from the position map at absorb time, not
-    // fetch time: a concurrent remap between the two stages must win.
-    // Unzip into parallel lanes so the stash can group the inserts by
-    // shard (one lock per distinct shard instead of one per block).
-    static thread_local std::vector<BlockId> ids;
-    static thread_local std::vector<std::uint64_t> data;
-    static thread_local std::vector<Leaf> leaves;
-    if (ids.size() < n) {
-        // PRORAM_LINT_ALLOW(hot-alloc): thread-local, path-bounded.
-        ids.resize(n);
-        // PRORAM_LINT_ALLOW(hot-alloc): see above.
-        data.resize(n);
-        // PRORAM_LINT_ALLOW(hot-alloc): see above.
-        leaves.resize(n);
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-        ids[i] = blocks[i].id;
-        data[i] = blocks[i].data;
-        leaves[i] = posMap_.leafOf(blocks[i].id);
-    }
-    stash_.insertBatch(ids.data(), data.data(), leaves.data(), n);
 }
 
 PRORAM_OBLIVIOUS PRORAM_HOT void
@@ -561,18 +492,6 @@ PathOram::dummyAccess()
     readPath(leaf);
     writePath(leaf);
     return leaf;
-}
-
-void
-PathOram::placeInitial(BlockId id, std::uint64_t data)
-{
-    const Leaf leaf = posMap_.leafOf(id);
-    panic_if(leaf == kInvalidLeaf, "placeInitial before leaf assignment");
-    for (std::uint32_t l = tree_.levels() + 1; l-- > 0;) {
-        if (tree_.tryPlace(tree_.nodeOnPath(leaf, Level{l}), id, data))
-            return;
-    }
-    stash_.insert(id, data, leaf);
 }
 
 } // namespace proram

@@ -4,7 +4,8 @@
  * into the read-path and write-path halves of one access so the
  * super-block policies can remap blocks in between (merging/breaking
  * must pick final leaves *before* the write-back phase, exactly as the
- * hardware does - paper Sec. 2.2 steps 4-5).
+ * hardware does - paper Sec. 2.2 steps 4-5). Concrete OramScheme;
+ * callers outside src/oram/ use oram/scheme.hh.
  */
 
 #ifndef PRORAM_ORAM_PATH_ORAM_HH
@@ -12,46 +13,27 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
-#include "oram/config.hh"
-#include "oram/position_map.hh"
-#include "oram/stash.hh"
-#include "oram/tree.hh"
-#include "util/random.hh"
+#include "oram/scheme.hh"
 
 namespace proram
 {
 
-class SubtreeCache;
-
-/** One real block copied off a tree path by fetchPath(), pending
- *  absorption into the stash (the concurrent pipeline's hand-off
- *  between the lock-free-of-stash fetch stage and the stash-locked
- *  absorb stage). */
-struct FetchedBlock
-{
-    BlockId id = kInvalidBlock;
-    std::uint64_t data = 0;
-};
-
 /**
- * Binary tree + stash + remap machinery. The position map is owned by
- * the caller (the unified front end) because recursion and the
- * super-block metadata live there.
+ * Path ORAM: readPath extracts every real block on the accessed path
+ * into the stash; writePath greedily evicts the stash back onto the
+ * same path, deepest buckets first.
  */
-class PathOram
+class PathOram final : public OramScheme
 {
   public:
     PathOram(const OramConfig &cfg, PositionMap &pos_map);
-    ~PathOram();
 
-    PathOram(const PathOram &) = delete;
-    PathOram &operator=(const PathOram &) = delete;
+    const char *name() const override { return "path"; }
 
     /** Read every bucket on path @p leaf into the stash (step 2). */
-    void readPath(Leaf leaf);
+    void readPath(Leaf leaf) override;
 
     /**
      * Evict as many stash blocks as possible onto path @p leaf,
@@ -59,16 +41,7 @@ class PathOram
      * lie on both @p leaf and their own mapped path. Equivalent to
      * evictClassify(leaf) followed by evictWriteBack(leaf).
      */
-    void writePath(Leaf leaf);
-
-    /** @name Pipeline stages (concurrent controller interface).
-     *
-     * One serial access decomposes into position-map lookup (owned by
-     * UnifiedOram), path fetch, stash absorb/remap, evict classify,
-     * and write-back. The stage functions below expose the engine
-     * half of that pipeline so the controller can interleave stages
-     * of different requests; locking contracts are per function (see
-     * DESIGN.md "Concurrent controller"). @{ */
+    void writePath(Leaf leaf) override;
 
     /**
      * Stage: path fetch. Copy every real block on path @p leaf into
@@ -77,16 +50,7 @@ class PathOram
      * concurrently with other requests' fetch/write-back traffic.
      * @return number of blocks copied.
      */
-    std::size_t fetchPath(Leaf leaf, FetchedBlock *out);
-
-    /**
-     * Stage: stash absorb. Insert @p n fetched blocks, re-reading
-     * each block's current leaf from the position map. Caller must
-     * hold the controller's meta lock in concurrent mode (the
-     * position-map read); stash inserts take their shard lock
-     * internally.
-     */
-    void absorbPath(const FetchedBlock *blocks, std::size_t n);
+    std::size_t fetchPath(Leaf leaf, FetchedBlock *out) override;
 
     /**
      * Stage: evict classify (serial). Classify every stash slot's
@@ -95,14 +59,14 @@ class PathOram
      * mode only - the member scratch is unsynchronized; concurrent
      * evictions run evictPath().
      */
-    void evictClassify(Leaf leaf);
+    void evictClassify(Leaf leaf) override;
 
     /**
      * Stage: write-back (serial). Fill buckets of path @p leaf from
      * the classified scratch, leaf upward. Serial mode only; see
      * evictClassify().
      */
-    void evictWriteBack(Leaf leaf);
+    void evictWriteBack(Leaf leaf) override;
 
     /**
      * Stage: concurrent eviction pass over path @p leaf - the
@@ -115,56 +79,14 @@ class PathOram
      * gone. Lock order: node, then stash-shard (DESIGN.md Sec. 13).
      * Caller must hold no locks; concurrent mode only.
      */
-    void evictPath(Leaf leaf);
-
-    /** Upper bound on real blocks one path can hold ((L+1)*Z). */
-    std::size_t maxPathBlocks() const
-    {
-        return static_cast<std::size_t>(tree_.levels() + 1) * tree_.z();
-    }
-
-    /**
-     * Switch the engine into concurrent mode: bucket operations in
-     * fetchPath/readPath/evictPath take per-node locks from @p cache
-     * (and route dedicated buckets through its dedup window when
-     * enabled), readPath decomposes into fetchPath + absorbPath,
-     * writePath routes to evictPath, the stash shards into
-     * @p stash_shards lock-striped shards, randomLeaf() serialises on
-     * an internal RNG mutex, and blocks inserted while claimed in
-     * @p claim_filter (per-BlockId atomic counts, controller-owned)
-     * start pinned against eviction. Serial mode (cache == nullptr,
-     * the default) takes no locks at all.
-     */
-    void enableConcurrent(SubtreeCache *cache,
-                          const std::atomic<std::uint8_t> *claim_filter,
-                          std::uint32_t stash_shards);
-
-    bool concurrentEnabled() const { return cache_ != nullptr; }
-    /** @} */
+    void evictPath(Leaf leaf) override;
 
     /**
      * Background eviction (Sec. 2.4): read + write a random path
      * without remapping anything. Stash occupancy cannot increase.
      * @return the (random) leaf that was accessed.
      */
-    Leaf dummyAccess();
-
-    /** Fresh uniformly random leaf (step 4 remap target). */
-    Leaf randomLeaf();
-
-    /**
-     * Place a block into the deepest free bucket on its mapped path,
-     * falling back to the stash. Used for initialization only.
-     */
-    void placeInitial(BlockId id, std::uint64_t data);
-
-    BinaryTree &tree() { return tree_; }
-    const BinaryTree &tree() const { return tree_; }
-    Stash &stash() { return stash_; }
-    const Stash &stash() const { return stash_; }
-    PositionMap &posMap() { return posMap_; }
-
-    std::uint64_t pathReads() const { return pathReads_.value(); }
+    Leaf dummyAccess() override;
 
   private:
     /** A stash block staged for eviction: id plus payload captured in
@@ -178,21 +100,8 @@ class PathOram
     /** Grow the per-slot scratch to cover @p slots stash slots. */
     void reserveScratch(std::size_t slots);
 
-    OramConfig cfg_;
-    PositionMap &posMap_;
-    BinaryTree tree_;
-    Stash stash_;
-    Rng rng_;
-    stats::AtomicCounter pathReads_;
-    /** Non-null in concurrent mode: per-node locking discipline. */
-    SubtreeCache *cache_ = nullptr;
-    /** Concurrent mode: per-BlockId claim counts (controller-owned).
-     *  fetchPath consults it to leave unclaimed blocks in place in
-     *  their buckets instead of round-tripping them through the
-     *  stash (DESIGN.md Sec. 13) - only claimed blocks can be
-     *  remapped by the in-flight policy, so an unclaimed block's
-     *  path assignment cannot change under it. */
-    const std::atomic<std::uint8_t> *claimFilter_ = nullptr;
+    void onEnableConcurrent() override;
+
     /** Windowed (dedup-resident) buckets on any one path: cached at
      *  enableConcurrent so fetchPath's batched touch accounting is a
      *  constant add. Zero when the window is disabled. */
@@ -204,9 +113,6 @@ class PathOram
      *  the public number of path reads, never on their contents. */
     static constexpr std::uint64_t kWindowResortPeriod = 4;
     std::atomic<std::uint64_t> fetchSeq_{0};
-    /** Serialises rng_ draws in concurrent mode. Leaf-level lock:
-     *  acquirable under any other lock, never acquires one itself. */
-    std::mutex rngMutex_;
 
     // writePath scratch, pre-sized from tree geometry at construction
     // (see reserveScratch) so even the first paths allocate nothing.

@@ -1,0 +1,107 @@
+#include "oram/scheme.hh"
+
+#include <vector>
+
+#include "oram/path_oram.hh"
+#include "oram/ring_oram.hh"
+#include "util/annotations.hh"
+#include "util/logging.hh"
+
+namespace proram
+{
+
+OramScheme::OramScheme(const OramConfig &cfg, PositionMap &pos_map)
+    : cfg_(cfg), posMap_(pos_map),
+      tree_(cfg.levels(), cfg.z, cfg.arena),
+      stash_(cfg.stashCapacity), rng_(cfg.seed ^ 0x0aa77aa55aa33aa1ULL)
+{
+    // Every leaf remap must reach stash-resident entries' cached
+    // leaves; routing through the position map's single write point
+    // covers all remap sites (eviction, merge, break) at once.
+    posMap_.attachLeafCache(&stash_);
+}
+
+OramScheme::~OramScheme()
+{
+    posMap_.attachLeafCache(nullptr);
+}
+
+void
+OramScheme::enableConcurrent(SubtreeCache *cache,
+                             const std::atomic<std::uint8_t> *claim_filter,
+                             std::uint32_t stash_shards)
+{
+    cache_ = cache;
+    claimFilter_ = claim_filter;
+    stash_.setPinFilter(claim_filter);
+    stash_.enableConcurrent(stash_shards);
+    onEnableConcurrent();
+}
+
+PRORAM_HOT Leaf
+OramScheme::randomLeaf()
+{
+    if (cache_ != nullptr) {
+        const std::lock_guard<std::mutex> g(rngMutex_);
+        return Leaf{
+            static_cast<std::uint32_t>(rng_.below(tree_.numLeaves()))};
+    }
+    return Leaf{
+        static_cast<std::uint32_t>(rng_.below(tree_.numLeaves()))};
+}
+
+PRORAM_HOT void
+OramScheme::absorbPath(const FetchedBlock *blocks, std::size_t n)
+{
+    if (n == 0)
+        return;
+    // The leaf is re-read from the position map at absorb time, not
+    // fetch time: a concurrent remap between the two stages must win.
+    // Unzip into parallel lanes so the stash can group the inserts by
+    // shard (one lock per distinct shard instead of one per block).
+    static thread_local std::vector<BlockId> ids;
+    static thread_local std::vector<std::uint64_t> data;
+    static thread_local std::vector<Leaf> leaves;
+    if (ids.size() < n) {
+        // PRORAM_LINT_ALLOW(hot-alloc): thread-local, path-bounded.
+        ids.resize(n);
+        // PRORAM_LINT_ALLOW(hot-alloc): see above.
+        data.resize(n);
+        // PRORAM_LINT_ALLOW(hot-alloc): see above.
+        leaves.resize(n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        ids[i] = blocks[i].id;
+        data[i] = blocks[i].data;
+        leaves[i] = posMap_.leafOf(blocks[i].id);
+    }
+    stash_.insertBatch(ids.data(), data.data(), leaves.data(), n);
+}
+
+void
+OramScheme::placeInitial(BlockId id, std::uint64_t data)
+{
+    const Leaf leaf = posMap_.leafOf(id);
+    panic_if(leaf == kInvalidLeaf, "placeInitial before leaf assignment");
+    for (std::uint32_t l = tree_.levels() + 1; l-- > 0;) {
+        if (tree_.tryPlace(tree_.nodeOnPath(leaf, Level{l}), id, data))
+            return;
+    }
+    stash_.insert(id, data, leaf);
+}
+
+std::unique_ptr<OramScheme>
+makeOramScheme(const OramConfig &cfg, PositionMap &pos_map)
+{
+    switch (cfg.resolvedScheme()) {
+      case SchemeKind::Path:
+        return std::make_unique<PathOram>(cfg, pos_map);
+      case SchemeKind::Ring:
+        return std::make_unique<RingOram>(cfg, pos_map);
+      case SchemeKind::Default:
+        break;
+    }
+    panic("unresolved ORAM scheme");
+}
+
+} // namespace proram

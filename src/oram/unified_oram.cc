@@ -13,7 +13,7 @@ UnifiedOram::UnifiedOram(const OramConfig &cfg)
     : cfg_(cfg), space_(cfg),
       posMap_(space_.numTotalBlocks(),
               static_cast<Leaf>(1ULL << cfg.levels())),
-      oram_(cfg, posMap_), plb_(cfg.plbEntries)
+      oram_(makeOramScheme(cfg_, posMap_)), plb_(cfg.plbEntries)
 {
     cfg_.validate();
 }
@@ -40,11 +40,11 @@ UnifiedOram::initialize(std::uint32_t static_sb_size)
         if (id.value() < num_data && static_sb_size > 1) {
             // Super block members share the leaf of their base block.
             const BlockId base{alignDown(id.value(), static_sb_size)};
-            e.leaf = (id == base) ? oram_.randomLeaf()
+            e.leaf = (id == base) ? oram_->randomLeaf()
                                   : posMap_.leafOf(base);
             e.sbSizeLog = sb_log;
         } else {
-            e.leaf = oram_.randomLeaf();
+            e.leaf = oram_->randomLeaf();
             e.sbSizeLog = 0;
         }
     }
@@ -56,7 +56,7 @@ UnifiedOram::initialize(std::uint32_t static_sb_size)
         created_.assign((total + 63) / 64, 0);
     } else {
         for (BlockId id{0}; id.value() < total; ++id)
-            oram_.placeInitial(id, 0);
+            oram_->placeInitial(id, 0);
     }
     initialized_ = true;
 }
@@ -70,7 +70,7 @@ UnifiedOram::ensureCreated(BlockId id)
     // exactly what eager initialization would have left on this
     // block's path. The stash insert is the creation point; the
     // normal write-back machinery moves it into the tree.
-    oram_.stash().insert(id, 0, posMap_.leafOf(id));
+    oram_->stash().insert(id, 0, posMap_.leafOf(id));
     created_[id.value() >> 6] |= 1ULL << (id.value() & 63);
     return true;
 }
@@ -98,12 +98,12 @@ UnifiedOram::fetchPosMapBlock(BlockId pm_block)
     // the remap has landed.
     const bool claim = claimTable_ != nullptr;
     if (claim) {
-        oram_.stash().claimPin(pm_block,
+        oram_->stash().claimPin(pm_block,
                                claimTable_[pm_block.value()]);
     }
-    oram_.readPath(leaf);
+    oram_->readPath(leaf);
     ensureCreated(pm_block);
-    if (!oram_.stash().contains(pm_block)) {
+    if (!oram_->stash().contains(pm_block)) {
         // In concurrent mode another request's fetch stage may have
         // cleared this block off a shared bucket into its private
         // buffer. That is harmless: the pos-map *content* lives in
@@ -114,17 +114,17 @@ UnifiedOram::fetchPosMapBlock(BlockId pm_block)
         // same-path write-back, PLB insert - with no retry, keeping
         // the audited leaf sequence identical in distribution to the
         // serial one (DESIGN.md §11).
-        panic_if(!oram_.concurrentEnabled(), "pos-map block ",
+        panic_if(!oram_->concurrentEnabled(), "pos-map block ",
                  pm_block, " missing from path ", leaf);
     }
-    posMap_.setLeaf(pm_block, oram_.randomLeaf());
+    posMap_.setLeaf(pm_block, oram_->randomLeaf());
     if (claim) {
         // Remap landed: the block may evict normally again (this
         // very writePath included, under its new leaf).
-        oram_.stash().releaseUnpin(pm_block,
+        oram_->stash().releaseUnpin(pm_block,
                                    claimTable_[pm_block.value()]);
     }
-    oram_.writePath(leaf);
+    oram_->writePath(leaf);
     plb_.insert(pm_block);
 }
 

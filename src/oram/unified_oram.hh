@@ -12,10 +12,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
-#include "oram/path_oram.hh"
 #include "oram/position_map.hh"
+#include "oram/scheme.hh"
 
 namespace proram
 {
@@ -31,8 +32,9 @@ struct PosMapWalk
 };
 
 /**
- * Owns the functional state: block-id layout, flat position map,
- * PathOram engine and PLB. The ORAM controller (core/) drives it.
+ * Owns the functional state: block-id layout, flat position map, the
+ * tree engine (any OramScheme - Path or Ring, per OramConfig::scheme)
+ * and PLB. The ORAM controller (core/) drives it.
  */
 class UnifiedOram
 {
@@ -113,8 +115,8 @@ class UnifiedOram
     const BlockSpace &space() const { return space_; }
     PositionMap &posMap() { return posMap_; }
     const PositionMap &posMap() const { return posMap_; }
-    PathOram &engine() { return oram_; }
-    const PathOram &engine() const { return oram_; }
+    OramScheme &engine() { return *oram_; }
+    const OramScheme &engine() const { return *oram_; }
     PosMapBlockCache &plb() { return plb_; }
     const PosMapBlockCache &plb() const { return plb_; }
 
@@ -128,7 +130,7 @@ class UnifiedOram
     OramConfig cfg_;
     BlockSpace space_;
     PositionMap posMap_;
-    PathOram oram_;
+    std::unique_ptr<OramScheme> oram_;
     PosMapBlockCache plb_;
     bool initialized_ = false;
     /** Auditor hook; empty (and never called) unless auditing. */

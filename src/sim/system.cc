@@ -103,6 +103,8 @@ System::metricsJson() const
 {
     obs::MetricsRegistry reg;
     reg.addLabel("scheme", schemeName(cfg_.scheme));
+    if (controller_)
+        reg.addLabel("oramScheme", controller_->oram().engine().name());
     reg.addGroup(hierarchy_->buildStatGroup());
     if (controller_) {
         reg.addGroup(controller_->buildStatGroup());

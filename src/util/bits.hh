@@ -59,6 +59,25 @@ divCeil(std::uint64_t a, std::uint64_t b)
     return (a + b - 1) / b;
 }
 
+/**
+ * Reverse the low @p width bits of @p v (bits at or above @p width
+ * are dropped). Ring ORAM's deterministic eviction order enumerates
+ * leaves as reverseBits(g, L): consecutive eviction paths then share
+ * the longest possible common prefix with the *most distant* prior
+ * path, spreading tree writes evenly (Ren et al., Sec. 3.2).
+ * @pre width <= 64
+ */
+constexpr std::uint64_t
+reverseBits(std::uint64_t v, unsigned width)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    return r;
+}
+
 } // namespace proram
 
 #endif // PRORAM_UTIL_BITS_HH

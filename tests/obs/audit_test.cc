@@ -16,6 +16,7 @@
 #include "sim/system_config.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_file.hh"
+#include "util/bits.hh"
 
 namespace proram
 {
@@ -137,6 +138,13 @@ TEST(Auditor, HonestPeriodicStreamPassesEveryCheck)
         expected_start = start + paths * kPeriod;
     }
 
+    // An honest Ring engine reports its scheduled evictions in exact
+    // reverse-lexicographic order: g-th eviction = bit-reverse(g).
+    for (std::uint64_t g = 0; g < 600; ++g) {
+        auditor.onEvictionPath(Leaf{static_cast<std::uint32_t>(
+            reverseBits(g % kLeaves, log2Floor(kLeaves)))});
+    }
+
     const AuditReport rep = auditor.report();
     EXPECT_TRUE(rep.pass()) << rep.summary();
     for (const AuditCheck &c : rep.checks) {
@@ -215,6 +223,39 @@ TEST(Auditor, SkippedDummyTripsFill)
     // Timing and accounting are clean; only the fill leaks.
     EXPECT_TRUE(findCheck(rep, "oint-timing").pass);
     EXPECT_TRUE(findCheck(rep, "path-accounting").pass);
+}
+
+TEST(Auditor, DemandDependentEvictionTripsSchedule)
+{
+    // Ring ORAM leak: an engine that evicts the just-read (demand)
+    // path instead of the public reverse-lexicographic schedule.
+    ObliviousnessAuditor auditor(AuditConfig{}, 1024);
+    auditor.onEvictionPath(0_leaf);   // g=0: bitrev(0) = 0, honest
+    auditor.onEvictionPath(7_leaf);   // g=1: expected bitrev(1) = 512
+    auditor.onEvictionPath(256_leaf); // g=2: honest again
+
+    const AuditReport rep = auditor.report();
+    const AuditCheck &sched = findCheck(rep, "ring-eviction-schedule");
+    EXPECT_TRUE(sched.evaluated);
+    EXPECT_FALSE(sched.pass);
+    EXPECT_EQ(sched.statistic, 1.0);
+    EXPECT_FALSE(rep.pass());
+}
+
+TEST(Auditor, ReverseLexEvictionSequencePasses)
+{
+    // The honest schedule, wrapping past 2^L: every eviction path is
+    // bit-reverse(g mod 1024) in order.
+    ObliviousnessAuditor auditor(AuditConfig{}, 1024);
+    for (std::uint64_t g = 0; g < 2500; ++g) {
+        auditor.onEvictionPath(Leaf{static_cast<std::uint32_t>(
+            reverseBits(g % 1024, 10))});
+    }
+    const AuditReport rep = auditor.report();
+    const AuditCheck &sched = findCheck(rep, "ring-eviction-schedule");
+    EXPECT_TRUE(sched.evaluated);
+    EXPECT_TRUE(sched.pass) << rep.summary();
+    EXPECT_EQ(auditor.evictionPaths(), 2500u);
 }
 
 TEST(Auditor, HiddenPathTripsAccounting)

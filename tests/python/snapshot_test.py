@@ -190,6 +190,57 @@ class SnapshotToolTest(unittest.TestCase):
         # Benchmarks without counters stay out of the section.
         self.assertNotIn("BM_Fast", memory["benchCounters"])
 
+    def test_snapshot_records_scheme_tag(self):
+        res = self.run_tool("--label", "ringy", "--description", "d",
+                            "--scheme", "ring")
+        self.assertEqual(res.returncode, 0, res.stderr)
+        snaps = self.read_doc()["snapshots"]
+        self.assertEqual(snaps[-1]["scheme"], "ring")
+        # Default runs are tagged path.
+        self.run_tool("--label", "pathy", "--description", "d")
+        self.assertEqual(
+            self.read_doc()["snapshots"][-1]["scheme"], "path")
+
+    def test_scheme_exported_to_benchmark_env(self):
+        # The stub binary echoes $PRORAM_SCHEME as a benchmark name so
+        # the test can see what the subprocess actually ran with.
+        self.binary.write_text(
+            "#!%s\nimport json, os\n"
+            "name = 'BM_' + os.environ.get('PRORAM_SCHEME', 'unset')\n"
+            "print(json.dumps({'benchmarks': [{'name': name + '_median',"
+            " 'run_type': 'aggregate', 'aggregate_name': 'median',"
+            " 'real_time': 1.0}]}))\n" % sys.executable)
+        self.binary.chmod(0o755)
+        res = self.run_tool("--label", "env", "--description", "d",
+                            "--scheme", "ring")
+        self.assertEqual(res.returncode, 0, res.stderr)
+        micro = self.read_doc()["snapshots"][-1]["micro_ops"]
+        self.assertIn("BM_ring", micro)
+
+    def test_compare_refuses_mixed_scheme_labels(self):
+        # 'base' predates the tag -> counts as path; a ring compare
+        # against it must error out, not silently pass.
+        res = self.run_tool("--compare-vs", "base", "--scheme", "ring")
+        self.assertNotEqual(res.returncode, 0)
+        self.assertIn("same-scheme", res.stderr)
+        # Same scheme still compares fine.
+        res = self.run_tool("--compare-vs", "base", "--scheme", "path")
+        self.assertEqual(res.returncode, 0, res.stderr)
+
+    def test_compare_matches_same_scheme_ring_label(self):
+        self.run_tool("--label", "ring_base", "--description", "d",
+                      "--scheme", "ring")
+        res = self.run_tool("--compare-vs", "ring_base",
+                            "--scheme", "ring")
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("no regressions", res.stdout)
+
+    def test_speedup_vs_refuses_mixed_scheme_labels(self):
+        res = self.run_tool("--label", "ringy", "--description", "d",
+                            "--scheme", "ring", "--speedup-vs", "base")
+        self.assertNotEqual(res.returncode, 0)
+        self.assertIn("same-scheme", res.stderr)
+
     def test_metrics_jsonl_rejects_bad_schema(self):
         jsonl = self.dir / "metrics.jsonl"
         jsonl.write_text(json.dumps({"schema": "other"}) + "\n")

@@ -9,6 +9,11 @@
 #include <unordered_map>
 #include <vector>
 
+// banned-api when this fixture is linted OUTSIDE src/oram/ (the
+// selftest copies it under src/core/ for that direction): concrete
+// scheme headers are engine-layer-only.
+#include "oram/path_oram.hh" // BAD outside src/oram: banned-api
+
 #define PRORAM_OBLIVIOUS
 #define PRORAM_HOT
 

@@ -196,6 +196,80 @@ PathOram::evictPath(Leaf leaf)
         self.assertEqual([], [str(d) for d in diags])
 
 
+class RingStageAnnotations(unittest.TestCase):
+    """stage-annotation covers ring_oram.cc's stage set too: both
+    engines carry the same six stage functions."""
+
+    STUB = StageAnnotations.STUB.replace("PathOram", "RingOram")
+
+    def lint_stub(self, fetch_head):
+        with tempfile.TemporaryDirectory() as tmp:
+            dest_dir = os.path.join(tmp, "src", "oram")
+            os.makedirs(dest_dir)
+            dest = os.path.join(dest_dir, "ring_oram.cc")
+            with open(dest, "w") as f:
+                f.write(self.STUB % fetch_head)
+            rel = os.path.relpath(dest, tmp)
+            return oblivious_lint.lint_file_text(dest, rel).diagnostics
+
+    def test_fully_annotated_is_clean(self):
+        diags = self.lint_stub("PRORAM_OBLIVIOUS PRORAM_HOT std::size_t")
+        self.assertEqual([], [str(d) for d in diags])
+
+    def test_dropped_macro_caught(self):
+        diags = self.lint_stub("std::size_t")
+        rules = [d.rule for d in diags]
+        self.assertEqual(rules.count("stage-annotation"), 2)
+        messages = " ".join(d.message for d in diags)
+        self.assertIn("RingOram::fetchPath", messages)
+
+    def test_missing_stage_caught(self):
+        stub = self.STUB.replace("RingOram::evictPath", "RingOram::other")
+        with tempfile.TemporaryDirectory() as tmp:
+            dest_dir = os.path.join(tmp, "src", "oram")
+            os.makedirs(dest_dir)
+            dest = os.path.join(dest_dir, "ring_oram.cc")
+            with open(dest, "w") as f:
+                f.write(stub % "PRORAM_OBLIVIOUS PRORAM_HOT std::size_t")
+            rel = os.path.relpath(dest, tmp)
+            diags = oblivious_lint.lint_file_text(dest, rel).diagnostics
+        messages = " ".join(d.message for d in diags)
+        self.assertIn("not found", messages)
+        self.assertIn("evictPath", messages)
+
+
+class SchemeIncludeBan(unittest.TestCase):
+    """Concrete scheme headers (path_oram.hh / ring_oram.hh) may only
+    be included from src/oram/; the controller and policy layers must
+    program against oram/scheme.hh."""
+
+    def test_fires_outside_engine_layer(self):
+        diags, _ = lint_fixture("bad.cc", subdir="src/core")
+        hits = [d for d in diags if "scheme header" in d.message]
+        self.assertEqual(len(hits), 1)
+        self.assertEqual(hits[0].rule, "banned-api")
+        self.assertIn("path_oram.hh", hits[0].message)
+        self.assertIn("oram/scheme.hh", hits[0].message)
+
+    def test_fires_anywhere_outside_src_oram(self):
+        diags, _ = lint_fixture("bad.cc", subdir="src/sim")
+        hits = [d for d in diags if "scheme header" in d.message]
+        self.assertEqual(len(hits), 1)
+
+    def test_allowed_inside_engine_layer(self):
+        # BadFixture lints bad.cc under src/oram/: the include there
+        # is legal, so the only banned-api hits are rand/clock/map.
+        diags, _ = lint_fixture("bad.cc")
+        hits = [d for d in diags if "scheme header" in d.message]
+        self.assertEqual(hits, [])
+
+    def test_good_fixture_include_is_engine_layer(self):
+        # good.cc carries a ring_oram.hh include and still lints
+        # clean because fixtures land in src/oram/.
+        diags, _ = lint_fixture("good.cc")
+        self.assertEqual([], [str(d) for d in diags])
+
+
 class ShippedTree(unittest.TestCase):
     """The shipped src/ tree lints clean (the CI hard gate)."""
 

@@ -23,7 +23,12 @@ Enforces three project rules over C++ sources (see DESIGN.md,
                  hot-path files (src/oram/, src/core/) -- the seed's
                  unordered_map stash was replaced by the flat SoA
                  stash precisely because node-based hashing wrecks
-                 the access-per-cycle budget.
+                 the access-per-cycle budget. Also: including a
+                 concrete scheme header (path_oram.hh / ring_oram.hh)
+                 outside src/oram/ -- everything above the engine
+                 layer must program against oram/scheme.hh so a new
+                 protocol never leaks into the controller or policy
+                 code (DESIGN.md §14).
 
   hot-alloc      In functions annotated PRORAM_HOT: no `new`
                  expressions and no std::vector growth calls
@@ -34,8 +39,9 @@ Enforces three project rules over C++ sources (see DESIGN.md,
                  receiver's type.)
 
   stage-annotation  The pipelined controller's stage functions in
-                 src/oram/path_oram.cc (readPath / fetchPath /
-                 writePath / evictClassify / evictWriteBack) must
+                 src/oram/path_oram.cc and src/oram/ring_oram.cc
+                 (readPath / fetchPath / writePath / evictClassify /
+                 evictWriteBack / evictPath) must
                  keep both PRORAM_OBLIVIOUS and PRORAM_HOT on their
                  definitions. The other rules only fire inside
                  annotated bodies, so dropping a macro would silently
@@ -91,9 +97,20 @@ STAGE_ANNOTATED = {
         "readPath", "fetchPath", "writePath",
         "evictClassify", "evictWriteBack", "evictPath",
     )),
+    "src/oram/ring_oram.cc": ("RingOram", (
+        "readPath", "fetchPath", "writePath",
+        "evictClassify", "evictWriteBack", "evictPath",
+    )),
 }
 # The one directory allowed to read wall-clock time.
 CLOCK_ALLOWED_DIRS = ("src/obs",)
+# Concrete scheme headers only the engine layer may include; everyone
+# else programs against oram/scheme.hh.
+SCHEME_HEADERS = ("path_oram.hh", "ring_oram.hh")
+SCHEME_ALLOWED_DIRS = ("src/oram",)
+SCHEME_INCLUDE_RE = re.compile(
+    r"^\s*#\s*include\s*[\"<][^\">]*\b(?P<hdr>%s)[\">]"
+    % "|".join(h.replace(".", r"\.") for h in SCHEME_HEADERS))
 
 ALLOW_RE = re.compile(r"//\s*PRORAM_LINT_ALLOW\((?P<rule>[a-z-]+)\)")
 
@@ -346,6 +363,16 @@ def check_banned_api_text(report: FileReport, relpath: str, clean: str,
                  "banned-api",
                  "std::unordered_map is banned in hot-path files; use "
                  "util::FlatIndex or a dense array")
+    # Include paths are string literals, blanked in `clean`: the
+    # scheme-header ban scans the raw lines.
+    if not in_dirs(relpath, SCHEME_ALLOWED_DIRS):
+        for idx, text in enumerate(raw_lines):
+            m = SCHEME_INCLUDE_RE.match(text)
+            if m:
+                emit(report, raw_lines, idx + 1, "banned-api",
+                     f"concrete scheme header {m.group('hdr')} is "
+                     "banned outside src/oram/; include "
+                     "oram/scheme.hh and use the OramScheme interface")
 
 
 def check_stage_annotations(report: FileReport, relpath: str,
