@@ -335,7 +335,7 @@ OramController::queueAccess(BlockId block, OpType op,
     std::uint64_t walkPaths = 0;
     Leaf leaf = kInvalidLeaf;
     {
-        const std::lock_guard<std::mutex> meta(metaLock_);
+        const util::ScopedLock meta(metaLock_);
         pmSink_ = &pmLeaves;
         const PosMapWalk walk = oram_.posMapWalk(block);
         pmSink_ = nullptr;
@@ -366,7 +366,7 @@ OramController::queueAccess(BlockId block, OpType op,
     // once any absorb deposits it, the claim pin makes stash
     // residency permanent until we release it below.
     {
-        const std::lock_guard<std::mutex> meta(metaLock_);
+        const util::ScopedLock meta(metaLock_);
         engine.absorbPath(fetchBuf.data(), fetched);
         // Lazy initialization: a block that was never placed cannot
         // arrive from any fetch; create it now so the residency wait
@@ -387,11 +387,10 @@ OramController::queueAccess(BlockId block, OpType op,
     // wise (DESIGN.md Sec. 13).
     AccessDecision decision;
     {
-        const std::lock_guard<std::mutex> meta(metaLock_);
+        const util::ScopedLock meta(metaLock_);
         {
             const std::uint32_t s = engine.stash().shardOf(block);
-            const std::unique_lock<std::mutex> sl =
-                engine.stash().lockShard(s);
+            const util::ScopedLock sl = engine.stash().lockShard(s);
             std::uint64_t *payload =
                 engine.stash().findDataLocked(s, block);
             panic_if(!payload, "block ", block, " absent from path ",
@@ -435,7 +434,7 @@ OramController::queueAccess(BlockId block, OpType op,
             const std::size_t n = engine.fetchPath(dummy_leaf,
                                                    fetchBuf.data());
             {
-                const std::lock_guard<std::mutex> meta(metaLock_);
+                const util::ScopedLock meta(metaLock_);
                 engine.absorbPath(fetchBuf.data(), n);
             }
             engine.evictPath(dummy_leaf);
@@ -449,7 +448,7 @@ OramController::queueAccess(BlockId block, OpType op,
     // stats, all under the meta lock. Timing is a serial grant chain
     // in commit order against the shared busy-until clock.
     {
-        const std::lock_guard<std::mutex> meta(metaLock_);
+        const util::ScopedLock meta(metaLock_);
         for (BlockId p : decision.prefetches) {
             BlockId clean_victim = kInvalidBlock;
             if (!hierarchy_.insertPrefetch(p, &clean_victim))

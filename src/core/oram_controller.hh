@@ -11,7 +11,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/dynamic_policy.hh"
@@ -24,6 +23,7 @@
 #include "oram/periodic.hh"
 #include "oram/subtree_cache.hh"
 #include "oram/unified_oram.hh"
+#include "util/mutex.hh"
 
 namespace proram
 {
@@ -232,20 +232,27 @@ class OramController : public MemBackend, public LlcProbe
     Cycles busyUntil_{0};
     obs::ObliviousnessAuditor *auditor_ = nullptr;
 
-    // Concurrent drive mode (DESIGN.md §11/§13). Lock hierarchy:
-    // metaLock_ < stash-shard locks (Stash, one at a time on the hot
-    // path) < per-node locks (SubtreeCache, one at a time); the
+    // Concurrent drive mode (DESIGN.md §11/§13/§15). Lock hierarchy:
+    // metaLock_ < per-node locks (SubtreeCache, one at a time) <
+    // stash-shard locks (Stash, one at a time on the hot path); the
     // engine's RNG mutex is leaf-level and acquirable anywhere. The
     // rare multi-shard operations (resharding, drained iteration) run
-    // single-threaded by contract.
+    // single-threaded by contract. Debug builds assert the order on
+    // every acquisition (util/lock_order.hh); the lock-order lint
+    // (tools/lint/lock_order_lint.py) rejects out-of-order shapes
+    // statically.
     //   metaLock_: position map + PLB + policy + scheduler + stats_ +
     //              histograms + auditor + epoch + busyUntil_ + LLC
     //              prefetch insertion + pmSink_ + claim-count writes.
+    //              (Members stay un-GUARDED_BY: serial mode reads and
+    //              writes them lock-free by design, so the capability
+    //              map is documented here and enforced by the runtime
+    //              rank checker instead.)
+    //   node locks: that bucket's tree slots + dedup-window copy.
     //   shard locks: that shard's stash lanes/index/pin lane; the
     //              occupancy distribution has its own internal lock.
-    //   node locks: that bucket's tree slots + dedup-window copy.
     bool concurrent_ = false;
-    std::mutex metaLock_;
+    util::Mutex metaLock_{lock_order::Rank::Meta};
     std::unique_ptr<SubtreeCache> subtree_;
     /** Per-BlockId claim counts: > 0 while in-flight requests own the
      *  block (pinning it against eviction; super blocks can overlap,

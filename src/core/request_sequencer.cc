@@ -23,23 +23,28 @@ RequestSequencer::dependencies(const std::vector<BlockId> &blocks,
     return deps;
 }
 
+// Thread-safety escape: the condition-variable wait needs the native
+// std::mutex handle and releases/reacquires it invisibly. The rank
+// tracker still sees the hold via ScopedRank.
 void
 RequestSequencer::waitFor(std::int64_t dep)
+    PRORAM_NO_THREAD_SAFETY_ANALYSIS
 {
     if (dep < 0)
         return;
     const auto i = static_cast<std::size_t>(dep);
+    const lock_order::ScopedRank rank(lock_order::Rank::Leaf);
+    std::unique_lock<std::mutex> lk(mutex_.native());
     panic_if(i >= done_.size(), "dependency index out of range");
-    std::unique_lock<std::mutex> lk(mutex_);
     cv_.wait(lk, [&] { return done_[i] != 0; });
 }
 
 void
 RequestSequencer::markDone(std::size_t i)
 {
-    panic_if(i >= done_.size(), "request index out of range");
     {
-        const std::lock_guard<std::mutex> lk(mutex_);
+        const util::ScopedLock lk(mutex_);
+        panic_if(i >= done_.size(), "request index out of range");
         done_[i] = 1;
     }
     cv_.notify_all();
@@ -48,8 +53,8 @@ RequestSequencer::markDone(std::size_t i)
 bool
 RequestSequencer::isDone(std::size_t i)
 {
+    const util::ScopedLock lk(mutex_);
     panic_if(i >= done_.size(), "request index out of range");
-    const std::lock_guard<std::mutex> lk(mutex_);
     return done_[i] != 0;
 }
 

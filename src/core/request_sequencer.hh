@@ -18,9 +18,10 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "util/annotations.hh"
+#include "util/mutex.hh"
 #include "util/types.hh"
 
 namespace proram
@@ -43,18 +44,19 @@ class RequestSequencer
                  std::uint64_t num_blocks);
 
     /** Block until request @p dep has committed; @p dep < 0 returns
-     *  immediately (no dependency). */
-    void waitFor(std::int64_t dep);
+     *  immediately (no dependency). Caller holds no locks. */
+    void waitFor(std::int64_t dep) PRORAM_EXCLUDES(mutex_);
 
     /** Mark request @p i committed and wake waiters. */
-    void markDone(std::size_t i);
+    void markDone(std::size_t i) PRORAM_EXCLUDES(mutex_);
 
-    bool isDone(std::size_t i);
+    bool isDone(std::size_t i) PRORAM_EXCLUDES(mutex_);
 
   private:
-    std::mutex mutex_;
+    /** Leaf rank: the sequencer never acquires anything under it. */
+    util::Mutex mutex_{lock_order::Rank::Leaf};
     std::condition_variable cv_;
-    std::vector<std::uint8_t> done_;
+    std::vector<std::uint8_t> done_ PRORAM_GUARDED_BY(mutex_);
 };
 
 } // namespace proram

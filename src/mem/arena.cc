@@ -307,6 +307,10 @@ ArenaBackend::ArenaBackend(std::uint64_t num_buckets, std::uint32_t z,
     numChunks_ = (num_buckets + chunk_buckets - 1) / chunk_buckets;
     chunkBytes_ = chunkLayout(chunkSlots(), chunkBuckets_).totalBytes;
     chunks_ = std::make_unique<Chunk[]>(numChunks_);
+    // std::array members default-construct unranked; rank them before
+    // the backend sees any traffic (we are still in the ctor).
+    for (auto &latch : latches_)
+        latch.setRank(lock_order::Rank::Leaf);
 }
 
 ArenaBackend::~ArenaBackend() = default;
@@ -323,8 +327,7 @@ ArenaBackend::materialize(std::uint64_t chunk)
 ArenaBackend::Lanes
 ArenaBackend::materializeLocked(std::uint64_t chunk, bool trace)
 {
-    const std::lock_guard<std::mutex> latch(
-        latches_[chunk % kLatchStripes]);
+    const util::ScopedLock latch(latches_[chunk % kLatchStripes]);
     // Double-check under the latch: a racing first-touch may have
     // published while we waited.
     Lanes existing = lanes(chunk);
@@ -344,7 +347,13 @@ ArenaBackend::materializeLocked(std::uint64_t chunk, bool trace)
     Chunk &c = chunks_[chunk];
     c.data = fresh.data;
     c.free = fresh.free;
+    // Publication point: the release store of the id pointer is what
+    // makes the plain data/free stores above and the lane fills
+    // visible to any thread whose view()/lanes() acquire-load observes
+    // non-null ids. Storing ids last is load-bearing.
     c.ids.store(fresh.ids, std::memory_order_release);
+    // Telemetry counter only (chunksMaterialized() snapshots): relaxed
+    // is enough, nothing is ordered against it.
     chunksMaterialized_.fetch_add(1, std::memory_order_relaxed);
     if (trace)
         PRORAM_TRACE_EVENT("arena", "materialize", "chunk", chunk);

@@ -44,9 +44,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "util/mutex.hh"
 #include "util/types.hh"
 
 namespace proram
@@ -251,9 +251,12 @@ class ArenaBackend
     std::uint64_t chunkBytes_;
     std::unique_ptr<Chunk[]> chunks_;
 
-    /** Striped first-touch once-latches (chunk -> stripe). */
+    /** Striped first-touch once-latches (chunk -> stripe). Rank Leaf:
+     *  held only around provideChunk + lane fill, deepest in the
+     *  hierarchy (a writer reaching materialize() may already hold a
+     *  node lock), and never while taking any other ranked lock. */
     static constexpr std::size_t kLatchStripes = 64;
-    std::array<std::mutex, kLatchStripes> latches_;
+    std::array<util::Mutex, kLatchStripes> latches_;
 
     std::atomic<std::uint64_t> chunksMaterialized_{0};
 };

@@ -6,6 +6,12 @@
  * hold the node's lock in concurrent mode (cache != nullptr); in
  * serial mode cache is null and these collapse to the plain tree
  * accessors. Internal to src/oram/ - not part of the scheme interface.
+ *
+ * Each accessor requires the node's lock when cache is non-null
+ * (PRORAM_REQUIRES(cache->mutexFor(node))): clang's thread-safety
+ * analysis verifies concurrent callers hold the node capability they
+ * acquired via SubtreeCache::lockNode(Fast); serial-mode call sites
+ * live in dual-mode stage bodies with documented escapes.
  */
 
 #ifndef PRORAM_ORAM_BUCKET_OPS_HH
@@ -15,12 +21,14 @@
 
 #include "oram/subtree_cache.hh"
 #include "oram/tree.hh"
+#include "util/annotations.hh"
 
 namespace proram::bucket_ops
 {
 
 inline std::uint32_t
 occupancy(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     const bool win = cache != nullptr && cache->windowed(node);
     return win ? cache->occupancy(node, tree) : tree.occupancy(node);
@@ -28,6 +36,7 @@ occupancy(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
 
 inline std::uint32_t
 freeSlots(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     const bool win = cache != nullptr && cache->windowed(node);
     return win ? cache->freeSlots(node, tree) : tree.freeSlots(node);
@@ -36,6 +45,7 @@ freeSlots(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
 inline BlockId
 slotId(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
        std::uint32_t i)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     const bool win = cache != nullptr && cache->windowed(node);
     return win ? cache->slotId(node, i, tree) : tree.slotId(node, i);
@@ -44,6 +54,7 @@ slotId(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
 inline std::uint64_t
 slotData(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
          std::uint32_t i)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     const bool win = cache != nullptr && cache->windowed(node);
     return win ? cache->slotData(node, i, tree) : tree.slotData(node, i);
@@ -52,6 +63,7 @@ slotData(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
 inline void
 clearSlot(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
           std::uint32_t i)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     const bool win = cache != nullptr && cache->windowed(node);
     if (win)
@@ -63,6 +75,7 @@ clearSlot(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
 inline bool
 tryPlace(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
          BlockId id, std::uint64_t data)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     const bool win = cache != nullptr && cache->windowed(node);
     return win ? cache->tryPlace(node, id, data, tree)

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <mutex>
 #include <utility>
 
 #include "obs/trace.hh"
@@ -23,12 +22,14 @@ namespace
 
 inline std::uint32_t
 bucketOccupancy(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     return bucket_ops::occupancy(cache, tree, node);
 }
 
 inline std::uint32_t
 bucketFreeSlots(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     return bucket_ops::freeSlots(cache, tree, node);
 }
@@ -36,6 +37,7 @@ bucketFreeSlots(SubtreeCache *cache, BinaryTree &tree, TreeIdx node)
 inline BlockId
 bucketSlotId(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
              std::uint32_t i)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     return bucket_ops::slotId(cache, tree, node, i);
 }
@@ -43,6 +45,7 @@ bucketSlotId(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
 inline std::uint64_t
 bucketSlotData(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
                std::uint32_t i)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     return bucket_ops::slotData(cache, tree, node, i);
 }
@@ -50,6 +53,7 @@ bucketSlotData(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
 inline void
 bucketClearSlot(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
                 std::uint32_t i)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     bucket_ops::clearSlot(cache, tree, node, i);
 }
@@ -57,6 +61,7 @@ bucketClearSlot(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
 inline bool
 bucketTryPlace(SubtreeCache *cache, BinaryTree &tree, TreeIdx node,
                BlockId id, std::uint64_t data)
+    PRORAM_REQUIRES(cache->mutexFor(node))
 {
     return bucket_ops::tryPlace(cache, tree, node, id, data);
 }
@@ -140,8 +145,13 @@ PathOram::readPath(Leaf leaf)
     }
 }
 
+// Thread-safety escape: dual serial/concurrent body - the per-level
+// guard is conditionally empty in serial mode, a shape the analysis
+// cannot model. The locking contract (node locks only, one at a
+// time) is documented in scheme.hh and rank-checked in Debug builds.
 PRORAM_OBLIVIOUS PRORAM_HOT std::size_t
 PathOram::fetchPath(Leaf leaf, FetchedBlock *out)
+    PRORAM_NO_THREAD_SAFETY_ANALYSIS
 {
     // Concurrent-pipeline twin of readPath: same public access
     // pattern (all L+1 buckets of one path, root to leaf), but blocks
@@ -185,9 +195,9 @@ PathOram::fetchPath(Leaf leaf, FetchedBlock *out)
     }
     for (Level level{0}; level <= tree_.leafLevel(); ++level) {
         const TreeIdx node = tree_.nodeOnPath(leaf, level);
-        std::unique_lock<std::mutex> guard;
-        if (cache_ != nullptr)
-            guard = cache_->lockNodeFast(node);
+        const util::ScopedLock guard =
+            cache_ != nullptr ? cache_->lockNodeFast(node)
+                              : util::ScopedLock();
         if (bucketOccupancy(cache_, tree_, node) == 0)
             continue;
         const bool skim =
@@ -361,7 +371,7 @@ PathOram::evictPath(Leaf leaf)
         // not evictable) or waits for the next pass.
         if (stash_.liveCount(s) == 0)
             continue;
-        const std::unique_lock<std::mutex> lk = stash_.lockShardFast(s);
+        const util::ScopedLock lk = stash_.lockShardFast(s);
         ++shard_locks;
         const std::size_t slots = stash_.slotCount(s);
         if (sc.levels.size() < slots) {
@@ -431,8 +441,7 @@ PathOram::evictPath(Leaf leaf)
         if (sc.pool.empty())
             continue;
         const TreeIdx node = tree_.nodeOnPath(leaf, Level{l});
-        const std::unique_lock<std::mutex> guard =
-            cache_->lockNodeFast(node);
+        const util::ScopedLock guard = cache_->lockNodeFast(node);
         ++node_locks;
         window_holds += cache_->windowed(node) ? 1 : 0;
         std::uint32_t free_now = bucketFreeSlots(cache_, tree_, node);
@@ -448,8 +457,7 @@ PathOram::evictPath(Leaf leaf)
                 continue;
             }
             const std::uint32_t s = stash_.shardOf(id);
-            const std::unique_lock<std::mutex> sl =
-                stash_.lockShardFast(s);
+            const util::ScopedLock sl = stash_.lockShardFast(s);
             ++shard_locks;
             Leaf cur = kInvalidLeaf;
             std::uint64_t payload = 0;

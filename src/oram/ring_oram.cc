@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <mutex>
 #include <utility>
 
 #include "obs/trace.hh"
@@ -61,7 +60,7 @@ RingOram::nextEvictionLeaf()
     // call happen under the same (leaf-level) lock, so the audited
     // eviction sequence is exactly g = 0, 1, 2, ... even when
     // concurrent requests trigger evictions back to back.
-    const std::lock_guard<std::mutex> g(scheduleMutex_);
+    const util::ScopedLock g(scheduleMutex_);
     const std::uint64_t seq =
         evictionSeq_.fetch_add(1, std::memory_order_relaxed);
     const Leaf leaf = evictionLeafAt(seq);
@@ -145,8 +144,13 @@ RingOram::readPath(Leaf leaf)
     }
 }
 
+// Thread-safety escape: dual serial/concurrent body - the per-level
+// guard is conditionally empty in serial mode, a shape the analysis
+// cannot model. The locking contract (node locks only, one at a
+// time) is documented in scheme.hh and rank-checked in Debug builds.
 PRORAM_OBLIVIOUS PRORAM_HOT std::size_t
 RingOram::fetchPath(Leaf leaf, FetchedBlock *out)
+    PRORAM_NO_THREAD_SAFETY_ANALYSIS
 {
     // Concurrent-pipeline fetch: the claimed blocks on the path (the
     // in-flight interest set - exactly the blocks stage 1 claimed)
@@ -180,9 +184,9 @@ RingOram::fetchPath(Leaf leaf, FetchedBlock *out)
         !resort && cache_ != nullptr && claimFilter_ != nullptr;
     for (Level level{0}; level <= tree_.leafLevel(); ++level) {
         const TreeIdx node = tree_.nodeOnPath(leaf, level);
-        std::unique_lock<std::mutex> guard;
-        if (cache_ != nullptr)
-            guard = cache_->lockNodeFast(node);
+        const util::ScopedLock guard =
+            cache_ != nullptr ? cache_->lockNodeFast(node)
+                              : util::ScopedLock();
         std::uint32_t extracted = 0;
         if (bucket_ops::occupancy(cache_, tree_, node) != 0) {
             for (std::uint32_t i = 0; i < z; ++i) {
@@ -408,7 +412,7 @@ RingOram::runScheduledEvictionConcurrent()
     for (std::uint32_t s = 0; s < shards; ++s) {
         if (stash_.liveCount(s) == 0)
             continue;
-        const std::unique_lock<std::mutex> lk = stash_.lockShardFast(s);
+        const util::ScopedLock lk = stash_.lockShardFast(s);
         ++shard_locks;
         const std::size_t slots = stash_.slotCount(s);
         if (sc.levels.size() < slots) {
@@ -464,8 +468,7 @@ RingOram::runScheduledEvictionConcurrent()
             sc.pool.push_back(sc.sorted[c]);
         }
         const TreeIdx node = tree_.nodeOnPath(leaf, Level{l});
-        const std::unique_lock<std::mutex> guard =
-            cache_->lockNodeFast(node);
+        const util::ScopedLock guard = cache_->lockNodeFast(node);
         ++node_locks;
         window_holds += cache_->windowed(node) ? 1 : 0;
         readCount_[node.value()] = 0;
@@ -483,8 +486,7 @@ RingOram::runScheduledEvictionConcurrent()
                 continue;
             }
             const std::uint32_t s = stash_.shardOf(id);
-            const std::unique_lock<std::mutex> sl =
-                stash_.lockShardFast(s);
+            const util::ScopedLock sl = stash_.lockShardFast(s);
             ++shard_locks;
             Leaf cur = kInvalidLeaf;
             std::uint64_t payload = 0;

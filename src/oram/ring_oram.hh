@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "oram/scheme.hh"
+#include "util/mutex.hh"
 
 namespace proram
 {
@@ -158,8 +159,9 @@ class RingOram final : public OramScheme
     std::atomic<std::uint64_t> evictionSeq_{0};
     /** Orders schedule draws + observer calls in concurrent mode so
      *  the audited eviction sequence is exactly g = 0, 1, 2, ...
-     *  Leaf-level lock: never held across bucket or stash work. */
-    std::mutex scheduleMutex_;
+     *  Leaf-level lock: never held across bucket or stash work
+     *  (lock_order::Rank::Leaf; rank-checked in Debug builds). */
+    util::Mutex scheduleMutex_{lock_order::Rank::Leaf};
     /** Fetch ordinal for the full-extract resort cadence (concurrent
      *  mode), Weyl-hashed like Path ORAM's. */
     static constexpr std::uint64_t kResortPeriod = 4;

@@ -42,7 +42,7 @@ PRORAM_HOT Leaf
 OramScheme::randomLeaf()
 {
     if (cache_ != nullptr) {
-        const std::lock_guard<std::mutex> g(rngMutex_);
+        const util::ScopedLock g(rngMutex_);
         return Leaf{
             static_cast<std::uint32_t>(rng_.below(tree_.numLeaves()))};
     }

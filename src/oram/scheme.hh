@@ -19,12 +19,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "oram/config.hh"
 #include "oram/position_map.hh"
 #include "oram/stash.hh"
 #include "oram/tree.hh"
+#include "util/mutex.hh"
 #include "util/random.hh"
 
 namespace proram
@@ -246,8 +246,9 @@ class OramScheme
      *  cannot change under it. */
     const std::atomic<std::uint8_t> *claimFilter_ = nullptr;
     /** Serialises rng_ draws in concurrent mode. Leaf-level lock:
-     *  acquirable under any other lock, never acquires one itself. */
-    std::mutex rngMutex_;
+     *  acquirable under any other lock, never acquires one itself
+     *  (lock_order::Rank::Leaf; rank-checked in Debug builds). */
+    util::Mutex rngMutex_{lock_order::Rank::Leaf};
     /** Auditor hook; empty (and never called) unless auditing. */
     std::function<void(Leaf)> evictionObserver_;
 };

@@ -28,7 +28,12 @@
  * controller's meta lock and/or one tree node lock while acquiring a
  * shard lock, and never acquires anything under one; the rare
  * multi-shard operations (resharding, iteration helpers) run
- * single-threaded by contract and take no locks.
+ * single-threaded by contract and take no locks. The discipline is
+ * machine-checked three ways (DESIGN.md Sec. 15): shard mutexes are
+ * util::Mutex capabilities ranked lock_order::Rank::StashShard, the
+ * lock factories carry PRORAM_ACQUIRE(shardMutex(s)) so clang's
+ * thread-safety analysis verifies *Locked() call sites, and the
+ * lock-order lint rejects out-of-order acquisition textually.
  */
 
 #ifndef PRORAM_ORAM_STASH_HH
@@ -38,11 +43,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "stats/stats.hh"
+#include "util/annotations.hh"
 #include "util/flat_index.hh"
+#include "util/mutex.hh"
 #include "util/types.hh"
 
 namespace proram
@@ -132,6 +138,13 @@ class Stash
                shardMask_;
     }
 
+    /** Capability of shard @p s, for thread-safety annotations and
+     *  condition-variable plumbing. */
+    util::Mutex &shardMutex(std::uint32_t s) const
+    {
+        return shards_[s].mtx;
+    }
+
     /**
      * Exclusive hold on shard @p s, with contention accounting. Lock
      * ordering: shard locks are innermost - the caller may hold the
@@ -139,7 +152,8 @@ class Stash
      * acquire anything underneath; two shard locks are never held at
      * once on the hot path.
      */
-    std::unique_lock<std::mutex> lockShard(std::uint32_t s) const;
+    util::ScopedLock lockShard(std::uint32_t s) const
+        PRORAM_ACQUIRE(shardMutex(s));
 
     /**
      * lockShard() minus the per-call acquisition count: contention is
@@ -147,7 +161,8 @@ class Stash
      * via noteShardAcquisitions() - one atomic add per pass instead
      * of one per lock on the eviction/absorb hot paths.
      */
-    std::unique_lock<std::mutex> lockShardFast(std::uint32_t s) const;
+    util::ScopedLock lockShardFast(std::uint32_t s) const
+        PRORAM_ACQUIRE(shardMutex(s));
 
     /** Credit @p n shard-lock acquisitions taken via lockShardFast(). */
     void noteShardAcquisitions(std::uint64_t n) const
@@ -166,14 +181,18 @@ class Stash
                      const Leaf *leaves, std::size_t n);
 
     /** @name Shard-locked primitives (caller holds lockShard(s) and
-     *  s == shardOf(id)). @{ */
-    std::uint64_t *findDataLocked(std::uint32_t s, BlockId id);
-    bool eraseLocked(std::uint32_t s, BlockId id);
-    void setPinnedLocked(std::uint32_t s, BlockId id, bool pinned);
+     *  s == shardOf(id); enforced by clang -Wthread-safety). @{ */
+    std::uint64_t *findDataLocked(std::uint32_t s, BlockId id)
+        PRORAM_REQUIRES(shardMutex(s));
+    bool eraseLocked(std::uint32_t s, BlockId id)
+        PRORAM_REQUIRES(shardMutex(s));
+    void setPinnedLocked(std::uint32_t s, BlockId id, bool pinned)
+        PRORAM_REQUIRES(shardMutex(s));
     /** Combined resident lookup: fills any non-null out-params.
      *  @return false (outputs untouched) if @p id is absent. */
     bool lookupLocked(std::uint32_t s, BlockId id, Leaf *leaf,
-                      std::uint64_t *data, bool *pinned) const;
+                      std::uint64_t *data, bool *pinned) const
+        PRORAM_REQUIRES(shardMutex(s));
     /** @} */
 
     /**
@@ -308,8 +327,11 @@ class Stash
          *  shards without taking the lock (eviction-scan fast path). */
         std::atomic<std::size_t> live{0};
         std::size_t dead = 0;
-        mutable std::mutex mtx;
-        /** Signalled on insert while waiters > 0 (awaitResident). */
+        /** Innermost hierarchy level below meta and node locks;
+         *  rank-checked in Debug builds (util/lock_order.hh). */
+        mutable util::Mutex mtx{lock_order::Rank::StashShard};
+        /** Signalled on insert while waiters > 0 (awaitResident);
+         *  waits on mtx.native(). */
         mutable std::condition_variable cv;
         mutable std::uint32_t waiters = 0;
     };
@@ -318,9 +340,19 @@ class Stash
      *  capacity (shard skew can concentrate load; lanes are tiny). */
     std::unique_ptr<Shard[]> makeShards(std::uint32_t n) const;
 
-    std::unique_lock<std::mutex> maybeLock(std::uint32_t s) const
+    /** Serial/concurrent dual-mode hold: a real shard lock in
+     *  concurrent mode, an empty guard in serial mode. Annotated as
+     *  an unconditional acquire - serial mode is single-threaded, so
+     *  statically claiming the capability is sound and lets the
+     *  analysis check the shared *Locked() call sites downstream. */
+    util::ScopedLock maybeLock(std::uint32_t s) const
+        PRORAM_ACQUIRE(shardMutex(s))
+        // Dual-mode body (conditionally empty guard) is beyond the
+        // analysis; the declaration's ACQUIRE is the call-site
+        // contract.
+        PRORAM_NO_THREAD_SAFETY_ANALYSIS
     {
-        return locking_ ? lockShard(s) : std::unique_lock<std::mutex>();
+        return locking_ ? lockShard(s) : util::ScopedLock();
     }
 
     bool insertInto(Shard &sh, BlockId id, std::uint64_t data,
@@ -337,8 +369,11 @@ class Stash
     mutable std::atomic<std::uint64_t> shardAcquisitions_{0};
     mutable std::atomic<std::uint64_t> shardContended_{0};
     /** Guards occupancy_ in concurrent mode (Distribution is not
-     *  thread-safe). */
-    mutable std::mutex statsLock_;
+     *  thread-safe; serial mode and the drained-by-contract
+     *  occupancy() reporter read it lock-free, so the guard is
+     *  documented rather than GUARDED_BY-annotated). Leaf rank:
+     *  never acquires anything beneath it. */
+    mutable util::Mutex statsLock_{lock_order::Rank::Leaf};
     stats::Distribution occupancy_;
 };
 

@@ -35,7 +35,10 @@
  * node lock may be held while acquiring a stash-shard lock (the
  * eviction pass revalidates and erases candidates under the level's
  * node hold), never the reverse. All windowed-bucket accessors
- * require the node's lock.
+ * require the node's lock - a contract clang's thread-safety
+ * analysis checks statically (PRORAM_REQUIRES(mutexFor(node))), the
+ * lock-order lint checks textually, and Debug builds check at
+ * runtime via lock_order::Rank::Node (DESIGN.md Sec. 15).
  */
 
 #ifndef PRORAM_ORAM_SUBTREE_CACHE_HH
@@ -44,9 +47,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "util/annotations.hh"
+#include "util/mutex.hh"
 #include "util/types.hh"
 
 namespace proram
@@ -70,7 +74,8 @@ class SubtreeCache
     /** RAII exclusive hold on @p node's bucket. Callers must not hold
      *  another node guard while acquiring (see file comment). Counts
      *  the acquisition and (for windowed nodes) the dedup touch. */
-    std::unique_lock<std::mutex> lockNode(TreeIdx node);
+    util::ScopedLock lockNode(TreeIdx node)
+        PRORAM_ACQUIRE(mutexFor(node));
 
     /**
      * lockNode() minus the per-call accounting: contention is still
@@ -79,7 +84,8 @@ class SubtreeCache
      * add per path instead of one per bucket on the fetch/evict hot
      * paths.
      */
-    std::unique_lock<std::mutex> lockNodeFast(TreeIdx node);
+    util::ScopedLock lockNodeFast(TreeIdx node)
+        PRORAM_ACQUIRE(mutexFor(node));
 
     /** Credit @p n lockNodeFast() acquisitions. */
     void noteAcquisitions(std::uint64_t n)
@@ -122,16 +128,22 @@ class SubtreeCache
      *  Caller holds lockNode(node) and windowed(node) is true; the
      *  bucket is loaded from @p tree on first touch. Semantics mirror
      *  BinaryTree's accessors. @{ */
-    std::uint32_t occupancy(TreeIdx node, const BinaryTree &tree);
-    std::uint32_t freeSlots(TreeIdx node, const BinaryTree &tree);
+    std::uint32_t occupancy(TreeIdx node, const BinaryTree &tree)
+        PRORAM_REQUIRES(mutexFor(node));
+    std::uint32_t freeSlots(TreeIdx node, const BinaryTree &tree)
+        PRORAM_REQUIRES(mutexFor(node));
     BlockId slotId(TreeIdx node, std::uint32_t i,
-                   const BinaryTree &tree);
+                   const BinaryTree &tree)
+        PRORAM_REQUIRES(mutexFor(node));
     std::uint64_t slotData(TreeIdx node, std::uint32_t i,
-                           const BinaryTree &tree);
+                           const BinaryTree &tree)
+        PRORAM_REQUIRES(mutexFor(node));
     void clearSlot(TreeIdx node, std::uint32_t i,
-                   const BinaryTree &tree);
+                   const BinaryTree &tree)
+        PRORAM_REQUIRES(mutexFor(node));
     bool tryPlace(TreeIdx node, BlockId id, std::uint64_t data,
-                  const BinaryTree &tree);
+                  const BinaryTree &tree)
+        PRORAM_REQUIRES(mutexFor(node));
     /** @} */
 
     /**
@@ -180,8 +192,13 @@ class SubtreeCache
     std::uint64_t dedicatedNodes() const { return dedicated_; }
     std::size_t stripeCount() const { return stripes_; }
 
+    /** Capability owning @p node's bucket (dedicated or striped).
+     *  Exposed so lock annotations (here and in bucket_ops.hh) can
+     *  name it; callers lock via lockNode()/lockNodeFast(), never
+     *  directly. */
+    util::Mutex &mutexFor(TreeIdx node);
+
   private:
-    std::mutex &mutexFor(TreeIdx node);
 
     /** Load @p node's bucket from the arena if not yet resident.
      *  Caller holds the node's lock. */
@@ -190,8 +207,9 @@ class SubtreeCache
     /** Nodes with index < dedicated_ own nodeMutexes_[index]. */
     std::uint64_t dedicated_;
     std::size_t stripes_;
-    std::unique_ptr<std::mutex[]> nodeMutexes_;
-    std::unique_ptr<std::mutex[]> stripeMutexes_;
+    /** Ranked lock_order::Rank::Node at construction. */
+    std::unique_ptr<util::Mutex[]> nodeMutexes_;
+    std::unique_ptr<util::Mutex[]> stripeMutexes_;
     std::atomic<std::uint64_t> acquisitions_{0};
     std::atomic<std::uint64_t> contended_{0};
 

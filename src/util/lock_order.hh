@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Debug-build runtime checker for the lock hierarchy
+ * (meta < node < stash-shard < leaf; DESIGN.md Sec. 15).
+ *
+ * Each ranked util::Mutex reports its rank to a thread-local tracker
+ * on lock/unlock. Acquisition asserts two rules the static layers
+ * (clang -Wthread-safety, tools/lint/lock_order_lint.py) cannot fully
+ * see across translation units:
+ *
+ *   1. ordering - every rank currently held by this thread must be
+ *      strictly lower than the rank being acquired, and
+ *   2. single-hold - at most one lock of rank Node and one of rank
+ *      StashShard may be held at a time (the evictPath contract:
+ *      one node hold per level, one shard hold per candidate).
+ *
+ * Compiled in only when PRORAM_LOCK_ORDER_CHECKS is defined (Debug
+ * and sanitizer builds; see CMakeLists.txt). In Release every hook is
+ * an empty inline function and the tracker state does not exist, so
+ * the checker is zero-cost where it is not wanted.
+ */
+
+#ifndef PRORAM_UTIL_LOCK_ORDER_HH
+#define PRORAM_UTIL_LOCK_ORDER_HH
+
+#include <cstdint>
+
+#ifdef PRORAM_LOCK_ORDER_CHECKS
+#include "util/logging.hh"
+#endif
+
+namespace proram::lock_order
+{
+
+/**
+ * Position in the lock partial order; lower ranks are acquired first.
+ * kUnranked opts a mutex out of checking (single-purpose locks with
+ * no documented position, e.g. test-local mutexes).
+ */
+enum class Rank : std::uint8_t
+{
+    Meta = 0,       ///< OramController::metaLock_ (outermost).
+    Node = 1,       ///< SubtreeCache per-node/striped mutexes.
+    StashShard = 2, ///< Stash shard mutexes.
+    Leaf = 3,       ///< Innermost: rngMutex_, scheduleMutex_,
+                    ///< statsLock_, arena latches, sequencer/pool.
+    kUnranked = 255
+};
+
+inline constexpr std::uint8_t kRankCount = 4;
+
+#ifdef PRORAM_LOCK_ORDER_CHECKS
+
+namespace detail
+{
+/** Per-thread count of held locks at each rank. */
+inline thread_local std::uint32_t held[kRankCount] = {};
+} // namespace detail
+
+/** Assert @p r may be acquired given this thread's held set, then
+ *  record the hold. */
+inline void
+onAcquire(Rank r)
+{
+    if (r == Rank::kUnranked)
+        return;
+    const auto rank = static_cast<std::uint8_t>(r);
+    for (std::uint8_t h = rank + 1; h < kRankCount; ++h) {
+        panic_if(detail::held[h] != 0,
+                 "lock-order violation: acquiring rank ",
+                 static_cast<unsigned>(rank), " while holding rank ",
+                 static_cast<unsigned>(h),
+                 " (hierarchy: meta(0) < node(1) < shard(2) < "
+                 "leaf(3))");
+    }
+    // Same-rank stacking: banned for meta (one mutex: self-deadlock),
+    // node and shard (the one-hold-per-level evictPath contract).
+    // Leaf-rank locks may stack - e.g. ring's eviction scheduler holds
+    // scheduleMutex_ while randomLeaf() takes rngMutex_; leaves never
+    // acquire upward so no cycle is possible.
+    if (r != Rank::Leaf) {
+        panic_if(detail::held[rank] != 0,
+                 "lock-order violation: two rank-",
+                 static_cast<unsigned>(rank),
+                 " locks held at once (one-hold rule)");
+    }
+    ++detail::held[rank];
+}
+
+/** Record release of a rank-@p r hold. */
+inline void
+onRelease(Rank r)
+{
+    if (r == Rank::kUnranked)
+        return;
+    const auto rank = static_cast<std::uint8_t>(r);
+    panic_if(detail::held[rank] == 0,
+             "lock-order underflow: releasing rank ",
+             static_cast<unsigned>(rank), " not held by this thread");
+    --detail::held[rank];
+}
+
+/** Locks of rank @p r currently held by this thread (tests). */
+inline std::uint32_t
+heldCount(Rank r)
+{
+    return r == Rank::kUnranked
+               ? 0
+               : detail::held[static_cast<std::uint8_t>(r)];
+}
+
+#else // !PRORAM_LOCK_ORDER_CHECKS
+
+inline void onAcquire(Rank) {}
+inline void onRelease(Rank) {}
+inline std::uint32_t heldCount(Rank) { return 0; }
+
+#endif // PRORAM_LOCK_ORDER_CHECKS
+
+/**
+ * RAII rank registration for lock sites that bypass util::Mutex -
+ * condition-variable waits that need the native std::mutex handle
+ * (Stash::awaitResident, RequestSequencer::waitFor, ThreadPool).
+ * The cv wait releases/reacquires the mutex invisibly, but within
+ * this thread the rank is logically held across the wait, which is
+ * exactly what the ordering check wants.
+ */
+class ScopedRank
+{
+  public:
+    explicit ScopedRank(Rank r) : rank_(r) { onAcquire(rank_); }
+    ~ScopedRank() { onRelease(rank_); }
+    ScopedRank(const ScopedRank &) = delete;
+    ScopedRank &operator=(const ScopedRank &) = delete;
+
+  private:
+    Rank rank_;
+};
+
+} // namespace proram::lock_order
+
+#endif // PRORAM_UTIL_LOCK_ORDER_HH

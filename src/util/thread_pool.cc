@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const ScopedLock lock(mutex_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -29,19 +29,23 @@ void
 ThreadPool::enqueue(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const ScopedLock lock(mutex_);
         queue_.push_back(std::move(job));
     }
     cv_.notify_one();
 }
 
+// Thread-safety escape: the condition-variable wait needs the native
+// std::mutex handle and releases/reacquires it invisibly. The rank
+// tracker still sees the hold via ScopedRank.
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop() PRORAM_NO_THREAD_SAFETY_ANALYSIS
 {
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            const lock_order::ScopedRank rank(lock_order::Rank::Leaf);
+            std::unique_lock<std::mutex> lock(mutex_.native());
             cv_.wait(lock,
                      [this] { return stopping_ || !queue_.empty(); });
             if (queue_.empty())

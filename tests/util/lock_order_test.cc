@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Runtime lock-order checker (util/lock_order.hh) and the annotated
+ * mutex wrapper (util/mutex.hh). The checker's assertions exist only
+ * when PRORAM_LOCK_ORDER_CHECKS is defined (Debug builds; the CI
+ * nightly Debug job runs this suite with it on), so the violation
+ * tests are compiled conditionally and the Release build instead
+ * pins the zero-cost contract: every hook is a no-op.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/lock_order.hh"
+#include "util/logging.hh"
+#include "util/mutex.hh"
+
+namespace proram
+{
+namespace
+{
+
+using lock_order::Rank;
+
+TEST(ScopedLockTest, LocksAndReleases)
+{
+    util::Mutex m;
+    {
+        const util::ScopedLock lk(m);
+        EXPECT_TRUE(lk.owns());
+        EXPECT_FALSE(m.try_lock());
+    }
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+}
+
+TEST(ScopedLockTest, EmptyHoldOwnsNothing)
+{
+    const util::ScopedLock lk;
+    EXPECT_FALSE(lk.owns());
+}
+
+TEST(ScopedLockTest, EarlyUnlockIsIdempotent)
+{
+    util::Mutex m;
+    util::ScopedLock lk(m);
+    lk.unlock();
+    EXPECT_FALSE(lk.owns());
+    lk.unlock(); // no-op on an empty hold
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+}
+
+TEST(ScopedLockTest, MoveTransfersOwnership)
+{
+    util::Mutex m;
+    util::ScopedLock a(m);
+    util::ScopedLock b(std::move(a));
+    EXPECT_FALSE(a.owns());
+    EXPECT_TRUE(b.owns());
+    util::ScopedLock c;
+    c = std::move(b);
+    EXPECT_TRUE(c.owns());
+    c.unlock();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+}
+
+TEST(ScopedLockTest, ContentionCounterBumpsOnlyWhenBlocked)
+{
+    util::Mutex m;
+    std::atomic<std::uint64_t> contended{0};
+    {
+        const util::ScopedLock lk(m, contended);
+    }
+    EXPECT_EQ(contended.load(), 0u); // uncontended try_lock path
+
+    m.lock();
+    std::thread t([&] {
+        const util::ScopedLock lk(m, contended);
+    });
+    // The worker's try_lock fails while we hold m, bumping the
+    // counter before it parks in the blocking lock().
+    while (contended.load(std::memory_order_relaxed) == 0)
+        std::this_thread::yield();
+    m.unlock();
+    t.join();
+    EXPECT_EQ(contended.load(), 1u);
+}
+
+#ifdef PRORAM_LOCK_ORDER_CHECKS
+
+TEST(LockOrderTest, DescendingHierarchyIsAccepted)
+{
+    util::Mutex meta(Rank::Meta);
+    util::Mutex node(Rank::Node);
+    util::Mutex shard(Rank::StashShard);
+    util::Mutex leaf(Rank::Leaf);
+    const util::ScopedLock a(meta);
+    const util::ScopedLock b(node);
+    const util::ScopedLock c(shard);
+    const util::ScopedLock d(leaf);
+    EXPECT_EQ(lock_order::heldCount(Rank::Meta), 1u);
+    EXPECT_EQ(lock_order::heldCount(Rank::Node), 1u);
+    EXPECT_EQ(lock_order::heldCount(Rank::StashShard), 1u);
+    EXPECT_EQ(lock_order::heldCount(Rank::Leaf), 1u);
+}
+
+TEST(LockOrderTest, OutOfOrderAcquisitionPanics)
+{
+    util::Mutex node(Rank::Node);
+    util::Mutex meta(Rank::Meta);
+    const util::ScopedLock guard(node);
+    EXPECT_THROW(meta.lock(), SimPanic);
+    // The std::mutex itself locked before the rank check threw; the
+    // test must not leak the hold into later tests.
+    meta.native().unlock();
+}
+
+TEST(LockOrderTest, LeafNeverAcquiresUpward)
+{
+    util::Mutex leaf(Rank::Leaf);
+    util::Mutex shard(Rank::StashShard);
+    const util::ScopedLock g(leaf);
+    EXPECT_THROW(shard.lock(), SimPanic);
+    shard.native().unlock();
+}
+
+TEST(LockOrderTest, OneHoldRuleForNodeAndShard)
+{
+    util::Mutex a(Rank::Node);
+    util::Mutex b(Rank::Node);
+    const util::ScopedLock g(a);
+    EXPECT_THROW(b.lock(), SimPanic);
+    b.native().unlock();
+}
+
+TEST(LockOrderTest, LeafRankMayStack)
+{
+    // The blessed stack: ring's eviction scheduler holds
+    // scheduleMutex_ while randomLeaf() takes rngMutex_.
+    util::Mutex schedule(Rank::Leaf);
+    util::Mutex rng(Rank::Leaf);
+    const util::ScopedLock g(schedule);
+    const util::ScopedLock r(rng);
+    EXPECT_EQ(lock_order::heldCount(Rank::Leaf), 2u);
+}
+
+TEST(LockOrderTest, TryLockIsRankCheckedOnSuccess)
+{
+    util::Mutex shard(Rank::StashShard);
+    util::Mutex node(Rank::Node);
+    const util::ScopedLock g(shard);
+    EXPECT_THROW(node.try_lock(), SimPanic);
+    node.native().unlock();
+}
+
+TEST(LockOrderTest, UnrankedMutexIsExempt)
+{
+    util::Mutex leaf(Rank::Leaf);
+    util::Mutex plain; // kUnranked: single-purpose, opted out
+    const util::ScopedLock g(leaf);
+    const util::ScopedLock p(plain);
+    EXPECT_EQ(lock_order::heldCount(Rank::kUnranked), 0u);
+}
+
+TEST(LockOrderTest, ReleaseUnderflowPanics)
+{
+    EXPECT_THROW(lock_order::onRelease(Rank::Node), SimPanic);
+}
+
+TEST(LockOrderTest, ScopedRankRegistersAndReleases)
+{
+    // The cv-wait shape: awaitResident / waitFor register the rank
+    // around a native-handle unique_lock.
+    {
+        const lock_order::ScopedRank rank(Rank::StashShard);
+        EXPECT_EQ(lock_order::heldCount(Rank::StashShard), 1u);
+        util::Mutex meta(Rank::Meta);
+        EXPECT_THROW(meta.lock(), SimPanic);
+        meta.native().unlock();
+    }
+    EXPECT_EQ(lock_order::heldCount(Rank::StashShard), 0u);
+}
+
+TEST(LockOrderTest, TrackerIsPerThread)
+{
+    util::Mutex node(Rank::Node);
+    const util::ScopedLock g(node);
+    // Another thread's held-set is empty: it may take the meta lock
+    // while this thread sits inside a node hold.
+    std::thread t([] {
+        util::Mutex meta(Rank::Meta);
+        const util::ScopedLock m(meta);
+        EXPECT_EQ(lock_order::heldCount(Rank::Node), 0u);
+    });
+    t.join();
+}
+
+#else // !PRORAM_LOCK_ORDER_CHECKS
+
+TEST(LockOrderTest, ReleaseModeHooksAreNoOps)
+{
+    // Zero-cost contract: without the define the hooks exist but do
+    // nothing - no tracker state, no panics, heldCount always 0.
+    lock_order::onAcquire(Rank::Meta);
+    lock_order::onAcquire(Rank::Meta); // would panic when checking
+    lock_order::onRelease(Rank::Node); // would underflow-panic
+    EXPECT_EQ(lock_order::heldCount(Rank::Meta), 0u);
+
+    util::Mutex node(Rank::Node);
+    util::Mutex meta(Rank::Meta);
+    const util::ScopedLock g(node);
+    const util::ScopedLock m(meta); // inversion passes unchecked
+    EXPECT_EQ(lock_order::heldCount(Rank::Node), 0u);
+}
+
+#endif // PRORAM_LOCK_ORDER_CHECKS
+
+} // namespace
+} // namespace proram

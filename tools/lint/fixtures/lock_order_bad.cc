@@ -1,0 +1,92 @@
+// Fixture: every lock_order_lint.py rule must fire at least once.
+// Each intended violation line is marked with its number so the
+// selftest can assert exact locations. Not compiled; lexed only.
+
+#include "core/oram_controller.hh"
+
+namespace proram
+{
+
+// lock-order: node lock taken, then the meta lock -- backwards
+// through the hierarchy (meta < node). Line 16 must flag.
+void
+Controller::badNodeThenMeta(TreeIdx node)
+{
+    const util::ScopedLock guard = cache_->lockNodeFast(node);
+    const util::ScopedLock meta(metaLock_); // line 16: lock-order
+    touch(node);
+}
+
+// lock-order: a stash-shard hold wrapping a node acquisition. The
+// eviction engine must always lock the node first. Line 26 flags.
+void
+Controller::badShardThenNode(std::uint32_t s, TreeIdx node)
+{
+    const util::ScopedLock sl = stash_.lockShardFast(s);
+    const util::ScopedLock guard = cache_->lockNode(node); // line 26
+    moveBlock(s, node);
+}
+
+// lock-order: leaf-rank locks are innermost; acquiring a shard lock
+// under the RNG mutex inverts the order. Line 36 flags.
+void
+Controller::badLeafThenShard(std::uint32_t s)
+{
+    const util::ScopedLock g(rngMutex_);
+    const util::ScopedLock sl = stash_.lockShard(s); // line 36
+    reseed(s);
+}
+
+// multi-node-hold: two node locks held at once (the deadlock shape:
+// a concurrent evictor walking the other direction holds them in the
+// opposite order). Line 47 flags.
+void
+Controller::badTwoNodes(TreeIdx parent, TreeIdx child)
+{
+    const util::ScopedLock a = cache_->lockNodeFast(parent);
+    const util::ScopedLock b = cache_->lockNodeFast(child); // line 47
+    merge(parent, child);
+}
+
+// multi-node-hold: two stash-shard holds overlap; absorb loops must
+// release shard s before locking shard s+1. Line 57 flags.
+void
+Controller::badTwoShards(std::uint32_t a, std::uint32_t b)
+{
+    const util::ScopedLock la = stash_.lockShardFast(a);
+    const util::ScopedLock lb = stash_.lockShardFast(b); // line 57
+    swapShards(a, b);
+}
+
+// secret-lock: a shard lock inside a sentinel branch. The dummy-slot
+// comparison is allowlisted for control flow, but taking a lock
+// there keys contention to secret slot occupancy. Line 68 flags.
+PRORAM_OBLIVIOUS void
+Controller::badSecretLock(BlockId id)
+{
+    if (id != kInvalidBlock) {
+        const util::ScopedLock sl = stash_.lockShard(shardOf(id));
+        absorb(id);
+    }
+}
+
+// secret-lock, ternary form: acquisition chosen by a secret-typed
+// condition. Line 78 flags.
+PRORAM_OBLIVIOUS void
+Controller::badSecretTernaryLock(BlockId id)
+{
+    const auto sl = id != kInvalidBlock ? maybeLock(0) : noLock();
+    absorb(id);
+}
+
+// Legacy guard types are recognized too: a std::lock_guard over the
+// meta lock under a node hold is the same inversion. Line 88 flags.
+void
+Controller::badLegacyGuard(TreeIdx node)
+{
+    const util::ScopedLock guard = cache_->lockNodeFast(node);
+    const std::lock_guard<std::mutex> meta(metaLock_); // line 88
+    touch(node);
+}
+
+} // namespace proram

@@ -1,0 +1,118 @@
+// Fixture: legitimate locking shapes from the real tree; the
+// lock-order lint must report zero diagnostics here (and exactly one
+// suppression). Not compiled; lexed only.
+
+#include "core/oram_controller.hh"
+
+namespace proram
+{
+
+// The blessed eviction shape (PathOram::evictPath): meta released
+// before the walk, then one node hold per level with one nested
+// shard hold per candidate -- strictly descending ranks, each hold
+// closed before its sibling opens.
+void
+Controller::goodEvictShape(Leaf leaf)
+{
+    {
+        const util::ScopedLock meta(metaLock_);
+        snapshotMeta();
+    }
+    for (int level = depth(); level >= 0; --level) {
+        const TreeIdx node = nodeOnPath(leaf, level);
+        const util::ScopedLock guard = cache_->lockNodeFast(node);
+        for (std::uint32_t s = 0; s < shardCount(); ++s) {
+            const util::ScopedLock sl = stash_.lockShardFast(s);
+            placeCandidates(node, s);
+        }
+    }
+}
+
+// Sequential same-rank holds are fine: each loop iteration's node
+// lock closes before the next opens.
+void
+Controller::goodSequentialNodes(Leaf leaf)
+{
+    for (int level = depth(); level >= 0; --level) {
+        const util::ScopedLock guard =
+            cache_->lockNode(nodeOnPath(leaf, level));
+        touch(level);
+    }
+}
+
+// Early unlock ends the hold: the second shard lock does not overlap
+// the first.
+void
+Controller::goodEarlyUnlock(std::uint32_t a, std::uint32_t b)
+{
+    util::ScopedLock la = stash_.lockShardFast(a);
+    drain(a);
+    la.unlock();
+    const util::ScopedLock lb = stash_.lockShardFast(b);
+    drain(b);
+}
+
+// Leaf-rank locks may stack: the ring eviction scheduler holds
+// scheduleMutex_ while randomLeaf() takes rngMutex_ (leaves never
+// acquire upward, so no cycle is possible).
+Leaf
+Controller::goodLeafStack()
+{
+    const util::ScopedLock g(scheduleMutex_);
+    const util::ScopedLock r(rngMutex_);
+    return drawLeaf();
+}
+
+// Lock factories: `return <acquire>` hands the capability to the
+// caller; the factory body itself holds nothing.
+util::ScopedLock
+Controller::lockShard(std::uint32_t s) const
+{
+    return util::ScopedLock(shards_[s].mtx);
+}
+
+// Dual-mode conditional acquisition (Stash::maybeLock callers): the
+// guard ranks as a shard hold, correctly nested under the node lock.
+void
+Controller::goodConditional(TreeIdx node, std::uint32_t s)
+{
+    const util::ScopedLock guard = cache_->lockNodeFast(node);
+    const util::ScopedLock lk =
+        locking_ ? stash_.lockShardFast(s) : util::ScopedLock();
+    absorbShard(node, s);
+}
+
+// PRORAM_OBLIVIOUS with the allowlisted sentinel comparison: control
+// flow on the dummy-slot check is fine as long as no lock is taken
+// inside the branch (arithmetic only).
+PRORAM_OBLIVIOUS void
+Controller::goodSentinelBranch(BlockId id)
+{
+    if (id != kInvalidBlock) {
+        count(id);
+    }
+}
+
+// PRORAM_OBLIVIOUS with a lock under *public* control flow: the
+// branch condition never mentions a secret-typed value.
+PRORAM_OBLIVIOUS void
+Controller::goodPublicLock(BlockId id, bool concurrent)
+{
+    if (concurrent) {
+        const util::ScopedLock sl = stash_.lockShard(0);
+        absorb(id);
+    }
+}
+
+// Reviewed escape: a deliberate inversion carries an allow with a
+// reason, exactly like the obliviousness lint's contract.
+void
+Controller::goodSuppressed(TreeIdx node)
+{
+    const util::ScopedLock guard = cache_->lockNodeFast(node);
+    // PRORAM_LINT_ALLOW(lock-order): startup-only path, single thread
+    const util::ScopedLock meta(metaLock_);
+    touch(node);
+}
+
+} // namespace proram

@@ -16,22 +16,23 @@ import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import lock_order_lint  # noqa: E402
 import oblivious_lint  # noqa: E402
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 FIXTURES = os.path.join(HERE, "fixtures")
 
 
-def lint_fixture(name, subdir="src/oram"):
-    """Copy fixture @p name into <tmp>/<subdir>/ and lint it there.
-    Returns the list of diagnostics."""
+def lint_fixture(name, subdir="src/oram", module=oblivious_lint):
+    """Copy fixture @p name into <tmp>/<subdir>/ and lint it there
+    with @p module's text engine. Returns the list of diagnostics."""
     with tempfile.TemporaryDirectory() as tmp:
         dest_dir = os.path.join(tmp, subdir)
         os.makedirs(dest_dir)
         dest = os.path.join(dest_dir, name)
         shutil.copy(os.path.join(FIXTURES, name), dest)
         rel = os.path.relpath(dest, tmp)
-        report = oblivious_lint.lint_file_text(dest, rel)
+        report = module.lint_file_text(dest, rel)
         return report.diagnostics, report.suppressed
 
 
@@ -270,6 +271,92 @@ class SchemeIncludeBan(unittest.TestCase):
         self.assertEqual([], [str(d) for d in diags])
 
 
+class LockOrderBadFixture(unittest.TestCase):
+    """True-positive direction for lock_order_lint.py: every rule
+    catches its staged violation at the marked line."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.diags, cls.suppressed = lint_fixture(
+            "lock_order_bad.cc", subdir="src/core",
+            module=lock_order_lint)
+        cls.by_rule = {}
+        for d in cls.diags:
+            cls.by_rule.setdefault(d.rule, []).append(d)
+
+    def test_lock_order_caught(self):
+        hits = self.by_rule.get("lock-order", [])
+        # node->meta, shard->node, leaf->shard, legacy-guard inversion.
+        self.assertEqual(len(hits), 4)
+        messages = " ".join(d.message for d in hits)
+        self.assertIn("metaLock_", messages)
+        self.assertIn("lockNode()", messages)
+        self.assertIn("rngMutex_", messages)
+        self.assertIn("hierarchy is meta < node < stash-shard < leaf",
+                      hits[0].message)
+
+    def test_multi_hold_caught(self):
+        hits = self.by_rule.get("multi-node-hold", [])
+        self.assertEqual(len(hits), 2)  # two-nodes + two-shards
+        messages = " ".join(d.message for d in hits)
+        self.assertIn("node", messages)
+        self.assertIn("stash-shard", messages)
+
+    def test_secret_lock_caught(self):
+        hits = self.by_rule.get("secret-lock", [])
+        self.assertEqual(len(hits), 2)  # sentinel branch + ternary
+        messages = " ".join(d.message for d in hits)
+        self.assertIn("'id'", messages)
+        self.assertIn("ternary", messages)
+
+    def test_diagnostics_carry_location(self):
+        for d in self.diags:
+            self.assertTrue(d.path.endswith("lock_order_bad.cc"))
+            # Every intended violation line is marked in the fixture.
+            self.assertGreater(d.line, 0)
+        marked = {16, 26, 36, 47, 57, 68, 78, 88}
+        self.assertEqual({d.line for d in self.diags}, marked)
+
+    def test_nothing_suppressed_in_bad(self):
+        self.assertEqual(self.suppressed, 0)
+
+
+class LockOrderGoodFixture(unittest.TestCase):
+    """False-positive direction: the blessed evictPath shape,
+    sequential same-rank holds, early unlock, leaf stacking, factory
+    declarations/returns and public-condition locks are all clean."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.diags, cls.suppressed = lint_fixture(
+            "lock_order_good.cc", subdir="src/core",
+            module=lock_order_lint)
+
+    def test_clean(self):
+        self.assertEqual(
+            [], [str(d) for d in self.diags],
+            "lock_order_good.cc must lint clean")
+
+    def test_suppression_counted(self):
+        # goodSuppressed's reviewed inversion.
+        self.assertEqual(self.suppressed, 1)
+
+
+class LockOrderFactoryDeclarations(unittest.TestCase):
+    """The stash/cache headers declare ScopedLock-returning factories
+    (`util::ScopedLock lockShard(...) const ...;`); a declaration
+    acquires nothing and must not register as a hold."""
+
+    def test_header_declarations_clean(self):
+        root = os.path.dirname(os.path.dirname(HERE))
+        for header in ("src/oram/stash.hh", "src/oram/subtree_cache.hh"):
+            path = os.path.join(root, header)
+            report = lock_order_lint.lint_file_text(path, header)
+            self.assertEqual(
+                [], [str(d) for d in report.diagnostics],
+                f"{header} must lint clean")
+
+
 class ShippedTree(unittest.TestCase):
     """The shipped src/ tree lints clean (the CI hard gate)."""
 
@@ -277,6 +364,12 @@ class ShippedTree(unittest.TestCase):
         root = os.path.dirname(os.path.dirname(HERE))
         rc = oblivious_lint.main(["--root", root, "--engine", "text",
                                   "--quiet", "src"])
+        self.assertEqual(rc, 0)
+
+    def test_src_lock_order_clean(self):
+        root = os.path.dirname(os.path.dirname(HERE))
+        rc = lock_order_lint.main(["--root", root, "--engine", "text",
+                                   "--quiet", "src"])
         self.assertEqual(rc, 0)
 
 

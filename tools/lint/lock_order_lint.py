@@ -1,0 +1,465 @@
+#!/usr/bin/env python3
+"""Lock-order lint for the PrORAM concurrent core.
+
+Statically enforces the lock hierarchy documented in DESIGN.md
+Sec. 15 (and asserted at runtime by util/lock_order.hh):
+
+    meta (OramController::metaLock_)
+  < node (SubtreeCache per-node / striped mutexes)
+  < stash-shard (Stash shard mutexes)
+  < leaf (rngMutex_, scheduleMutex_, statsLock_, arena latches,
+          sequencer / thread-pool mutexes)
+
+Three rules, each scoped to what a lexical checker can see inside one
+function body (the Debug runtime checker covers the cross-function
+compositions this lint cannot):
+
+  lock-order      A lock acquisition while a *higher*-ranked lock is
+                  lexically held in the same function: taking the meta
+                  lock under a node hold, a node lock under a shard
+                  hold, or any ranked lock under a leaf hold. This is
+                  the static face of the runtime ordering assert.
+
+  multi-node-hold Two overlapping holds of the same rank for the
+                  one-hold ranks (meta, node, stash-shard). The
+                  blessed eviction shape holds exactly one node lock
+                  per level and one shard lock per candidate,
+                  releasing each before the next (PathOram::evictPath);
+                  overlapping same-rank holds deadlock against a
+                  concurrent evictor walking the other direction.
+                  Leaf-rank locks may stack (ring's eviction scheduler
+                  holds scheduleMutex_ across a randomLeaf() that takes
+                  rngMutex_); leaves never acquire upward.
+
+  secret-lock     In PRORAM_OBLIVIOUS functions: no lock acquisition
+                  inside a branch whose condition mentions a
+                  secret-typed value (Leaf, BlockId) -- *including*
+                  the sentinel comparisons (== / != kInvalidBlock /
+                  kInvalidLeaf) that the obliviousness lint allowlists
+                  for control flow. A dummy-slot check may skip
+                  arithmetic, but a lock acquisition inside it turns
+                  slot occupancy into a contention/timing signal
+                  another thread can observe, which the allowlist
+                  argument does not cover.
+
+Suppression: `// PRORAM_LINT_ALLOW(<rule>): reason` on the diagnostic
+line or up to two lines above (same contract as oblivious_lint.py).
+
+Engines
+-------
+As with oblivious_lint.py there are two engines sharing one rule
+core. The text engine lexes the cleaned source directly; the libclang
+engine (used automatically when `clang.cindex` imports) walks function
+definitions and PRORAM_OBLIVIOUS annotations out of the AST and then
+runs the same scope scanner over each definition's extent, so
+macro-heavy or multi-line signatures cannot confuse the function
+discovery. The default simulation container carries only gcc, so the
+text engine is the one CI exercises; both agree on the shipped tree
+and on the fixture suite (lint_selftest.py).
+
+Acquisition sites the scanner recognizes (the only ways the codebase
+takes ranked locks):
+
+  - util::ScopedLock holds constructed from a named mutex
+    (metaLock_, rngMutex_, scheduleMutex_, statsLock_, mutex_,
+    latches_[...]) or from a lock factory (lockNode / lockNodeFast,
+    lockShard / lockShardFast / maybeLock);
+  - std::lock_guard / std::unique_lock over the same named mutexes
+    (legacy shape; the real tree has none left);
+  - bare .lock() calls on the named mutexes.
+
+A ScopedLock bound to a local variable holds until its enclosing
+brace block closes or `<var>.unlock()` is reached; a temporary
+releases at the end of the full expression. `return <factory>(...)`
+inside the lock factories themselves hands the capability to the
+caller and is not a hold here.
+
+Exit status: 0 when no unsuppressed diagnostics, 1 otherwise, 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Shared plumbing (Diagnostic, FileReport, comment stripping,
+# suppression contract) comes from the obliviousness lint so the two
+# checkers emit identical diagnostics and honor the same allow syntax.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from oblivious_lint import (  # noqa: E402
+    CONDITION_RES,
+    Diagnostic,
+    FileReport,
+    extract_parenthesized,
+    find_annotated_bodies,
+    gather_sources,
+    is_suppressed,
+    line_of,
+    secret_identifiers,
+    strip_comments_and_strings,
+)
+
+# Rank lattice; lower acquires first. Mirrors lock_order::Rank.
+META, NODE, SHARD, LEAF = 0, 1, 2, 3
+RANK_NAMES = {META: "meta", NODE: "node", SHARD: "stash-shard",
+              LEAF: "leaf"}
+# Ranks with the one-hold rule (multi-node-hold); leaf may stack.
+ONE_HOLD_RANKS = (META, NODE, SHARD)
+
+# Lock factories returning a ScopedLock, by method name.
+FACTORY_RANKS = {
+    "lockNode": NODE,
+    "lockNodeFast": NODE,
+    "lockShard": SHARD,
+    "lockShardFast": SHARD,
+    "maybeLock": SHARD,
+}
+# Ranked mutex members, by the names the codebase uses.
+MUTEX_RANKS = {
+    "metaLock_": META,
+    "rngMutex_": LEAF,
+    "scheduleMutex_": LEAF,
+    "statsLock_": LEAF,
+    "mutex_": LEAF,    # RequestSequencer / ThreadPool
+    "latches_": LEAF,  # ArenaBackend first-touch stripes
+}
+
+FACTORY_RE = re.compile(
+    r"\b(?P<name>%s)\s*\(" % "|".join(FACTORY_RANKS))
+# The \b sits inside each alternative: after `lock_guard<...>` the
+# next char is whitespace, and \b cannot match between two non-word
+# characters.
+GUARD_TYPES_RE = (r"(?:ScopedLock\b|lock_guard\s*<[^>]*>"
+                  r"|unique_lock\s*<[^>]*>)")
+MUTEX_NAMES_RE = "|".join(MUTEX_RANKS)
+# A guard object constructed over a named mutex, anywhere in one
+# statement: `ScopedLock meta(metaLock_)`, `ScopedLock g(sh.mtx)` is
+# NOT matched (unnamed mutexes are out of scope for the text engine),
+# `lock_guard<std::mutex> latch(latches_[i])`.
+GUARD_OVER_MUTEX_RE = re.compile(
+    r"\b%s[^;]*?\(\s*(?:[A-Za-z_]\w*(?:\.|->))*(?P<name>%s)\b"
+    % (GUARD_TYPES_RE, MUTEX_NAMES_RE))
+BARE_LOCK_RE = re.compile(
+    r"\b(?P<name>%s)\s*(?:\[[^\]]*\]\s*)?\.\s*lock\s*\(" % MUTEX_NAMES_RE)
+# `ScopedLock <var> = ...` / `ScopedLock <var>(...)`: the hold is
+# named and survives to the end of the enclosing block.
+GUARD_DECL_RE = re.compile(
+    r"\b%s\s+(?P<var>[A-Za-z_]\w*)\s*[=(]" % GUARD_TYPES_RE)
+UNLOCK_RE = re.compile(r"\b(?P<var>[A-Za-z_]\w*)\s*\.\s*unlock\s*\(")
+RETURN_RE = re.compile(r"^\s*return\b")
+
+
+def statement_ranks(stmt: str) -> list[tuple[int, str, int]]:
+    """Every ranked acquisition in one piece of source, as
+    (rank, what, offset-within-stmt)."""
+    out = []
+    for m in FACTORY_RE.finditer(stmt):
+        out.append((FACTORY_RANKS[m.group("name")],
+                    m.group("name") + "()", m.start()))
+    for m in GUARD_OVER_MUTEX_RE.finditer(stmt):
+        out.append((MUTEX_RANKS[m.group("name")], m.group("name"),
+                    m.start("name")))
+    for m in BARE_LOCK_RE.finditer(stmt):
+        out.append((MUTEX_RANKS[m.group("name")],
+                    m.group("name") + ".lock()", m.start()))
+    return out
+
+
+def emit(report: FileReport, raw_lines: list[str], line: int, rule: str,
+         message: str):
+    if is_suppressed(raw_lines, line, rule):
+        report.suppressed += 1
+        return
+    report.diagnostics.append(
+        Diagnostic(report.path, line, rule, message))
+
+
+def scan_scopes(report: FileReport, clean: str, raw_lines: list[str],
+                start: int = 0, end: int | None = None):
+    """Walk `clean[start:end]` statement by statement, tracking named
+    ScopedLock holds per brace depth and flagging rank violations."""
+    end = len(clean) if end is None else end
+    held: list[dict] = []  # {rank, var, depth, line, what}
+    depth = 0
+    paren = 0
+    stmt_begin = start
+    i = start
+    while i < end:
+        c = clean[i]
+        if c == "(":
+            paren += 1
+        elif c == ")":
+            paren = max(0, paren - 1)
+        elif c == "{" and paren == 0:
+            check_statement(report, clean, raw_lines, held,
+                            clean[stmt_begin:i], stmt_begin, depth)
+            depth += 1
+            stmt_begin = i + 1
+        elif c == "}" and paren == 0:
+            check_statement(report, clean, raw_lines, held,
+                            clean[stmt_begin:i], stmt_begin, depth)
+            depth -= 1
+            held[:] = [h for h in held if h["depth"] <= depth]
+            stmt_begin = i + 1
+        elif c == ";" and paren == 0:
+            check_statement(report, clean, raw_lines, held,
+                            clean[stmt_begin:i + 1], stmt_begin, depth)
+            stmt_begin = i + 1
+        i += 1
+
+
+def check_statement(report: FileReport, clean: str,
+                    raw_lines: list[str], held: list[dict], stmt: str,
+                    offset: int, depth: int):
+    if not stmt.strip():
+        return
+    # Early release by name ends the hold before the block does.
+    for m in UNLOCK_RE.finditer(stmt):
+        var = m.group("var")
+        held[:] = [h for h in held if h["var"] != var]
+
+    acquisitions = statement_ranks(stmt)
+    if not acquisitions:
+        return
+    line = line_of(clean, offset + (len(stmt) - len(stmt.lstrip())))
+    # The lock factories hand the capability straight to their caller:
+    # `return lockShardFast(...)` acquires on the caller's behalf, in
+    # the caller's scope, so it is not a hold (or a violation) here.
+    if RETURN_RE.match(stmt):
+        return
+
+    decl = GUARD_DECL_RE.search(stmt)
+    # `util::ScopedLock lockShard(std::uint32_t s) ...` is the factory
+    # being *declared*, not called: the "guard variable" is the
+    # factory name itself. Nothing is acquired in a declaration.
+    if decl is not None and decl.group("var") in FACTORY_RANKS:
+        return
+    for rank, what, acq_off in acquisitions:
+        acq_line = line_of(clean, offset + acq_off)
+        for h in held:
+            if h["rank"] > rank:
+                emit(report, raw_lines, acq_line, "lock-order",
+                     f"acquiring {RANK_NAMES[rank]}-rank lock "
+                     f"({what}) while holding {RANK_NAMES[h['rank']]}"
+                     f"-rank lock ({h['what']}, line {h['line']}); "
+                     f"hierarchy is meta < node < stash-shard < leaf")
+            elif h["rank"] == rank and rank in ONE_HOLD_RANKS:
+                emit(report, raw_lines, acq_line, "multi-node-hold",
+                     f"second {RANK_NAMES[rank]}-rank hold ({what}) "
+                     f"while {h['what']} (line {h['line']}) is still "
+                     f"held; the eviction contract is one "
+                     f"{RANK_NAMES[rank]} hold at a time")
+    if decl is not None:
+        # One named guard per statement is the codebase shape; the
+        # guard's rank is the statement's strongest acquisition so a
+        # conditional `locking ? lockShard(s) : ScopedLock()` holds
+        # as a shard lock.
+        rank = min(r for r, _, _ in acquisitions)
+        held.append({"rank": rank, "var": decl.group("var"),
+                     "depth": depth, "line": line,
+                     "what": acquisitions[0][1]})
+
+
+# --------------------------------------------------------------------
+# secret-lock: no acquisition under secret-dependent control flow
+# --------------------------------------------------------------------
+
+def branch_extent(body: str, close_paren: int) -> tuple[int, int]:
+    """Extent of the statement controlled by a condition ending at
+    @p close_paren: a balanced brace block, or a single statement up
+    to ';'."""
+    i = close_paren + 1
+    while i < len(body) and body[i] in " \t\n":
+        i += 1
+    if i < len(body) and body[i] == "{":
+        depth = 0
+        for j in range(i, len(body)):
+            if body[j] == "{":
+                depth += 1
+            elif body[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    return i, j + 1
+        return i, len(body)
+    j = body.find(";", i)
+    return i, (len(body) if j < 0 else j + 1)
+
+
+def condition_mentions_secret(cond: str, secrets: set[str]) -> str | None:
+    """Unlike oblivious_lint.condition_taints this does NOT scrub the
+    sentinel comparisons: a lock under `id != kInvalidBlock` is still
+    a contention signal keyed to secret slot occupancy."""
+    for ident in re.finditer(r"[A-Za-z_]\w*", cond):
+        if ident.group(0) in secrets:
+            return ident.group(0)
+    return None
+
+
+def check_secret_locks(report: FileReport, clean: str,
+                       raw_lines: list[str], sig_window: int = 400):
+    for annos, body_start, body_end in find_annotated_bodies(clean):
+        if "PRORAM_OBLIVIOUS" not in annos:
+            continue
+        body = clean[body_start:body_end]
+        sig = clean[max(0, body_start - sig_window):body_start]
+        secrets = secret_identifiers(body) | secret_identifiers(sig)
+        if not secrets:
+            continue
+        for cre in CONDITION_RES:
+            for m in cre.finditer(body):
+                cond, close = extract_parenthesized(body, m.end() - 1)
+                if cre.pattern.startswith(r"\bfor"):
+                    parts = cond.split(";")
+                    cond = parts[1] if len(parts) == 3 else ""
+                ident = condition_mentions_secret(cond, secrets)
+                if ident is None:
+                    continue
+                ext_begin, ext_end = branch_extent(body, close)
+                for _, what, off in \
+                        statement_ranks(body[ext_begin:ext_end]):
+                    acq_off = body_start + ext_begin + off
+                    emit(report, raw_lines,
+                         line_of(clean, acq_off), "secret-lock",
+                         f"lock acquisition ({what}) inside a "
+                         f"branch on secret-typed '{ident}' in a "
+                         f"PRORAM_OBLIVIOUS function: lock "
+                         f"contention leaks what the allowlisted "
+                         f"comparison does not")
+        # Ternary acquisitions: `secret ... ? lock... : ...`.
+        for tm in re.finditer(r"[^?\n;{}]*\?[^?:\n]*:[^;\n]*", body):
+            cond = tm.group(0).split("?")[0]
+            ident = condition_mentions_secret(cond, secrets)
+            if ident and statement_ranks(tm.group(0)):
+                emit(report, raw_lines,
+                     line_of(clean, body_start + tm.start()),
+                     "secret-lock",
+                     f"lock acquisition in a ternary on secret-typed "
+                     f"'{ident}' in a PRORAM_OBLIVIOUS function")
+
+
+# --------------------------------------------------------------------
+# Engines
+# --------------------------------------------------------------------
+
+def lint_file_text(path: str, relpath: str) -> FileReport:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    clean = strip_comments_and_strings(raw)
+    report = FileReport(relpath)
+    scan_scopes(report, clean, raw_lines)
+    check_secret_locks(report, clean, raw_lines)
+    return report
+
+
+def have_libclang() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def lint_file_clang(path: str, relpath: str,
+                    extra_args: list[str]) -> FileReport:
+    """AST-scoped engine: function definitions (and their
+    PRORAM_OBLIVIOUS annotations) are resolved from the AST, then the
+    shared scope scanner runs over each definition's source extent.
+    Same rules, same diagnostics; the AST only makes the function
+    discovery exact."""
+    from clang import cindex
+
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    clean = strip_comments_and_strings(raw)
+    report = FileReport(relpath)
+
+    index = cindex.Index.create()
+    tu = index.parse(path,
+                     args=["-std=c++20", "-xc++"] + extra_args)
+    ck = cindex.CursorKind
+
+    def visit(node):
+        if node.location.file and \
+                os.path.samefile(str(node.location.file), path) and \
+                node.kind in (ck.FUNCTION_DECL, ck.CXX_METHOD,
+                              ck.CONSTRUCTOR, ck.DESTRUCTOR) and \
+                node.is_definition():
+            scan_scopes(report, clean, raw_lines,
+                        start=node.extent.start.offset,
+                        end=node.extent.end.offset)
+            return  # don't descend into lambdas twice
+        for child in node.get_children():
+            visit(child)
+
+    visit(tu.cursor)
+    # secret-lock keys on the macro tokens either way (the annotate
+    # attribute carries no extent the brace scanner doesn't already
+    # have), so the textual pass serves both engines.
+    check_secret_locks(report, clean, raw_lines)
+    return report
+
+
+# --------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories (default: src/)")
+    ap.add_argument("--root", default=None,
+                    help="source root for relative-path rules "
+                         "(default: repo root inferred from this "
+                         "script's location)")
+    ap.add_argument("--engine", choices=("auto", "clang", "text"),
+                    default="auto")
+    ap.add_argument("--include", action="append", default=[],
+                    help="extra -I dir for the clang engine")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    base = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    roots = args.paths or ["src"]
+
+    engine = args.engine
+    if engine == "auto":
+        engine = "clang" if have_libclang() else "text"
+    if engine == "clang" and not have_libclang():
+        print("lock_order_lint: --engine=clang but clang.cindex is "
+              "not importable", file=sys.stderr)
+        return 2
+
+    include_args = [f"-I{d}" for d in
+                    ([os.path.join(base, "src")] + args.include)]
+
+    sources = gather_sources(roots, base)
+    if not sources:
+        print("lock_order_lint: no sources found", file=sys.stderr)
+        return 2
+
+    total, suppressed = 0, 0
+    for full, rel in sources:
+        if engine == "clang":
+            report = lint_file_clang(full, rel, include_args)
+        else:
+            report = lint_file_text(full, rel)
+        suppressed += report.suppressed
+        for diag in report.diagnostics:
+            print(diag)
+            total += 1
+
+    if not args.quiet:
+        print(f"lock_order_lint[{engine}]: {len(sources)} files, "
+              f"{total} diagnostic(s), {suppressed} suppressed",
+              file=sys.stderr)
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
